@@ -1,0 +1,39 @@
+"""Benchmark-harness utilities.
+
+Every benchmark regenerates one of the paper's tables/figures.  Besides the
+pytest-benchmark timing, each writes its paper-style rows to
+``benchmarks/results/<name>.txt`` (and stdout) so EXPERIMENTS.md can record
+paper-vs-measured without re-running anything.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report():
+    """Returns a callable report(name, lines) persisting a results table."""
+
+    def _report(name, lines):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        text = "\n".join(lines) + "\n"
+        with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+            handle.write(text)
+        print("\n" + text)
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Execute `fn` exactly once under the benchmark timer, returning its
+    result (full-system sweeps are too heavy for repeated rounds)."""
+    holder = {}
+
+    def wrapper():
+        holder["result"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    return holder["result"]

@@ -1,0 +1,85 @@
+"""Fig. 11: Nginx TLS performance across accelerator placements.
+
+Paper results (Sec. VII-B), all normalised to the CPU configuration:
+
+* SmartDIMM: +21.0% RPS at 4KB, +35.8% at 16KB; -49.1% memory bandwidth
+  and -21.8% CPU cost at 4KB.
+* SmartNIC and QuickAssist both fail to improve 4KB messages (offload
+  initialisation overhead); SmartNIC does outperform the CPU at 16KB.
+* At 64KB SmartDIMM still holds +11.9% RPS over the SmartNIC at lower
+  CPU and memory cost.
+"""
+
+from conftest import run_once
+
+from repro.sim.server import Placement, ServerModel, Ulp, WorkloadSpec
+
+MESSAGES = [4096, 16384, 65536]
+PLACEMENTS = [Placement.CPU, Placement.SMARTNIC, Placement.QUICKASSIST, Placement.SMARTDIMM]
+
+
+def _sweep():
+    table = {}
+    for message in MESSAGES:
+        for placement in PLACEMENTS:
+            spec = WorkloadSpec(ulp=Ulp.TLS, placement=placement, message_bytes=message)
+            table[(message, placement)] = ServerModel(spec).solve()
+    return table
+
+
+def test_fig11_tls_placements(benchmark, report):
+    table = run_once(benchmark, _sweep)
+
+    lines = ["Fig. 11 — Nginx TLS, normalised to the CPU configuration",
+             f"{'msg':>6} {'placement':>12} {'RPS':>6} {'CPU cyc/req':>11} {'mem BW/req':>10}"]
+    for message in MESSAGES:
+        base = table[(message, Placement.CPU)]
+        for placement in PLACEMENTS:
+            metrics = table[(message, placement)]
+            lines.append(
+                f"{message:>6d} {placement.value:>12} "
+                f"{metrics.rps / base.rps:>6.2f} "
+                f"{metrics.cycles_per_request / base.cycles_per_request:>11.2f} "
+                f"{metrics.membw_bytes_per_request / base.membw_bytes_per_request:>10.2f}"
+            )
+    from repro.analysis.plots import render_bars
+
+    lines.append("")
+    lines.append(
+        render_bars(
+            {
+                "RPS, %dB (normalised to CPU)" % message: {
+                    placement.value: table[(message, placement)].rps
+                    / table[(message, Placement.CPU)].rps
+                    for placement in PLACEMENTS
+                }
+                for message in MESSAGES
+            }
+        ).rstrip()
+    )
+    report("fig11_tls_performance", lines)
+
+    def ratio(message, placement, attribute="rps"):
+        return getattr(table[(message, placement)], attribute) / getattr(
+            table[(message, Placement.CPU)], attribute
+        )
+
+    # SmartDIMM RPS gains (paper: +21.0% / +35.8%).
+    assert 1.05 < ratio(4096, Placement.SMARTDIMM) < 1.6
+    assert 1.15 < ratio(16384, Placement.SMARTDIMM) < 1.7
+    assert ratio(16384, Placement.SMARTDIMM) > ratio(4096, Placement.SMARTDIMM)
+    # SmartDIMM memory-bandwidth reduction (paper: -49.1% at 4KB).
+    assert 0.35 < ratio(4096, Placement.SMARTDIMM, "membw_bytes_per_request") < 0.65
+    # SmartDIMM CPU-cost reduction (paper: -21.8% at 4KB).
+    assert ratio(4096, Placement.SMARTDIMM, "cycles_per_request") < 0.9
+    # SmartNIC: no improvement at 4KB, a win at 16KB.
+    assert 0.92 < ratio(4096, Placement.SMARTNIC) < 1.08
+    assert ratio(16384, Placement.SMARTNIC) > 1.05
+    # QuickAssist: fails for fine-grain TLS offload.
+    assert ratio(4096, Placement.QUICKASSIST) < 0.75
+    assert ratio(16384, Placement.QUICKASSIST) < 0.75
+    # 64KB: SmartDIMM over SmartNIC (paper: +11.9% RPS, lower CPU and BW).
+    sdimm, nic = table[(65536, Placement.SMARTDIMM)], table[(65536, Placement.SMARTNIC)]
+    assert 1.03 < sdimm.rps / nic.rps < 1.35
+    assert sdimm.cycles_per_request < nic.cycles_per_request
+    assert sdimm.membw_bytes_per_request < nic.membw_bytes_per_request

@@ -1,0 +1,70 @@
+"""Fig. 12: Nginx compression performance across placements.
+
+Paper results (Sec. VII-B), normalised to the CPU configuration:
+
+* SmartDIMM: 5.09x RPS at 4KB and 10.28x at 16KB, with -81.5% CPU cost and
+  -88.9% memory bandwidth.
+* QuickAssist provides no RPS improvement (synchronous fine-grain offload)
+  and *increases* CPU/memory cost relative to its throughput.
+* SmartNIC is absent: compression is non-size-preserving (Observation 1).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.sim.server import Placement, ServerModel, Ulp, WorkloadSpec
+
+MESSAGES = [4096, 16384]
+PLACEMENTS = [Placement.CPU, Placement.QUICKASSIST, Placement.SMARTDIMM]
+
+
+def _sweep():
+    table = {}
+    for message in MESSAGES:
+        for placement in PLACEMENTS:
+            spec = WorkloadSpec(ulp=Ulp.DEFLATE, placement=placement, message_bytes=message)
+            table[(message, placement)] = ServerModel(spec).solve()
+    return table
+
+
+def test_fig12_compression_placements(benchmark, report):
+    table = run_once(benchmark, _sweep)
+
+    lines = ["Fig. 12 — Nginx compression, normalised to the CPU configuration",
+             f"{'msg':>6} {'placement':>12} {'RPS':>7} {'CPU cyc/req':>11} {'mem BW/req':>10}"]
+    for message in MESSAGES:
+        base = table[(message, Placement.CPU)]
+        for placement in PLACEMENTS:
+            metrics = table[(message, placement)]
+            lines.append(
+                f"{message:>6d} {placement.value:>12} "
+                f"{metrics.rps / base.rps:>7.2f} "
+                f"{metrics.cycles_per_request / base.cycles_per_request:>11.2f} "
+                f"{metrics.membw_bytes_per_request / base.membw_bytes_per_request:>10.2f}"
+            )
+    report("fig12_compression_performance", lines)
+
+    def ratio(message, placement, attribute="rps"):
+        return getattr(table[(message, placement)], attribute) / getattr(
+            table[(message, Placement.CPU)], attribute
+        )
+
+    # SmartDIMM multiples (paper: 5.09x / 10.28x) and their ordering.
+    assert 4.0 < ratio(4096, Placement.SMARTDIMM) < 12.0
+    assert 8.0 < ratio(16384, Placement.SMARTDIMM) < 13.0
+    assert ratio(16384, Placement.SMARTDIMM) > ratio(4096, Placement.SMARTDIMM)
+    # SmartDIMM resource reductions (paper: -81.5% CPU, -88.9% memory BW).
+    assert ratio(4096, Placement.SMARTDIMM, "cycles_per_request") < 0.25
+    assert ratio(16384, Placement.SMARTDIMM, "membw_bytes_per_request") < 0.3
+    # QuickAssist: no RPS gain for either size.
+    for message in MESSAGES:
+        assert 0.7 < ratio(message, Placement.QUICKASSIST) < 1.4
+    # Compression gains dwarf the TLS gains (AES-NI narrows TLS, Sec. VII-B).
+    tls = ServerModel(WorkloadSpec(ulp=Ulp.TLS, placement=Placement.SMARTDIMM)).solve()
+    tls_base = ServerModel(WorkloadSpec(ulp=Ulp.TLS, placement=Placement.CPU)).solve()
+    assert ratio(4096, Placement.SMARTDIMM) > 2 * tls.rps / tls_base.rps
+
+
+def test_fig12_smartnic_structurally_excluded():
+    with pytest.raises(ValueError):
+        WorkloadSpec(ulp=Ulp.DEFLATE, placement=Placement.SMARTNIC)

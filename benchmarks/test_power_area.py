@@ -1,0 +1,39 @@
+"""Sec. VII-D: power and FPGA-area estimates.
+
+Paper results: 4.78W dynamic at full DDR utilisation; ~0.92W average added
+power across benchmarks (which keep the channel below 30% utilisation); the
+TLS offload occupies ~21.8% of the AxDIMM FPGA.
+"""
+
+from conftest import run_once
+
+from repro.analysis.power import AXDIMM_FPGA, PowerModel
+
+
+def _evaluate():
+    model = PowerModel()
+    return {
+        "full": model.full_activity_watts(),
+        "avg": model.report(channel_utilisation=0.19, deflate=False).dynamic_watts,
+        "tls_fraction": model.tls_utilisation_fraction(),
+        "breakdown": model.report(1.0).breakdown,
+        "cam_penalty": model.TRANSLATION_CAM_ALTERNATIVE_W / model.TRANSLATION_TABLE_W,
+    }
+
+
+def test_power_and_area(benchmark, report):
+    result = run_once(benchmark, _evaluate)
+    lines = ["Sec. VII-D — power and area",
+             f"dynamic power at full channel utilisation: {result['full']:.2f} W (paper: 4.78 W)",
+             f"average added power (<30% utilisation):    {result['avg']:.2f} W (paper: ~0.92 W)",
+             f"TLS offload FPGA utilisation:              {result['tls_fraction']:.1%} (paper: ~21.8%)",
+             f"CAM-vs-cuckoo translation power penalty:   {result['cam_penalty']:.1f}x",
+             "full-activity breakdown (W):"]
+    for component, watts in sorted(result["breakdown"].items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {component:<18} {watts:6.2f}")
+    report("power_area", lines)
+
+    assert abs(result["full"] - 4.78) < 0.05
+    assert abs(result["avg"] - 0.92) < 0.25
+    assert abs(result["tls_fraction"] - 0.218) < 0.01
+    assert result["cam_penalty"] > 3

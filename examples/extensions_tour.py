@@ -1,0 +1,92 @@
+"""Tour of the paper's discussion-section extensions, implemented.
+
+1. **Compute DMA** (Sec. IV-E): the DSA transforms data while an I/O device
+   DMAs it into SmartDIMM — the CPU never touches the payload.
+2. **Direct offload with new DDR commands** (Sec. IV-E): compute reads and
+   scratchpad writebacks eliminate cache pollution and bus data movement
+   entirely, given a modifiable memory controller.
+3. **Multi-channel interleaved TLS** (Sec. V-D): one SmartDIMM per channel,
+   each with its own configuration copy, with a CPU-side partial-tag
+   combine for the striped record.
+4. **kTLS** (Sec. V-C): kernel-space record protection through the same
+   backends, both directions.
+
+Run:  python examples/extensions_tour.py
+"""
+
+from repro.apps.ktls import ktls_pair
+from repro.apps.nginx import SmartDIMMBackend, SoftwareBackend
+from repro.core.dsa.base import UlpKind
+from repro.core.dsa.tls_dsa import TLSOffloadContext
+from repro.core.multichannel import MultiChannelConfig, MultiChannelSession
+from repro.core.offload_api import SessionConfig, SmartDIMMSession
+from repro.dram.commands import PAGE_SIZE
+from repro.ulp.gcm import AESGCM
+from repro.workloads.corpus import CorpusKind, generate_corpus
+
+KEY, NONCE = bytes(range(16)), bytes(12)
+
+
+def compute_dma_demo():
+    print("1) Compute DMA: encrypt during device DMA")
+    session = SmartDIMMSession(SessionConfig(memory_bytes=16 * 1024 * 1024))
+    payload = generate_corpus(CorpusKind.JSON, 5000)
+    accesses_before = session.llc.stats.accesses
+    out = session.tls_encrypt_dma(KEY, NONCE, payload)
+    ct, tag = AESGCM(KEY).encrypt(NONCE, payload)
+    assert out == ct + tag
+    print(f"   {len(payload)}B encrypted; ciphertext+tag bit-exact vs software")
+    print(f"   CPU cache accesses during the DMA itself: 0 "
+          f"(total delta incl. result read: {session.llc.stats.accesses - accesses_before})")
+
+
+def direct_offload_demo():
+    print("2) Direct offload: new DDR commands, zero pollution")
+    session = SmartDIMMSession(SessionConfig(memory_bytes=16 * 1024 * 1024))
+    payload = bytes(PAGE_SIZE - 16)
+    sbuf = session.driver.alloc_pages(1)
+    dbuf = session.driver.alloc_pages(1)
+    session.write(sbuf, payload + bytes(16))
+    session.llc.flush_range(sbuf, PAGE_SIZE)
+    session.mc.fence()
+    bus_before = session.mc.stats.data_bytes
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=len(payload))
+    session.direct_offload.offload(dbuf, sbuf, PAGE_SIZE, context, UlpKind.TLS_ENCRYPT)
+    session.direct_offload.retire_all()
+    print(f"   CMP_RDCAS issued: {session.mc.stats.compute_reads}, "
+          f"SPAD_WB issued: {session.mc.stats.scratchpad_writebacks}")
+    print(f"   data-bus bytes for the whole transform: "
+          f"{session.mc.stats.data_bytes - bus_before} (one MMIO record)")
+    assert session.memory.read(dbuf, 64) == AESGCM(KEY).encrypt(NONCE, payload)[0][:64]
+
+
+def multichannel_demo():
+    print("3) Multi-channel TLS: striped across 4 SmartDIMMs")
+    session = MultiChannelSession(MultiChannelConfig(channels=4))
+    payload = generate_corpus(CorpusKind.TEXT, 7000)
+    out = session.tls_encrypt(KEY, NONCE, payload)
+    ct, tag = AESGCM(KEY).encrypt(NONCE, payload)
+    assert out == ct + tag
+    shares = [d.stats.dsa_lines_processed for d in session.devices]
+    print(f"   per-channel cachelines processed: {shares}")
+    print("   CPU combined the per-DIMM partial tags: record bit-exact")
+
+
+def ktls_demo():
+    print("4) kTLS: kernel-space offload, both directions")
+    backend = SmartDIMMBackend(SmartDIMMSession(SessionConfig(memory_bytes=16 * 1024 * 1024)))
+    server, client = ktls_pair(backend, SoftwareBackend())
+    request = b"GET / HTTP/1.1\r\n\r\n"
+    response = generate_corpus(CorpusKind.HTML, 20000)
+    assert server.receive(client.send(request)) == request
+    assert client.receive(server.send(response)) == response
+    print(f"   request decrypted on SmartDIMM (RX hook), {server.stats.records_sent} "
+          f"response records encrypted on SmartDIMM (TX hook)")
+
+
+if __name__ == "__main__":
+    compute_dma_demo()
+    direct_offload_demo()
+    multichannel_demo()
+    ktls_demo()
+    print("\nAll four extensions functional and bit-exact.")

@@ -1,0 +1,44 @@
+"""Packet-loss study: why autonomous SmartNIC TLS offload is fragile.
+
+Recreates the Fig. 2 experiment: a bulk HTTPS transfer over a link whose
+drop rate we control (the paper used a programmable switch), comparing
+plain HTTP, on-CPU AES-NI encryption, and autonomous SmartNIC offload.
+Watch the SmartNIC's advantage evaporate as retransmissions force CPU
+fallbacks and hardware resyncs.
+
+Run:  python examples/packet_loss_study.py
+"""
+
+from repro.net.link import LossyLink
+from repro.net.smartnic import CpuTlsCrypto, NoCrypto, SmartNicTlsCrypto
+from repro.net.tcp import TcpSimulation
+
+TRANSFER = 25_000_000  # bytes
+DROP_RATES = [0.0, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2]
+
+
+def run(crypto, drop_rate):
+    link = LossyLink(drop_rate=drop_rate, seed=7)
+    sim = TcpSimulation(TRANSFER, crypto, link, initial_rto_s=5e-3)
+    return sim.run(), crypto
+
+
+def main():
+    print(f"{'drop rate':>10} | {'HTTP':>7} {'CPU-TLS':>8} {'SmartNIC':>9} | "
+          f"{'resyncs':>7} {'CPU-encrypted':>13}")
+    for drop in DROP_RATES:
+        http, _ = run(NoCrypto(), drop)
+        cpu, _ = run(CpuTlsCrypto(), drop)
+        nic, nic_model = run(SmartNicTlsCrypto(), drop)
+        print(
+            f"{drop:>10.4%} | {http.goodput_gbps:>6.2f}G {cpu.goodput_gbps:>7.2f}G "
+            f"{nic.goodput_gbps:>8.2f}G | {nic_model.stats.resyncs:>7d} "
+            f"{nic_model.stats.cpu_encrypted_bytes:>12,}B"
+        )
+    print("\nAt zero loss the NIC offload only matches AES-NI (same-generation")
+    print("silicon); under drops every retransmission costs a resync and the")
+    print("offload falls below the CPU — the paper's Observation 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: offload TLS encryption and compression to SmartDIMM.
+
+Builds a single-channel micro-system (memory controller + LLC + SmartDIMM),
+runs real offloads through the CompCpy path, and cross-checks every byte
+against the pure-software implementations.
+
+Run:  python examples/quickstart.py
+"""
+
+import zlib
+
+from repro import SmartDIMMSession
+from repro.ulp.gcm import AESGCM
+from repro.workloads.corpus import CorpusKind, generate_corpus
+
+
+def main():
+    session = SmartDIMMSession()
+    key = bytes(range(16))
+    nonce = bytes(range(12))
+
+    # --- TLS record encryption on the DIMM -------------------------------
+    plaintext = b"SmartDIMM transforms data as it crosses the DDR channel. " * 60
+    print(f"Encrypting a {len(plaintext)}-byte record on SmartDIMM...")
+    output = session.tls_encrypt(key, nonce, plaintext, aad=b"record-header")
+    ciphertext, tag = output[:-16], output[-16:]
+
+    software_ct, software_tag = AESGCM(key).encrypt(nonce, plaintext, b"record-header")
+    assert ciphertext == software_ct and tag == software_tag
+    print("  ciphertext + tag match OpenSSL-equivalent software output")
+
+    recovered = session.tls_decrypt(key, nonce, ciphertext, aad=b"record-header")
+    assert recovered[:-16] == plaintext and recovered[-16:] == tag
+    print("  decryption offload round-trips (tag verified on the CPU)")
+
+    # --- page-granular compression on the DIMM -----------------------------
+    page = generate_corpus(CorpusKind.HTML, 4096)
+    stream = session.deflate_page(page)
+    assert zlib.decompress(stream, -15) == page
+    print(f"Compressed a 4KB HTML page to {len(stream)} bytes "
+          f"({len(stream) / 4096:.1%}); stdlib zlib inflates it.")
+
+    # --- what happened at the DDR command level ------------------------------
+    stats = session.device.stats
+    print("\nBuffer-device activity:")
+    print(f"  offloads registered/finalised: {stats.offloads_registered}/{stats.offloads_finalized}")
+    print(f"  cachelines fed to the DSAs:    {stats.dsa_lines_processed}")
+    print(f"  self-recycled writebacks:      {stats.self_recycles}")
+    print(f"  scratchpad serves (S10):       {stats.scratchpad_serves}")
+    print(f"  ignored early writes (S7):     {stats.ignored_writes}")
+    print(f"  ALERT_N retries (S13):         {stats.alerts}")
+    print(f"  MMIO writes (registration):    {stats.mmio_writes}")
+    pad = session.device.scratchpad
+    print(f"  scratchpad: {pad.free_pages}/{pad.total_pages} pages free "
+          f"(no leaks after the offloads complete)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""SmartDIMM reproduction: in-memory acceleration of upper-layer protocols.
+
+A from-scratch Python implementation and full-system simulation of
+SmartDIMM (HPCA 2024): a near-memory architecture that places TLS and
+DEFLATE accelerators on a DIMM's buffer device and transforms data inline
+as it traverses the DDR channel, driven by the CompCpy API.
+
+Public entry points:
+
+* :class:`repro.core.offload_api.SmartDIMMSession` — build a micro-system
+  (memory controller + LLC + SmartDIMM) and run real offloads.
+* :class:`repro.sim.server.ServerModel` — the calibrated macro model behind
+  the paper's end-to-end comparisons.
+* :mod:`repro.ulp` — the standalone AES-GCM / TLS 1.3 / DEFLATE
+  implementations.
+* :class:`repro.apps.nginx.NginxServer` — the functional web server with
+  pluggable ULP placement.
+"""
+
+from repro.core.offload_api import SmartDIMMSession, SessionConfig
+from repro.core.compcpy import CompCpy, CompCpyError
+from repro.core.smartdimm import SmartDIMM, SmartDIMMConfig
+from repro.core.engine import AdaptiveOffloadEngine, OffloadDecision
+from repro.sim.server import Placement, ServerModel, Ulp, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SmartDIMMSession",
+    "SessionConfig",
+    "CompCpy",
+    "CompCpyError",
+    "SmartDIMM",
+    "SmartDIMMConfig",
+    "AdaptiveOffloadEngine",
+    "OffloadDecision",
+    "Placement",
+    "ServerModel",
+    "Ulp",
+    "WorkloadSpec",
+    "__version__",
+]

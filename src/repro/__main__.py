@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — run the quickstart offloads and print device statistics.
+* ``compare [sizes...]`` — the Figs. 11/12 placement comparison tables.
+* ``report [-o FILE]`` — aggregate benchmarks/results into one document.
+* ``power [utilisation]`` — the Sec. VII-D power/area estimate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(_args) -> int:
+    import zlib
+
+    from repro import SmartDIMMSession
+    from repro.ulp.gcm import AESGCM
+    from repro.workloads.corpus import CorpusKind, generate_corpus
+
+    session = SmartDIMMSession()
+    key, nonce = bytes(range(16)), bytes(12)
+    payload = generate_corpus(CorpusKind.TEXT, 6000)
+    out = session.tls_encrypt(key, nonce, payload)
+    ct, tag = AESGCM(key).encrypt(nonce, payload)
+    assert out == ct + tag
+    print("TLS offload: %d bytes encrypted, bit-exact vs software" % len(payload))
+    page = generate_corpus(CorpusKind.HTML, 4096)
+    stream = session.deflate_page(page)
+    assert zlib.decompress(stream, -15) == page
+    print("deflate offload: 4096 -> %d bytes, zlib-verified" % len(stream))
+    back = session.inflate_page(stream)
+    assert back == page
+    print("inflate offload: round trip complete")
+    stats = session.device.stats
+    print(
+        "device: %d offloads, %d DSA lines, %d self-recycles, %d S10 serves, "
+        "%d S7 drops, %d ALERT_N"
+        % (
+            stats.offloads_finalized,
+            stats.dsa_lines_processed,
+            stats.self_recycles,
+            stats.scratchpad_serves,
+            stats.ignored_writes,
+            stats.alerts,
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.sim.server import Placement, ServerModel, Ulp, WorkloadSpec
+
+    sizes = [int(s) for s in args.sizes] or [4096, 16384]
+    for message_bytes in sizes:
+        for ulp, placements in (
+            (Ulp.TLS, [Placement.CPU, Placement.SMARTNIC, Placement.QUICKASSIST,
+                       Placement.SMARTDIMM]),
+            (Ulp.DEFLATE, [Placement.CPU, Placement.QUICKASSIST, Placement.SMARTDIMM]),
+        ):
+            base = ServerModel(
+                WorkloadSpec(ulp=ulp, placement=Placement.CPU, message_bytes=message_bytes)
+            ).solve()
+            print(f"\n{ulp.value.upper()} {message_bytes}B "
+                  f"(CPU: {base.rps:,.0f} req/s)")
+            for placement in placements:
+                metrics = ServerModel(
+                    WorkloadSpec(ulp=ulp, placement=placement, message_bytes=message_bytes)
+                ).solve()
+                print(
+                    f"  {placement.value:<12} rps={metrics.rps / base.rps:5.2f}x "
+                    f"cpu={metrics.cycles_per_request / base.cycles_per_request:5.2f}x "
+                    f"bw={metrics.membw_bytes_per_request / base.membw_bytes_per_request:5.2f}x"
+                )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import build_report, coverage
+
+    text = build_report()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        present, total = coverage()
+        print("wrote %s (%d/%d sections)" % (args.output, present, total))
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_power(args) -> int:
+    from repro.analysis.power import PowerModel
+
+    model = PowerModel()
+    utilisation = args.utilisation
+    report = model.report(utilisation)
+    print("channel utilisation: %.0f%%" % (100 * utilisation))
+    print("dynamic power: %.2f W (full activity: %.2f W)"
+          % (report.dynamic_watts, model.full_activity_watts()))
+    print("TLS DSA FPGA share: %.1f%%" % (100 * model.tls_utilisation_fraction()))
+    for component, watts in sorted(report.breakdown.items(), key=lambda kv: -kv[1]):
+        print("  %-18s %6.2f W" % (component, watts))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SmartDIMM reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="run the quickstart offloads")
+    compare = sub.add_parser("compare", help="placement comparison tables")
+    compare.add_argument("sizes", nargs="*", help="message sizes in bytes")
+    report = sub.add_parser("report", help="aggregate benchmark results")
+    report.add_argument("-o", "--output", help="write to a file")
+    power = sub.add_parser("power", help="power/area estimate")
+    power.add_argument("utilisation", nargs="?", type=float, default=0.3)
+    args = parser.parse_args(argv)
+    return {
+        "demo": _cmd_demo,
+        "compare": _cmd_compare,
+        "report": _cmd_report,
+        "power": _cmd_power,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

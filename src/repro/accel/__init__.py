@@ -1,0 +1,21 @@
+"""Alternative ULP accelerator placements (the paper's baselines).
+
+Each placement executes the *same functional transform* as SmartDIMM's
+DSAs — real AES-GCM, real DEFLATE — while accounting the costs that make
+it attractive or not:
+
+* :mod:`repro.accel.cpu_onload` — OpenSSL-style software execution with
+  AES-NI-class cycle accounting.
+* :mod:`repro.accel.quickassist` — a lookaside PCIe accelerator: staging
+  copies, descriptor/doorbell overhead, DMA over a shared PCIe link, and
+  completion polling (Observation 2).
+* SmartNIC TLS offload lives with the TCP machinery in
+  :mod:`repro.net.smartnic` because it is inseparable from segment
+  sequencing.
+"""
+
+from repro.accel.cpu_onload import CpuOnload, OnloadResult
+from repro.accel.quickassist import QuickAssist, QatResult
+from repro.accel.pcie import PcieLink
+
+__all__ = ["CpuOnload", "OnloadResult", "QuickAssist", "QatResult", "PcieLink"]

@@ -1,0 +1,64 @@
+"""On-CPU ULP execution: the software baseline.
+
+Functionally exact (uses :mod:`repro.ulp`) and charges the AES-NI /
+zlib-class cycle costs from :mod:`repro.cpu.costs`, so the same object
+serves correctness tests and performance comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.costs import CostModel, DEFAULT_COSTS
+from repro.ulp.deflate import deflate_compress, deflate_decompress
+from repro.ulp.gcm import AESGCM
+
+
+@dataclass
+class OnloadResult:
+    payload: bytes
+    cpu_cycles: float
+
+
+class CpuOnload:
+    """Executes ULPs in software with cycle accounting."""
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS):
+        self.costs = costs
+        self.total_cycles = 0.0
+        self._gcm_cache = {}
+
+    def _gcm(self, key: bytes) -> AESGCM:
+        gcm = self._gcm_cache.get(key)
+        if gcm is None:
+            gcm = AESGCM(key)
+            self._gcm_cache[key] = gcm
+        return gcm
+
+    def tls_encrypt(self, key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> OnloadResult:
+        """AES-GCM encrypt; returns ciphertext || tag."""
+        ciphertext, tag = self._gcm(key).encrypt(nonce, plaintext, aad)
+        cycles = self.costs.aes_gcm_cycles(len(plaintext))
+        self.total_cycles += cycles
+        return OnloadResult(payload=ciphertext + tag, cpu_cycles=cycles)
+
+    def tls_decrypt(self, key: bytes, nonce: bytes, ciphertext: bytes, aad: bytes, tag: bytes) -> OnloadResult:
+        """AES-GCM decrypt with tag verification."""
+        plaintext = self._gcm(key).decrypt(nonce, ciphertext, aad, tag)
+        cycles = self.costs.aes_gcm_cycles(len(ciphertext))
+        self.total_cycles += cycles
+        return OnloadResult(payload=plaintext, cpu_cycles=cycles)
+
+    def compress(self, data: bytes, level: int = 6) -> OnloadResult:
+        """DEFLATE-compress on the CPU; returns the raw stream."""
+        compressed = deflate_compress(data, level=level)
+        cycles = self.costs.deflate_cycles(len(data)) + 15000
+        self.total_cycles += cycles
+        return OnloadResult(payload=compressed, cpu_cycles=cycles)
+
+    def decompress(self, data: bytes) -> OnloadResult:
+        """Inflate a raw DEFLATE stream on the CPU."""
+        out = deflate_decompress(data)
+        cycles = self.costs.inflate_cycles_per_byte * len(out)
+        self.total_cycles += cycles
+        return OnloadResult(payload=out, cpu_cycles=cycles)

@@ -1,0 +1,46 @@
+"""PCIe link cost model for lookaside accelerators.
+
+Captures the two properties Observation 2 rests on: per-transaction latency
+(DMA setup + round trip) that cannot be amortised for small offloads, and a
+shared bandwidth pool that saturates when every request crosses the link
+twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PcieStats:
+    transactions: int = 0
+    bytes_transferred: int = 0
+    total_time_s: float = 0.0
+
+
+class PcieLink:
+    """A Gen3 x8-class link shared by accelerator traffic."""
+
+    def __init__(
+        self,
+        bandwidth_bytes_per_sec: float = 8e9,
+        transaction_latency_s: float = 1.2e-6,
+    ):
+        self.bandwidth = bandwidth_bytes_per_sec
+        self.transaction_latency = transaction_latency_s
+        self.stats = PcieStats()
+        self._busy_until = 0.0
+
+    def transfer(self, now: float, nbytes: int) -> float:
+        """DMA `nbytes` across the link; returns the completion time."""
+        start = max(now, self._busy_until)
+        duration = self.transaction_latency + nbytes / self.bandwidth
+        self._busy_until = start + nbytes / self.bandwidth
+        self.stats.transactions += 1
+        self.stats.bytes_transferred += nbytes
+        self.stats.total_time_s += duration
+        return start + duration
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Unloaded transfer time for `nbytes` (latency + serialisation)."""
+        return self.transaction_latency + nbytes / self.bandwidth

@@ -1,0 +1,13 @@
+"""Analysis models: power/area estimation and the design-space comparison.
+
+* :mod:`repro.analysis.power` — activity-based power and FPGA-resource
+  model for the buffer-device logic (Sec. VII-D).
+* :mod:`repro.analysis.design_space` — the qualitative criteria matrix of
+  Fig. 13, with each score derived from a model scenario rather than
+  asserted.
+"""
+
+from repro.analysis.power import PowerModel, PowerReport
+from repro.analysis.design_space import DesignSpace, CRITERIA
+
+__all__ = ["PowerModel", "PowerReport", "DesignSpace", "CRITERIA"]

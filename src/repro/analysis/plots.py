@@ -1,0 +1,111 @@
+"""Terminal figure renderers: the no-network analogue of the artifact's
+gnuplot scripts.
+
+Each renderer turns simulation output into an ASCII figure plus a CSV dump
+so the paper's plots can be regenerated (and eyeballed) without any
+plotting dependencies:
+
+* :func:`render_scatter` — the Fig. 9 rdCAS/wrCAS address-vs-time cloud.
+* :func:`render_timeline` — the Fig. 10 scratchpad-occupancy curves.
+* :func:`render_bars` — the Figs. 11/12 grouped normalised bars.
+* :func:`to_csv` — the raw series for external tooling.
+"""
+
+from __future__ import annotations
+
+
+def to_csv(header: list, rows: list) -> str:
+    """Minimal CSV serialisation (no quoting needs in our data)."""
+    lines = [",".join(str(h) for h in header)]
+    for row in rows:
+        lines.append(",".join(str(value) for value in row))
+    return "\n".join(lines) + "\n"
+
+
+def render_scatter(
+    points: list,
+    width: int = 72,
+    height: int = 20,
+    glyphs: dict = None,
+) -> str:
+    """Plot (x, y, series) points on a character grid.
+
+    For Fig. 9, x is the command cycle, y the physical address, and the
+    series is "rdCAS" (rendered ``r``) or "wrCAS" (rendered ``w``).
+    """
+    if not points:
+        return "(no points)\n"
+    glyphs = glyphs or {"rdCAS": "r", "wrCAS": "w"}
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1)
+    y_span = max(y_hi - y_lo, 1)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, series in points:
+        column = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        glyph = glyphs.get(series, "?")
+        # Later glyphs win on collision unless a write is already there
+        # (writes are sparser and the interesting signal).
+        if grid[row][column] != "w":
+            grid[row][column] = glyph
+    lines = ["%s" % "".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(
+        "x: %d..%d   y: 0x%x..0x%x   glyphs: %s"
+        % (x_lo, x_hi, y_lo, y_hi, ", ".join("%s=%s" % kv for kv in glyphs.items()))
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_timeline(series: dict, width: int = 64, height: int = 12) -> str:
+    """Plot one or more (label -> [values]) curves on a shared y axis.
+
+    For Fig. 10 each curve is a scratchpad-occupancy sample sequence under
+    one LLC provisioning.
+    """
+    if not series or all(not values for values in series.values()):
+        return "(no samples)\n"
+    peak = max(max(values) for values in series.values() if values) or 1
+    glyphs = "abcdefgh"
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        if not values:
+            continue
+        glyph = glyphs[index % len(glyphs)]
+        for i, value in enumerate(values):
+            column = int(i / max(len(values) - 1, 1) * (width - 1))
+            row = height - 1 - int(value / peak * (height - 1))
+            grid[row][column] = glyph
+    lines = ["%s" % "".join(row) for row in grid]
+    lines.append("-" * width)
+    legend = "   ".join(
+        "%s=%s" % (glyphs[i % len(glyphs)], label) for i, label in enumerate(series)
+    )
+    lines.append("peak=%d   %s" % (peak, legend))
+    return "\n".join(lines) + "\n"
+
+
+def render_bars(groups: dict, width: int = 40, reference: float = 1.0) -> str:
+    """Grouped horizontal bars, normalised around `reference`.
+
+    For Figs. 11/12: groups maps a group label (e.g. "TLS 4KB") to an
+    ordered {placement: value} dict; a ``|`` marks the reference line.
+    """
+    lines = []
+    peak = max(
+        (value for bars in groups.values() for value in bars.values()), default=1.0
+    )
+    peak = max(peak, reference)
+    for group, bars in groups.items():
+        lines.append(group)
+        for label, value in bars.items():
+            filled = int(value / peak * width)
+            marker = int(reference / peak * width)
+            bar = ["#" if i < filled else " " for i in range(width)]
+            if 0 <= marker < width:
+                bar[marker] = "|"
+            lines.append("  %-12s %s %.2f" % (label, "".join(bar), value))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,29 @@
+"""Applications: the functional web server, load generator, and co-runners.
+
+* :mod:`repro.apps.nginx` — an event-style web server that really parses
+  HTTP, really encrypts TLS records, and really compresses responses, with
+  the ULP executed by a pluggable backend (CPU software, QuickAssist model,
+  or a SmartDIMM session).  Used by the examples and integration tests.
+* :mod:`repro.apps.wrk` — a closed-loop persistent-connection load
+  generator mirroring the paper's wrk setup.
+* :mod:`repro.apps.mcf` — a 505.mcf-like pointer-chasing kernel used as the
+  cache-intensive co-runner of Table I (and to generate genuine LLC
+  contention in micro-experiments).
+* :mod:`repro.apps.storage` — a storage device DMAing content into memory
+  through DDIO.
+"""
+
+from repro.apps.nginx import NginxServer, ServerConfig, UlpBackend
+from repro.apps.wrk import WrkLoadGenerator, WrkReport
+from repro.apps.mcf import McfKernel
+from repro.apps.storage import StorageDevice
+
+__all__ = [
+    "NginxServer",
+    "ServerConfig",
+    "UlpBackend",
+    "WrkLoadGenerator",
+    "WrkReport",
+    "McfKernel",
+    "StorageDevice",
+]

@@ -1,0 +1,63 @@
+"""505.mcf-like cache-intensive co-runner.
+
+SPEC's mcf is a network-simplex solver notorious for pointer-chasing over a
+multi-hundred-megabyte arc array — nearly every access misses the LLC.  For
+Table I we need its two observable behaviours, not its algorithm: a large
+live footprint contending for LLC space, and a stream of dependent DRAM
+accesses whose progress is inversely proportional to memory latency.
+
+:class:`McfKernel` walks a pseudo-random permutation cycle over a
+configurable footprint through the functional LLC, so it both *generates*
+real contention in micro-experiments (evicting SmartDIMM's dbuf lines,
+feeding self-recycle) and *experiences* slowdown when sharing the memory
+system.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dram.commands import CACHELINE_SIZE
+
+
+@dataclass
+class McfStats:
+    accesses: int = 0
+    misses_before: int = 0
+    misses_after: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        done = self.misses_after - self.misses_before
+        return done / self.accesses if self.accesses else 0.0
+
+
+class McfKernel:
+    """Pointer chase over `footprint_bytes` of address space."""
+
+    def __init__(self, llc, base_address: int, footprint_bytes: int, seed: int = 7):
+        if footprint_bytes < CACHELINE_SIZE:
+            raise ValueError("footprint must cover at least one line")
+        self.llc = llc
+        self.base = base_address
+        self.lines = footprint_bytes // CACHELINE_SIZE
+        rng = random.Random(seed)
+        # A single permutation cycle guarantees full-footprint coverage.
+        order = list(range(self.lines))
+        rng.shuffle(order)
+        self._next = {}
+        for i, line in enumerate(order):
+            self._next[line] = order[(i + 1) % self.lines]
+        self._position = order[0]
+        self.stats = McfStats()
+
+    def step(self, accesses: int = 1) -> None:
+        """Perform dependent line loads through the LLC."""
+        self.stats.misses_before = self.stats.misses_before or self.llc.stats.misses
+        for _ in range(accesses):
+            address = self.base + self._position * CACHELINE_SIZE
+            self.llc.load(address)
+            self._position = self._next[self._position]
+            self.stats.accesses += 1
+        self.stats.misses_after = self.llc.stats.misses

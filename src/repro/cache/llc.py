@@ -1,0 +1,259 @@
+"""Functional set-associative last-level cache with CAT and DDIO.
+
+The cache sits between the CPU model and a
+:class:`repro.dram.memory_controller.MemoryController`; misses fetch lines
+from memory and dirty evictions queue writebacks.  Those writebacks are
+exactly the wrCAS stream that self-recycles SmartDIMM's scratchpad.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dram.commands import CACHELINE_SIZE
+
+
+class AccessClass(enum.Enum):
+    """Who is allocating: CPU loads/stores or device DMA (DDIO)."""
+
+    CPU = "cpu"
+    DMA = "dma"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    evictions: int = 0
+    flushes: int = 0
+    dma_fills: int = 0
+    dma_leaks: int = 0  # DMA-filled lines evicted before any CPU touch
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class _Line:
+    tag: int
+    data: bytearray
+    dirty: bool = False
+    last_use: int = 0
+    dma_untouched: bool = False  # filled by DMA, not yet read by the CPU
+
+
+class LLC:
+    """Set-associative, write-back, write-allocate LLC.
+
+    Parameters
+    ----------
+    size:
+        Capacity in bytes.
+    ways:
+        Associativity.
+    cpu_way_mask / dma_way_mask:
+        CAT-style bitmasks of which ways each access class may *allocate*
+        into (hits anywhere still hit).  The default DDIO configuration
+        confines DMA fills to 2 ways, as on Xeon parts.
+    """
+
+    def __init__(
+        self,
+        memory_controller,
+        size: int = 2 * 1024 * 1024,
+        ways: int = 16,
+        cpu_way_mask: int = None,
+        dma_way_mask: int = 0b11,
+    ):
+        if size % (ways * CACHELINE_SIZE):
+            raise ValueError("cache size must be a multiple of ways * 64B")
+        self.mc = memory_controller
+        self.ways = ways
+        self.num_sets = size // (ways * CACHELINE_SIZE)
+        self.cpu_way_mask = cpu_way_mask if cpu_way_mask is not None else (1 << ways) - 1
+        self.dma_way_mask = dma_way_mask & ((1 << ways) - 1)
+        self.stats = CacheStats()
+        self._sets = [dict() for _ in range(self.num_sets)]  # way -> _Line
+        self._clock = 0
+
+    # -- configuration ----------------------------------------------------------
+
+    def set_cpu_way_mask(self, mask: int) -> None:
+        """Apply a CAT mask; lines in now-forbidden ways stay until evicted."""
+        self.cpu_way_mask = mask & ((1 << self.ways) - 1)
+        if self.cpu_way_mask == 0:
+            raise ValueError("CPU way mask must allow at least one way")
+
+    @property
+    def effective_cpu_size(self) -> int:
+        return self.num_sets * CACHELINE_SIZE * bin(self.cpu_way_mask).count("1")
+
+    # -- lookup helpers ----------------------------------------------------------
+
+    def _locate(self, address: int) -> tuple:
+        line_address = address & ~(CACHELINE_SIZE - 1)
+        set_index = (line_address // CACHELINE_SIZE) % self.num_sets
+        tag = line_address // CACHELINE_SIZE // self.num_sets
+        return line_address, set_index, tag
+
+    def _find(self, set_index: int, tag: int):
+        for way, line in self._sets[set_index].items():
+            if line.tag == tag:
+                return way, line
+        return None, None
+
+    def _allowed_ways(self, access: AccessClass) -> int:
+        return self.cpu_way_mask if access is AccessClass.CPU else self.dma_way_mask
+
+    def _victim_way(self, set_index: int, mask: int) -> int:
+        """Pick an allowed way: empty first, else LRU."""
+        candidates = [w for w in range(self.ways) if (mask >> w) & 1]
+        occupied = self._sets[set_index]
+        for way in candidates:
+            if way not in occupied:
+                return way
+        return min(candidates, key=lambda w: occupied[w].last_use)
+
+    def _evict(self, set_index: int, way: int) -> None:
+        line = self._sets[set_index].pop(way)
+        self.stats.evictions += 1
+        if line.dma_untouched:
+            self.stats.dma_leaks += 1
+        if line.dirty:
+            self.stats.writebacks += 1
+            address = (line.tag * self.num_sets + set_index) * CACHELINE_SIZE
+            self.mc.write_line(address, bytes(line.data))
+
+    def _fill(self, set_index: int, tag: int, data: bytes, access: AccessClass) -> _Line:
+        way = self._victim_way(set_index, self._allowed_ways(access))
+        if way in self._sets[set_index]:
+            self._evict(set_index, way)
+        line = _Line(tag=tag, data=bytearray(data), last_use=self._clock)
+        self._sets[set_index][way] = line
+        return line
+
+    # -- CPU interface -------------------------------------------------------------
+
+    def load(self, address: int) -> bytes:
+        """CPU load of one cacheline."""
+        self._clock += 1
+        line_address, set_index, tag = self._locate(address)
+        _, line = self._find(set_index, tag)
+        if line is not None:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            line = self._fill(set_index, tag, self.mc.read_line(line_address), AccessClass.CPU)
+        line.last_use = self._clock
+        line.dma_untouched = False
+        return bytes(line.data)
+
+    def store(self, address: int, data: bytes) -> None:
+        """CPU store of one full cacheline (write-allocate)."""
+        if len(data) != CACHELINE_SIZE:
+            raise ValueError("store must be one %d-byte line" % CACHELINE_SIZE)
+        self._clock += 1
+        line_address, set_index, tag = self._locate(address)
+        _, line = self._find(set_index, tag)
+        if line is not None:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            # Full-line store still allocates; we skip the ownership read
+            # because the whole line is overwritten (like an RFO-eliding
+            # full-line write).
+            line = self._fill(set_index, tag, bytes(CACHELINE_SIZE), AccessClass.CPU)
+        line.data[:] = data
+        line.dirty = True
+        line.last_use = self._clock
+        line.dma_untouched = False
+
+    def flush_line(self, address: int) -> bool:
+        """clflush: write back if dirty and invalidate.  Returns True when a
+        writeback actually travelled to memory (used by the flush cost model:
+        flushing data already in DRAM is ~50 % faster, Sec. IV-A)."""
+        _, set_index, tag = self._locate(address)
+        way, line = self._find(set_index, tag)
+        self.stats.flushes += 1
+        if line is None:
+            return False
+        dirty = line.dirty
+        if dirty:
+            self.stats.writebacks += 1
+            line_address = (tag * self.num_sets + set_index) * CACHELINE_SIZE
+            self.mc.write_line_now(line_address, bytes(line.data))
+        del self._sets[set_index][way]
+        return dirty
+
+    def flush_range(self, address: int, length: int) -> int:
+        """Flush every line in [address, address+length); returns dirty count."""
+        start = address & ~(CACHELINE_SIZE - 1)
+        dirty = 0
+        for line_address in range(start, address + length, CACHELINE_SIZE):
+            if self.flush_line(line_address):
+                dirty += 1
+        return dirty
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding `address` is resident."""
+        _, set_index, tag = self._locate(address)
+        return self._find(set_index, tag)[1] is not None
+
+    # -- device (DDIO) interface -----------------------------------------------------
+
+    def dma_write(self, address: int, data: bytes) -> None:
+        """Device writes a line toward the CPU; DDIO steers it into the
+        restricted DMA ways instead of DRAM."""
+        if len(data) != CACHELINE_SIZE:
+            raise ValueError("DMA write must be one %d-byte line" % CACHELINE_SIZE)
+        self._clock += 1
+        _, set_index, tag = self._locate(address)
+        _, line = self._find(set_index, tag)
+        if line is None:
+            line = self._fill(set_index, tag, data, AccessClass.DMA)
+            self.stats.dma_fills += 1
+            line.dma_untouched = True
+        else:
+            line.data[:] = data
+            line.last_use = self._clock
+        line.dirty = True
+
+    def dma_read(self, address: int) -> bytes:
+        """Device reads a line (TX DMA); hits are served from cache."""
+        self._clock += 1
+        line_address, set_index, tag = self._locate(address)
+        _, line = self._find(set_index, tag)
+        if line is not None:
+            self.stats.hits += 1
+            line.last_use = self._clock
+            return bytes(line.data)
+        self.stats.misses += 1
+        return self.mc.read_line(line_address)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def writeback_all(self) -> int:
+        """Flush the entire cache (test helper); returns lines written back."""
+        count = 0
+        for set_index in range(self.num_sets):
+            for way in list(self._sets[set_index]):
+                line = self._sets[set_index][way]
+                if line.dirty:
+                    count += 1
+                address = (line.tag * self.num_sets + set_index) * CACHELINE_SIZE
+                if line.dirty:
+                    self.mc.write_line(address, bytes(line.data))
+                del self._sets[set_index][way]
+        self.mc.fence()
+        return count
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

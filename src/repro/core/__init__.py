@@ -1,0 +1,34 @@
+"""SmartDIMM: the paper's primary contribution.
+
+The subpackage is organised exactly like Fig. 5's buffer device plus the
+software stack of Sec. IV-D:
+
+* :mod:`repro.core.bank_table` — per-bank active-row tracking (ACT/PRE).
+* :mod:`repro.core.translation_table` — 3-ary cuckoo hash table + CAM that
+  maps physical page numbers to scratchpad / config-memory offsets.
+* :mod:`repro.core.scratchpad` — the on-chip SRAM staging DSA results with
+  self-recycle / force-recycle state tracking (Sec. IV-B).
+* :mod:`repro.core.config_memory` — per-source-page offload contexts.
+* :mod:`repro.core.smartdimm` — the arbiter FSM of Fig. 6 wiring it all to
+  the DDR command stream.
+* :mod:`repro.core.compcpy` — the CompCpy API (Algorithms 1 and 2).
+* :mod:`repro.core.driver` — the character-device driver model.
+* :mod:`repro.core.engine` — the adaptive OpenSSL-engine-style dispatcher
+  that probes LLC contention and switches between CPU and SmartDIMM.
+* :mod:`repro.core.dsa` — the TLS and deflate domain-specific accelerators.
+"""
+
+from repro.core.smartdimm import SmartDIMM, SmartDIMMConfig
+from repro.core.compcpy import CompCpy, CompCpyError
+from repro.core.driver import SmartDIMMDriver
+from repro.core.engine import AdaptiveOffloadEngine, OffloadDecision
+
+__all__ = [
+    "SmartDIMM",
+    "SmartDIMMConfig",
+    "CompCpy",
+    "CompCpyError",
+    "SmartDIMMDriver",
+    "AdaptiveOffloadEngine",
+    "OffloadDecision",
+]

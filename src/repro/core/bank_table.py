@@ -1,0 +1,46 @@
+"""Bank Table: per-bank active-row tracking inside the buffer device.
+
+The buffer device only sees (BG, BA, column) on a CAS command; the row was
+named earlier by the ACT command.  The bank table records the active row per
+bank so the Addr Remap module can regenerate the full physical address of
+every CAS (Sec. IV-C).
+"""
+
+from __future__ import annotations
+
+
+class BankTable:
+    """A memory array of N entries, N = banks per SmartDIMM rank."""
+
+    def __init__(self, bank_groups: int = 4, banks_per_group: int = 4):
+        self.bank_groups = bank_groups
+        self.banks_per_group = banks_per_group
+        self._active_rows = [None] * (bank_groups * banks_per_group)
+
+    def _index(self, bank_group: int, bank: int) -> int:
+        if not 0 <= bank_group < self.bank_groups:
+            raise ValueError("bank group %d out of range" % bank_group)
+        if not 0 <= bank < self.banks_per_group:
+            raise ValueError("bank %d out of range" % bank)
+        return bank_group * self.banks_per_group + bank
+
+    def activate(self, bank_group: int, bank: int, row: int) -> None:
+        """Record a RAS (row activate)."""
+        self._active_rows[self._index(bank_group, bank)] = row
+
+    def precharge(self, bank_group: int, bank: int) -> None:
+        """Record a precharge (row close)."""
+        self._active_rows[self._index(bank_group, bank)] = None
+
+    def active_row(self, bank_group: int, bank: int) -> int:
+        """Row currently open in the bank; raises if the bank is closed.
+
+        A CAS to a closed bank is a protocol violation by the memory
+        controller — surfacing it loudly catches model bugs.
+        """
+        row = self._active_rows[self._index(bank_group, bank)]
+        if row is None:
+            raise RuntimeError(
+                "CAS to closed bank BG%d/BA%d: missing ACT" % (bank_group, bank)
+            )
+        return row

@@ -1,0 +1,185 @@
+"""CompCpy: the inline-offload memory copy API (Algorithms 1 and 2).
+
+CompCpy extends plain memcpy: while copying a source buffer to a
+destination buffer through the cache hierarchy, the data is transformed by
+the DSA on SmartDIMM, and the result materialises at the destination's
+physical addresses (in the scratchpad first, then DRAM via self-recycle).
+
+Sequence per call, exactly mirroring Algorithm 2:
+
+1. page-alignment check;
+2. under a lock, lazily refresh ``freePages`` from MMIO and Force-Recycle
+   (Algorithm 1) in the unlikely case the scratchpad is out of space;
+3. flush the source buffer to DRAM (cheap when it is already there);
+4. register every sbuf/dbuf page pair plus context via MMIO;
+5. the copy itself — 64-byte chunks with a memory barrier after each when
+   the DSA needs ordered input (deflate), one bulk copy otherwise (TLS);
+6. flush the destination so later reads observe the transformed data rather
+   than the stale plaintext the copy left in the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.dram.commands import CACHELINE_SIZE, PAGE_SIZE
+from repro.core.driver import SmartDIMMDriver
+from repro.core.scratchpad import ScratchpadFullError
+from repro.core.dsa.base import Offload, UlpKind
+
+
+class CompCpyError(Exception):
+    """A CompCpy precondition failed (alignment, size, or capacity)."""
+
+
+@dataclass
+class CompCpyStats:
+    calls: int = 0
+    pages_offloaded: int = 0
+    force_recycles: int = 0
+    force_recycled_lines: int = 0
+    free_page_refreshes: int = 0
+    flushed_dirty_lines: int = 0
+    ordered_copies: int = 0
+
+
+class CompCpy:
+    """The userspace CompCpy library bound to one SmartDIMM."""
+
+    def __init__(self, llc, memory_controller, driver: SmartDIMMDriver):
+        self.llc = llc
+        self.mc = memory_controller
+        self.driver = driver
+        self.stats = CompCpyStats()
+        self._lock = threading.Lock()
+        self._free_pages = -1  # global freePages variable of Algorithm 2
+
+    # -- Algorithm 2 ------------------------------------------------------------------
+
+    def compcpy(
+        self,
+        dbuf: int,
+        sbuf: int,
+        size: int,
+        context: object,
+        kind: UlpKind,
+        ordered: bool = False,
+        flush_destination: bool = True,
+    ) -> Offload:
+        """Copy `size` bytes from sbuf to dbuf while the DSA transforms them.
+
+        `size` must span whole pages (registration is page-granular) and
+        both buffers must be page aligned.  Returns the device-side offload
+        handle (tests and the pending-list machinery inspect it).
+
+        `flush_destination=False` defers the USE-time flush to the caller:
+        the plaintext copies stay dirty in the LLC and natural capacity
+        evictions perform the self-recycling over time — the regime Fig. 10
+        measures.  The caller must flush (or rely on the driver's reclaim)
+        before reading the destination through the cache.
+        """
+        if dbuf % PAGE_SIZE or sbuf % PAGE_SIZE:
+            raise CompCpyError("Not Aligned")
+        if size <= 0 or size % PAGE_SIZE:
+            raise CompCpyError("size must be a positive multiple of 4KB")
+        pages = size // PAGE_SIZE
+
+        with self._lock:
+            if self._free_pages <= pages:
+                self._free_pages = self.driver.read_free_pages()
+                self.stats.free_page_refreshes += 1
+                if self._free_pages <= pages:  # unlikely
+                    self.force_recycle(pages)
+                    self._free_pages = self.driver.read_free_pages()
+                    if self._free_pages < pages:
+                        raise CompCpyError("scratchpad exhausted even after Force-Recycle")
+            self._free_pages -= 1 + pages
+
+        # Flush sbuf to DRAM so the copy's loads generate rdCAS commands the
+        # DSA can observe (50% cheaper when the data already left the cache).
+        self.stats.flushed_dirty_lines += self.llc.flush_range(sbuf, size)
+        self.mc.fence()
+
+        try:
+            offload = self.driver.register_offload(kind, context, sbuf, dbuf, pages)
+        except ScratchpadFullError:
+            # Lost a race with another context despite the reservation —
+            # recover exactly as Algorithm 2 would.
+            self.force_recycle(pages)
+            offload = self.driver.register_offload(kind, context, sbuf, dbuf, pages)
+
+        if ordered:
+            self.stats.ordered_copies += 1
+            for offset in range(0, size, CACHELINE_SIZE):
+                line = self.llc.load(sbuf + offset)
+                self.llc.store(dbuf + offset, line)
+                self.mc.fence()  # membar between 64-byte segments
+        else:
+            for offset in range(0, size, CACHELINE_SIZE):
+                line = self.llc.load(sbuf + offset)
+                self.llc.store(dbuf + offset, line)
+
+        # USE(dbuf): flush so subsequent reads see the DSA's output, not the
+        # plaintext copies the memcpy left dirty in the LLC.  The writebacks
+        # this triggers are the self-recycle traffic of Sec. IV-B.
+        if flush_destination:
+            self.llc.flush_range(dbuf, size)
+            self.mc.fence()
+        self.stats.calls += 1
+        self.stats.pages_offloaded += pages
+        return offload
+
+    # -- Algorithm 1 -------------------------------------------------------------------
+
+    def force_recycle(self, required_pages: int) -> int:
+        """Explicitly recycle pending scratchpad pages (rarely called).
+
+        First flushes the pending addresses (recycling any lines whose dirty
+        copies still sit in the LLC); lines whose cache copies are already
+        gone are re-materialised with a load (served from the scratchpad,
+        S10), re-dirtied, and flushed so their writeback carries them home.
+        """
+        freed = 0
+        self.stats.force_recycles += 1
+        scratchpad = self.driver.device.scratchpad
+        recycled_before = scratchpad.self_recycled_lines + scratchpad.force_recycled_lines
+        for page_number in self.driver.read_pending_pages():
+            base = page_number * PAGE_SIZE
+            self.llc.flush_range(base, PAGE_SIZE)
+            self.mc.fence()
+            for offset in range(0, PAGE_SIZE, CACHELINE_SIZE):
+                address = base + offset
+                data = self.llc.load(address)  # S10: scratchpad serve
+                self.llc.store(address, data)
+                self.llc.flush_line(address)  # writeback -> recycle
+            self.mc.fence()
+            freed += 1
+            if freed > required_pages:
+                break
+        recycled_now = scratchpad.self_recycled_lines + scratchpad.force_recycled_lines
+        self.stats.force_recycled_lines += recycled_now - recycled_before
+        return freed
+
+    # -- buffer helpers ---------------------------------------------------------------------
+
+    def write_buffer(self, address: int, data: bytes) -> None:
+        """Application writes into a (page-aligned) buffer through the LLC."""
+        if address % CACHELINE_SIZE:
+            raise CompCpyError("buffer writes must be line aligned")
+        for offset in range(0, len(data), CACHELINE_SIZE):
+            chunk = data[offset : offset + CACHELINE_SIZE]
+            if len(chunk) < CACHELINE_SIZE:
+                line_address = address + offset
+                current = self.llc.load(line_address)
+                chunk = chunk + current[len(chunk) :]
+            self.llc.store(address + offset, chunk)
+
+    def read_buffer(self, address: int, size: int) -> bytes:
+        """Application reads a buffer through the LLC (USE of Algorithm 2)."""
+        out = bytearray()
+        start = address & ~(CACHELINE_SIZE - 1)
+        for line_address in range(start, address + size, CACHELINE_SIZE):
+            out.extend(self.llc.load(line_address))
+        skew = address - start
+        return bytes(out[skew : skew + size])

@@ -1,0 +1,77 @@
+"""Config Memory: per-source-page offload context storage (Sec. IV-C).
+
+Each registered source page owns one context slot.  For TLS the context is
+1 KB (key schedule handle, EIV, stride-4 H powers, record geometry); for the
+deflate DSA the slot additionally backs the banked candidate hash memory
+(Sec. V-B).  We store the contexts as structured objects but *account* their
+serialised size so the paper's 1 KB-per-page budget stays checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ConfigMemoryFullError(Exception):
+    """No free context slots remain."""
+
+
+@dataclass
+class ConfigSlot:
+    sbuf_page: int
+    context: object
+    size_bytes: int
+
+
+class ConfigMemory:
+    """Slot allocator over the 8 MB config SRAM (2048 × 4 KB slots)."""
+
+    SLOT_SIZE = 4096
+
+    def __init__(self, total_slots: int = 2048):
+        self.total_slots = total_slots
+        self._slots = {}
+        self._free_indices = list(range(total_slots - 1, -1, -1))
+        self.peak_slots = 0
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free_indices)
+
+    @property
+    def used_slots(self) -> int:
+        return self.total_slots - self.free_slots
+
+    def allocate(self, sbuf_page: int, context: object, size_bytes: int) -> int:
+        """Store `context` for `sbuf_page`; returns the slot index.
+
+        `size_bytes` is the modelled hardware footprint of the context and
+        must fit one slot — contexts that would not fit the real SRAM are a
+        design violation, not a runtime condition, hence the hard error.
+        """
+        if size_bytes > self.SLOT_SIZE:
+            raise ValueError(
+                "context of %d bytes exceeds the %d-byte config slot"
+                % (size_bytes, self.SLOT_SIZE)
+            )
+        if not self._free_indices:
+            raise ConfigMemoryFullError("config memory exhausted")
+        index = self._free_indices.pop()
+        self._slots[index] = ConfigSlot(sbuf_page=sbuf_page, context=context, size_bytes=size_bytes)
+        self.peak_slots = max(self.peak_slots, self.used_slots)
+        return index
+
+    def get(self, index: int) -> ConfigSlot:
+        """The slot stored at `index`."""
+        return self._slots[index]
+
+    def update(self, index: int, context: object) -> None:
+        """Software writes additional context via MMIO (Sec. IV-C)."""
+        self._slots[index].context = context
+
+    def free(self, index: int) -> None:
+        """Release a slot back to the pool."""
+        if index not in self._slots:
+            raise KeyError("config slot %d not allocated" % index)
+        del self._slots[index]
+        self._free_indices.append(index)

@@ -1,0 +1,147 @@
+"""SmartDIMM character-device driver model (Sec. V-C).
+
+The real driver initialises a character device, maps SmartDIMM's physical
+range to kernel virtual addresses, and hands ranges to userspace on demand.
+Here the driver owns a page allocator over the SmartDIMM address space
+(excluding the MMIO config page) and performs the uncached MMIO traffic —
+status reads, pending-list reads, and page-pair registration writes — on
+behalf of the CompCpy library.
+"""
+
+from __future__ import annotations
+
+from repro.dram.commands import CACHELINE_SIZE, PAGE_SIZE
+from repro.core.smartdimm import SmartDIMM, _EMPTY_SLOT, pack_register_record
+from repro.core.dsa.base import Offload, OffloadTrigger, UlpKind
+
+
+class OutOfDeviceMemoryError(Exception):
+    """No contiguous run of free SmartDIMM pages satisfies the request."""
+
+
+class SmartDIMMDriver:
+    """Allocates SmartDIMM pages and speaks MMIO to the device."""
+
+    def __init__(self, device: SmartDIMM, memory_controller, base_address: int = 0):
+        self.device = device
+        self.mc = memory_controller
+        self.base_address = base_address
+        limit = device.config.mmio_base
+        self._free_pages = list(
+            range((limit - 1) // PAGE_SIZE, (base_address + PAGE_SIZE - 1) // PAGE_SIZE - 1, -1)
+        )
+        self._allocated = {}
+
+    # -- page allocation ----------------------------------------------------------
+
+    def alloc_pages(self, count: int) -> int:
+        """Reserve `count` physically contiguous pages; returns base address.
+
+        Contiguity matters: CompCpy offloads assume the message is laid out
+        sequentially on one SmartDIMM (Sec. V, single-channel mode).
+        """
+        if count <= 0:
+            raise ValueError("page count must be positive")
+        # The free list is kept sorted descending; scan for a contiguous run.
+        run = []
+        for page in sorted(self._free_pages):
+            if run and page != run[-1] + 1:
+                run = []
+            run.append(page)
+            if len(run) == count:
+                for p in run:
+                    self._free_pages.remove(p)
+                base = run[0] * PAGE_SIZE
+                self._allocated[base] = count
+                return base
+        raise OutOfDeviceMemoryError("no run of %d free SmartDIMM pages" % count)
+
+    def free_pages(self, base_address: int) -> None:
+        """Release an allocation, reclaiming any still-pending lines first."""
+        count = self._allocated.pop(base_address, None)
+        if count is None:
+            raise KeyError("0x%x was not allocated by this driver" % base_address)
+        first = base_address // PAGE_SIZE
+        for page in range(first, first + count):
+            self.reclaim_page(page)
+        self._free_pages.extend(range(first, first + count))
+
+    def reclaim_page(self, page_number: int) -> int:
+        """Recycle any scratchpad lines still pending for `page_number`.
+
+        Self-recycling leaves an equilibrium of pending pages behind
+        (Fig. 10); before the kernel reuses a page for an unrelated
+        allocation it must drain them.  The driver writes the pending lines
+        — the arbiter replaces each burst with the scratchpad data (S8/S9),
+        so the written payload is irrelevant — spinning past the DSA-latency
+        window when a write lands too early (S7).  Returns lines recycled.
+        """
+        binding = self.device._page_binding.get(page_number)
+        if binding is None:
+            return 0
+        offload, position, is_source = binding
+        if is_source:
+            return self.reclaim_page(offload.dbuf_pages[position])
+        index = offload.scratchpad_indices[position]
+        recycled = 0
+        for line in list(self.device.scratchpad.pending_lines(index)):
+            address = page_number * PAGE_SIZE + line * CACHELINE_SIZE
+            ready = self.device.scratchpad.page(index).ready_cycles[line]
+            if ready is not None and self.mc.cycle < ready:
+                self.mc.cycle = ready  # CPU spins until the DSA catches up
+            self.mc.write_line_now(address, bytes(CACHELINE_SIZE))
+            recycled += 1
+        return recycled
+
+    # -- MMIO ------------------------------------------------------------------------
+
+    def read_free_pages(self) -> int:
+        """SmartDIMMConfig[0] in Algorithm 2: free scratchpad pages."""
+        status = self.mc.read_line(self.device.mmio_status_address)
+        return int.from_bytes(status[0:8], "little")
+
+    def read_pending_pages(self, limit: int = 1024) -> list:
+        """Algorithm 1's readPendingList: pending destination page numbers."""
+        pages = []
+        chunk = 0
+        while len(pages) < limit:
+            data = self.mc.read_line(self.device.pending_list_address(chunk))
+            empty = False
+            for i in range(0, CACHELINE_SIZE, 8):
+                value = int.from_bytes(data[i : i + 8], "little")
+                if value == _EMPTY_SLOT:
+                    empty = True
+                    break
+                pages.append(value)
+            if empty or chunk >= PAGE_SIZE // CACHELINE_SIZE - 2:
+                break
+            chunk += 1
+        return pages[:limit]
+
+    # -- offload registration ------------------------------------------------------------
+
+    def register_offload(
+        self,
+        kind: UlpKind,
+        context: object,
+        sbuf: int,
+        dbuf: int,
+        pages: int,
+        trigger: OffloadTrigger = OffloadTrigger.SOURCE_READ,
+    ) -> Offload:
+        """Create the offload and register every page pair via MMIO writes."""
+        if sbuf % PAGE_SIZE or dbuf % PAGE_SIZE:
+            raise ValueError("offload buffers must be page aligned")
+        offload = self.device.create_offload(kind, context)
+        for position in range(pages):
+            record = pack_register_record(
+                offload_id=offload.offload_id,
+                sbuf_page=(sbuf // PAGE_SIZE) + position,
+                dbuf_page=(dbuf // PAGE_SIZE) + position,
+                position=position,
+                total_pages=pages,
+                trigger=trigger,
+            )
+            # MMIO is uncached: the write bypasses the LLC and the write queue.
+            self.mc.write_line_now(self.device.mmio_register_address, record)
+        return offload

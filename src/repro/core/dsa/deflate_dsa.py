@@ -1,0 +1,277 @@
+"""Deflate DSA: hardware-constrained compression on the buffer device.
+
+Adaptation of the fully pipelined FPGA deflate of Fowers et al. (Sec. V-B):
+
+* **8-byte parallelisation window** — the pipeline examines 8 consecutive
+  byte positions per step; widening the window improves ratio marginally
+  but grows memory ports and logic exponentially (the window is a
+  constructor knob so the ablation bench can sweep it).
+* **Banked candidate memory** — substring candidates live in an 8-bank
+  memory (one hash bucket per row, FIFO replacement).  When two positions
+  in the same window hash to the same bank, the later lookup is *discarded*
+  (best-effort compression; a missed match costs ratio, never correctness).
+* **4 KB history window** — CompCpy offloads one 4 KB page per call, so the
+  dictionary never needs to reach outside the page.
+* **Fixed Huffman output** — deterministic single-pass latency; the CPU
+  baseline's dynamic-Huffman second pass is exactly what the hardware
+  design avoids.
+
+Output layout per destination page: a 4-byte little-endian length prefix
+followed by the raw DEFLATE stream.  If the compressed page does not fit
+(length prefix 0xFFFFFFFF), software falls back to the CPU path — matching
+the paper's observation that offload is best-effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.commands import CACHELINE_SIZE, PAGE_SIZE
+from repro.ulp.bitstream import BitWriter
+from repro.ulp.deflate import write_fixed_block
+from repro.ulp.lz77 import MIN_MATCH, Literal, Match
+from repro.core.dsa.base import DSA, Offload, ScratchpadWriter
+
+OVERFLOW_MARKER = 0xFFFFFFFF
+LENGTH_PREFIX_BYTES = 4
+MAX_PAYLOAD = PAGE_SIZE - LENGTH_PREFIX_BYTES
+
+
+class OutOfOrderLineError(Exception):
+    """A sbuf line reached the deflate pipeline out of order.
+
+    Deflate is stateful over the input stream, so CompCpy must be called
+    with ordered=True for compression offloads (Sec. IV-D); hitting this
+    error means the software stack skipped the per-64B memory barriers.
+    """
+
+
+class HardwareMatcher:
+    """LZ77 match finder with the banked-memory constraints of the DSA."""
+
+    def __init__(
+        self,
+        window_bytes: int = 8,
+        banks: int = 8,
+        bucket_depth: int = 4,
+        hash_buckets: int = 512,
+        max_match: int = 258,
+    ):
+        if banks < 1 or window_bytes < 1:
+            raise ValueError("banks and window_bytes must be positive")
+        self.window_bytes = window_bytes
+        self.banks = banks
+        self.bucket_depth = bucket_depth
+        self.hash_buckets = hash_buckets
+        self.max_match = max_match
+        self.bank_conflicts = 0
+        self.lookups = 0
+
+    @staticmethod
+    def _hash(data, pos: int) -> int:
+        return ((data[pos] << 6) ^ (data[pos + 1] << 3) ^ data[pos + 2]) & 0x7FFFFFFF
+
+    def tokenize(self, data: bytes) -> list:
+        """Tokenize up to one page of input under hardware constraints."""
+        if len(data) > PAGE_SIZE:
+            raise ValueError("deflate DSA operates at 4KB page granularity")
+        table = [[] for _ in range(self.hash_buckets)]  # FIFO buckets
+        tokens = []
+        pos = 0
+        n = len(data)
+        while pos < n:
+            # One pipeline step: examine window_bytes positions with
+            # single-ported banks — same-bank collisions discard the later
+            # position's candidates.
+            window_end = min(pos + self.window_bytes, n)
+            banks_used = set()
+            best_per_position = {}
+            for p in range(pos, window_end):
+                if p + MIN_MATCH > n:
+                    break
+                bucket = self._hash(data, p) % self.hash_buckets
+                bank = bucket % self.banks
+                self.lookups += 1
+                if bank in banks_used:
+                    self.bank_conflicts += 1
+                    candidates = []
+                else:
+                    banks_used.add(bank)
+                    candidates = table[bucket]
+                best = None
+                for candidate in candidates:
+                    length = self._match_length(data, candidate, p, n)
+                    if length >= MIN_MATCH and (best is None or length > best[0]):
+                        best = (length, p - candidate)
+                if best is not None:
+                    best_per_position[p] = best
+            # Insert the window's positions into the candidate memory
+            # (port-limited: one insert per bank per step).
+            insert_banks = set()
+            for p in range(pos, window_end):
+                if p + MIN_MATCH > n:
+                    break
+                bucket = self._hash(data, p) % self.hash_buckets
+                bank = bucket % self.banks
+                if bank in insert_banks:
+                    continue
+                insert_banks.add(bank)
+                fifo = table[bucket]
+                fifo.append(p)
+                if len(fifo) > self.bucket_depth:
+                    fifo.pop(0)  # oldest substring replaced (Sec. V-B)
+            # Selection stage: commit matches left-to-right.
+            p = pos
+            while p < window_end:
+                best = best_per_position.get(p)
+                if best is not None:
+                    length = min(best[0], n - p)
+                    tokens.append(Match(length=length, distance=best[1]))
+                    p += length
+                else:
+                    tokens.append(Literal(data[p]))
+                    p += 1
+            pos = max(p, window_end)
+        return tokens
+
+    def _match_length(self, data, candidate: int, pos: int, n: int) -> int:
+        limit = min(self.max_match, n - pos)
+        length = 0
+        while length < limit and data[candidate + length] == data[pos + length]:
+            length += 1
+        return length
+
+
+@dataclass
+class DeflateOffloadContext:
+    """Per-page compression context (the banked hash table lives in the
+    4 KB config slot, Sec. V-B)."""
+
+    matcher: HardwareMatcher = field(default_factory=HardwareMatcher)
+    input_buffer: bytearray = field(default_factory=bytearray)
+    input_length: int = PAGE_SIZE
+    next_line: int = 0
+    compressed_length: int = None  # set at finalisation
+    overflow: bool = False
+
+    CONTEXT_BYTES_PER_PAGE = 4096
+
+
+class DeflateDSA(DSA):
+    """Streaming page-granular compressor."""
+
+    def process_line(
+        self, offload: Offload, writer: ScratchpadWriter, global_line: int, data: bytes
+    ) -> None:
+        """Accumulate one in-order input line into the compression window."""
+        context = offload.context
+        if global_line != context.next_line:
+            raise OutOfOrderLineError(
+                "deflate line %d arrived, expected %d — CompCpy must use ordered=True"
+                % (global_line, context.next_line)
+            )
+        context.next_line += 1
+        context.input_buffer.extend(data)
+
+    def finalize(self, offload: Offload, writer: ScratchpadWriter) -> None:
+        """Run the banked matcher, emit the fixed-Huffman stream (or the
+        overflow marker) into the destination page."""
+        context = offload.context
+        data = bytes(context.input_buffer[: context.input_length])
+        tokens = context.matcher.tokenize(data)
+        bit_writer = BitWriter()
+        write_fixed_block(bit_writer, tokens, final=True)
+        stream = bit_writer.getvalue()
+        if len(stream) > MAX_PAYLOAD:
+            context.overflow = True
+            context.compressed_length = None
+            writer.write_bytes(0, OVERFLOW_MARKER.to_bytes(4, "little"))
+        else:
+            context.compressed_length = len(stream)
+            writer.write_bytes(0, len(stream).to_bytes(4, "little") + stream)
+        writer.mark_all_remaining_valid()
+
+    def context_size_bytes(self, context: DeflateOffloadContext) -> int:
+        """A full slot: the banked candidate hash table (Sec. V-B)."""
+        return context.CONTEXT_BYTES_PER_PAGE
+
+
+def parse_compressed_page(page: bytes):
+    """Split a destination page into its DEFLATE stream, or None on overflow."""
+    length = int.from_bytes(page[:4], "little")
+    if length == OVERFLOW_MARKER:
+        return None
+    if length > MAX_PAYLOAD:
+        raise ValueError("corrupt length prefix %d" % length)
+    return page[4 : 4 + length]
+
+
+@dataclass
+class InflateOffloadContext:
+    """Per-page decompression context (RX direction of "(de)compression").
+
+    Input framing mirrors the compressor's output: ``[4-byte stream length]
+    [DEFLATE stream]`` in the source page; output is ``[4-byte length]
+    [decompressed bytes]``, overflowing to software when a page cannot hold
+    the result (the compressor's 4 KB-granularity guarantee makes that rare
+    for SmartDIMM-compressed traffic but possible for foreign streams).
+    """
+
+    input_buffer: bytearray = field(default_factory=bytearray)
+    next_line: int = 0
+    output_length: int = None
+    overflow: bool = False
+    decode_error: bool = False
+
+    CONTEXT_BYTES_PER_PAGE = 4096  # Huffman tables + window in the slot
+
+
+class InflateDSA(DSA):
+    """Streaming page-granular decompressor."""
+
+    def process_line(
+        self, offload: Offload, writer: ScratchpadWriter, global_line: int, data: bytes
+    ) -> None:
+        """Accumulate one in-order compressed line."""
+        context = offload.context
+        if global_line != context.next_line:
+            raise OutOfOrderLineError(
+                "inflate line %d arrived, expected %d — CompCpy must use ordered=True"
+                % (global_line, context.next_line)
+            )
+        context.next_line += 1
+        context.input_buffer.extend(data)
+
+    def finalize(self, offload: Offload, writer: ScratchpadWriter) -> None:
+        """Inflate the accumulated stream into the destination pages (or
+        signal fallback on corruption/overflow)."""
+        from repro.ulp.deflate import deflate_decompress
+
+        context = offload.context
+        stream_length = int.from_bytes(context.input_buffer[:4], "little")
+        if stream_length > PAGE_SIZE - LENGTH_PREFIX_BYTES:
+            context.decode_error = True
+            writer.write_bytes(0, OVERFLOW_MARKER.to_bytes(4, "little"))
+            writer.mark_all_remaining_valid()
+            return
+        stream = bytes(context.input_buffer[4 : 4 + stream_length])
+        # Decompression expands: the translation entry points at multiple
+        # destination pages ("or multiple pages if the computation does not
+        # preserve size", Sec. IV-C), so the output budget spans them all.
+        max_output = len(offload.dbuf_pages) * PAGE_SIZE - LENGTH_PREFIX_BYTES
+        try:
+            output = deflate_decompress(stream, max_output=max_output)
+        except (ValueError, EOFError):
+            # Corrupt stream or output too large: hardware signals fallback;
+            # the CPU path surfaces the precise error.
+            context.decode_error = True
+            writer.write_bytes(0, OVERFLOW_MARKER.to_bytes(4, "little"))
+            writer.mark_all_remaining_valid()
+            return
+        context.output_length = len(output)
+        writer.write_bytes(0, len(output).to_bytes(4, "little") + output)
+        writer.mark_all_remaining_valid()
+
+    def context_size_bytes(self, context: InflateOffloadContext) -> int:
+        """A full slot: Huffman tables plus the history window."""
+        return context.CONTEXT_BYTES_PER_PAGE

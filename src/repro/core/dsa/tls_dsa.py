@@ -1,0 +1,255 @@
+"""TLS DSA: per-cacheline AES-GCM on the buffer device (Sec. V-A).
+
+Division of labour mirrors Fig. 7:
+
+* **CPU side** (captured in :class:`TLSOffloadContext`): the hash subkey H,
+  the encrypted IV (EIV), and the AAD's GHASH prefix are computed on the
+  CPU — each is one AES-NI-class instruction on an immediate — and shipped
+  to the DIMM through MMIO config writes at registration.
+* **DIMM side** (:class:`TLSDSA`): every 64-byte sbuf cacheline is XORed
+  with its four counter-mode keystream blocks and folded into the partial
+  authentication tag held in on-DIMM memory.
+
+**Out-of-order cachelines.**  rdCAS commands can reach the DIMM out of
+order, and GHASH is serial.  The paper's hardware breaks the dependency by
+precomputing powers of H in strides of 4 so each cacheline's partial product
+commutes; :func:`weighted_tag_reference` implements that commutative
+formulation directly and the test suite proves it equals the serial GHASH
+for every arrival order.  The production path in this model keeps a small
+reorder buffer feeding a Horner pipeline — functionally identical, and the
+natural software rendering of the same idea (the hardware's H-power
+multiplier array plays the role of the buffer).
+
+The output layout for a record of ``n`` payload bytes is ``n`` transformed
+bytes at offset 0 followed by the 16-byte tag at offset ``n``; the remainder
+of the registered destination pages is zero-filled at finalisation so every
+scratchpad line becomes recyclable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.commands import CACHELINE_SIZE
+from repro.ulp.gcm import AESGCM, GF128Multiplier, gf128_mul
+from repro.core.dsa.base import DSA, Offload, ScratchpadWriter
+
+BLOCKS_PER_LINE = CACHELINE_SIZE // 16  # 4: hence the paper's stride-4 H powers
+
+
+def gf128_pow(h: int, exponent: int) -> int:
+    """H^exponent in GF(2^128) by square-and-multiply (reference path)."""
+    if exponent < 0:
+        raise ValueError("negative exponent")
+    # The multiplicative identity in GCM bit order is the block 0x80...0.
+    result = 1 << 127
+    base = h
+    while exponent:
+        if exponent & 1:
+            result = gf128_mul(result, base)
+        base = gf128_mul(base, base)
+        exponent >>= 1
+    return result
+
+
+def weighted_tag_reference(h: bytes, contributions: list, total_blocks: int) -> int:
+    """The stride-4 commutative GHASH: sum of block * H^(total - position).
+
+    `contributions` is any-order [(position, 16-byte block)]; `total_blocks`
+    counts every GHASH input block (AAD + ciphertext + length).  Because the
+    weighted products commute, arrival order is irrelevant — this is the
+    property that lets the hardware process cachelines as their rdCAS
+    commands arrive.
+    """
+    h_int = int.from_bytes(h, "big")
+    accumulator = 0
+    for position, block in contributions:
+        weight = gf128_pow(h_int, total_blocks - position)
+        accumulator ^= gf128_mul(int.from_bytes(block, "big"), weight)
+    return accumulator
+
+
+@dataclass
+class TLSOffloadContext:
+    """Everything the DSA needs, fixed at registration time.
+
+    The modelled hardware footprint is 1 KB per source page (Sec. IV-C):
+    round keys (176 B), EIV (16 B), stride-4 H powers (64 B), the AAD GHASH
+    prefix (16 B), record geometry, and working registers.
+    """
+
+    key: bytes
+    nonce: bytes
+    record_length: int  # payload bytes to transform
+    aad: bytes = b""
+    decrypt: bool = False
+    #: positional mode computes a pure weighted sum (block * H^position)
+    #: instead of the Horner pipeline — required when this DIMM only owns a
+    #: *stride subset* of the record's cachelines (fine-grain channel
+    #: interleaving, Sec. V-D) and the CPU combines per-DIMM partials.
+    positional: bool = False
+
+    CONTEXT_BYTES_PER_PAGE = 1024
+
+    # CPU-precomputed state (see __post_init__).
+    gcm: AESGCM = field(init=False, repr=False)
+    eiv: bytes = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self.gcm = AESGCM(self.key)
+        self.eiv = self.gcm.encrypted_iv(self.nonce)
+        self.ct_blocks = (self.record_length + 15) // 16
+        self._h_int = int.from_bytes(self.gcm.h, "big")
+        self._pow_cache = {}
+        self._positional_sum = 0
+        self._folded_blocks = set()
+        # GHASH accumulator, primed with the AAD prefix on the CPU (serial
+        # mode only; positional partials exclude AAD — the combiner adds it).
+        padded_aad = self.aad + bytes((16 - len(self.aad) % 16) % 16)
+        self._tag_accumulator = 0
+        if not self.positional:
+            for offset in range(0, len(padded_aad), 16):
+                block = int.from_bytes(padded_aad[offset : offset + 16], "big")
+                self._tag_accumulator = self.gcm.mul_h.mul(self._tag_accumulator ^ block)
+        # Reorder buffer for out-of-order cachelines (serial mode).
+        self._next_block = 0
+        self._pending_blocks = {}
+
+    def _h_pow(self, exponent: int) -> int:
+        value = self._pow_cache.get(exponent)
+        if value is None:
+            value = gf128_pow(self._h_int, exponent)
+            self._pow_cache[exponent] = value
+        return value
+
+    def fold_ciphertext_block(self, block_index: int, block: bytes) -> None:
+        """Fold ciphertext block `block_index` (0-based) into the tag.
+
+        Serial mode accepts any order and drains into a Horner pipeline as
+        the sequence becomes contiguous; positional mode weights each block
+        by its power of H so arbitrary (even strided) subsets commute.
+        """
+        if self.positional:
+            if block_index in self._folded_blocks:
+                raise ValueError("ciphertext block %d folded twice" % block_index)
+            self._folded_blocks.add(block_index)
+            weight = self._h_pow(self.ct_blocks + 1 - block_index)
+            self._positional_sum ^= gf128_mul(int.from_bytes(block, "big"), weight)
+            return
+        if block_index < self._next_block or block_index in self._pending_blocks:
+            raise ValueError("ciphertext block %d folded twice" % block_index)
+        self._pending_blocks[block_index] = block
+        while self._next_block in self._pending_blocks:
+            value = int.from_bytes(self._pending_blocks.pop(self._next_block), "big")
+            self._tag_accumulator = self.gcm.mul_h.mul(self._tag_accumulator ^ value)
+            self._next_block += 1
+
+    @property
+    def partial_tag_sum(self) -> int:
+        """This DIMM's weighted contribution (MMIO-readable, Sec. V-D)."""
+        if not self.positional:
+            raise RuntimeError("partial sums only exist in positional mode")
+        return self._positional_sum
+
+    def final_tag(self) -> bytes:
+        """Finish GHASH with the lengths block and mask with EIV."""
+        if self._pending_blocks or self._next_block != self.ct_blocks:
+            raise RuntimeError(
+                "tag finalised with %d/%d ciphertext blocks folded"
+                % (self._next_block, self.ct_blocks)
+            )
+        lengths = (8 * len(self.aad)).to_bytes(8, "big") + (
+            8 * self.record_length
+        ).to_bytes(8, "big")
+        s = self.gcm.mul_h.mul(self._tag_accumulator ^ int.from_bytes(lengths, "big"))
+        return bytes(a ^ b for a, b in zip(s.to_bytes(16, "big"), self.eiv))
+
+
+def combine_partial_tags(
+    key: bytes, nonce: bytes, record_length: int, aad: bytes, partial_sums: list
+) -> bytes:
+    """CPU-side combiner for multi-channel TLS offload (Sec. V-D).
+
+    Each SmartDIMM contributes the weighted sum of the ciphertext blocks it
+    owns; the CPU adds the AAD prefix and lengths-block terms (both over
+    data it already holds) and masks with EIV — a handful of GF multiplies,
+    independent of the record size.
+    """
+    gcm = AESGCM(key)
+    h = int.from_bytes(gcm.h, "big")
+    ct_blocks = (record_length + 15) // 16
+    aad_blocks = (len(aad) + 15) // 16
+    total = aad_blocks + ct_blocks + 1
+    accumulator = 0
+    for partial in partial_sums:
+        accumulator ^= partial
+    padded_aad = aad + bytes((16 - len(aad) % 16) % 16)
+    for j in range(aad_blocks):
+        block = int.from_bytes(padded_aad[16 * j : 16 * j + 16], "big")
+        accumulator ^= gf128_mul(block, gf128_pow(h, total - j))
+    lengths = (8 * len(aad)).to_bytes(8, "big") + (8 * record_length).to_bytes(8, "big")
+    accumulator ^= gf128_mul(int.from_bytes(lengths, "big"), h)
+    eiv = gcm.encrypted_iv(nonce)
+    return bytes(a ^ b for a, b in zip(accumulator.to_bytes(16, "big"), eiv))
+
+
+class TLSDSA(DSA):
+    """AES-GCM (de/en)cryption engine fed by sbuf rdCAS bursts."""
+
+    def process_line(
+        self, offload: Offload, writer: ScratchpadWriter, global_line: int, data: bytes
+    ) -> None:
+        """XOR one cacheline with its keystream blocks and fold its GHASH
+        contribution."""
+        context = offload.context
+        n = context.record_length
+        byte_offset = global_line * CACHELINE_SIZE
+        if byte_offset >= n:
+            # Line fully in the zero-padded tail; nothing to compute.
+            return
+        # Counter-mode XOR: blocks 4L .. 4L+3 of the record keystream.
+        keystream = context.gcm.keystream(
+            context.nonce, CACHELINE_SIZE, start_block=global_line * BLOCKS_PER_LINE
+        )
+        output = bytes(p ^ s for p, s in zip(data, keystream))
+        usable = min(CACHELINE_SIZE, n - byte_offset)
+        # GHASH folds over *ciphertext*: what we just produced when
+        # encrypting, what arrived on the wire when decrypting.
+        ghash_input = output if not context.decrypt else data
+        for block_in_line in range(BLOCKS_PER_LINE):
+            start = 16 * block_in_line
+            if start >= usable:
+                break
+            block = ghash_input[start : start + 16]
+            if start + 16 > usable:
+                block = block[: usable - start] + bytes(16 - (usable - start))
+            context.fold_ciphertext_block(
+                global_line * BLOCKS_PER_LINE + block_in_line, block
+            )
+        if usable == CACHELINE_SIZE:
+            writer.write_line(global_line, output)
+        else:
+            # Partial final line: stage the bytes now, mark VALID at
+            # finalisation once the tag completes the line.
+            writer.write_bytes(byte_offset, output[:usable])
+
+    def finalize(self, offload: Offload, writer: ScratchpadWriter) -> None:
+        """Write the tag into the trailer (serial mode) and validate the
+        padded tail lines."""
+        context = offload.context
+        if context.positional:
+            # Multi-channel mode: this DIMM only holds a partial tag sum;
+            # the CPU reads the per-DIMM partials and combines them
+            # (combine_partial_tags), so no trailer is written here.
+            writer.mark_all_remaining_valid()
+            return
+        # Encrypting: the tag completes the record trailer.  Decrypting: the
+        # computed tag is deposited after the plaintext for the CPU to
+        # compare against the received trailer (the DIMM has no fault
+        # channel of its own).
+        writer.write_bytes(context.record_length, context.final_tag())
+        writer.mark_all_remaining_valid()
+
+    def context_size_bytes(self, context: TLSOffloadContext) -> int:
+        """1 KB per source page (Sec. IV-C)."""
+        return context.CONTEXT_BYTES_PER_PAGE

@@ -1,0 +1,91 @@
+"""Adaptive offload engine: the OpenSSL-engine-style dispatcher (Sec. V-C).
+
+The paper's modified AES-GCM cipher engine samples the LLC miss rate and
+selectively routes each message either to the CPU's AES-NI path or to
+SmartDIMM via CompCpy.  The threshold is a configurable parameter — cache
+partitioning shifts it, so operators tune it per deployment.
+
+:class:`AdaptiveOffloadEngine` is that policy, decoupled from any specific
+executor: it watches a :class:`repro.cache.llc.LLC` (or anything exposing
+``stats.hits``/``stats.misses``) over a sliding sample window and answers
+"offload or onload?" per message.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OffloadDecision(enum.Enum):
+    """Where the next message's ULP runs."""
+
+    CPU = "cpu"
+    SMARTDIMM = "smartdimm"
+
+
+@dataclass
+class EngineSample:
+    accesses: int
+    misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class AdaptiveOffloadEngine:
+    """Per-message CPU/SmartDIMM dispatch keyed on LLC contention.
+
+    Parameters
+    ----------
+    llc:
+        The cache whose miss rate proxies contention.
+    miss_rate_threshold:
+        Offload to SmartDIMM when the windowed LLC miss rate exceeds this.
+    sample_every:
+        Re-sample the LLC counters every N decisions; between samples the
+        last decision's basis is reused (matching the paper's "frequently
+        sampling" rather than per-message counter reads).
+    """
+
+    def __init__(self, llc, miss_rate_threshold: float = 0.25, sample_every: int = 32):
+        if not 0.0 <= miss_rate_threshold <= 1.0:
+            raise ValueError("miss_rate_threshold must be in [0, 1]")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.llc = llc
+        self.miss_rate_threshold = miss_rate_threshold
+        self.sample_every = sample_every
+        self._decisions = 0
+        self._last_hits = 0
+        self._last_misses = 0
+        self._window = EngineSample(accesses=0, misses=0)
+        self.decisions_cpu = 0
+        self.decisions_smartdimm = 0
+
+    def _sample(self) -> None:
+        hits = self.llc.stats.hits
+        misses = self.llc.stats.misses
+        delta_hits = hits - self._last_hits
+        delta_misses = misses - self._last_misses
+        self._last_hits = hits
+        self._last_misses = misses
+        self._window = EngineSample(
+            accesses=delta_hits + delta_misses, misses=delta_misses
+        )
+
+    @property
+    def current_miss_rate(self) -> float:
+        return self._window.miss_rate
+
+    def decide(self) -> OffloadDecision:
+        """Pick the execution target for the next message."""
+        if self._decisions % self.sample_every == 0:
+            self._sample()
+        self._decisions += 1
+        if self._window.accesses and self._window.miss_rate > self.miss_rate_threshold:
+            self.decisions_smartdimm += 1
+            return OffloadDecision.SMARTDIMM
+        self.decisions_cpu += 1
+        return OffloadDecision.CPU

@@ -1,0 +1,260 @@
+"""High-level SmartDIMM offload API.
+
+:class:`SmartDIMMSession` builds the full micro-system — physical memory,
+address mapping, memory controller, LLC, SmartDIMM device, driver, and
+CompCpy — and exposes the two ULP offloads as one-call operations that are
+bit-compatible with the software implementations in :mod:`repro.ulp`:
+
+* :meth:`SmartDIMMSession.tls_encrypt` / :meth:`tls_decrypt` — AES-GCM
+  record protection producing ``ciphertext || tag`` identical to
+  :class:`repro.ulp.gcm.AESGCM`.
+* :meth:`SmartDIMMSession.deflate_page` / :meth:`deflate_message` — 4 KB
+  page-granular compression whose output inflates back with stdlib zlib or
+  :func:`repro.ulp.deflate.deflate_decompress`.
+
+This is the model equivalent of the OpenSSL engine + nginx module of the
+paper's artifact: everything an application needs to use SmartDIMM without
+touching DDR commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.address import AddressMapping, InterleaveMode
+from repro.dram.commands import PAGE_SIZE
+from repro.dram.memory_controller import MemoryController, TimingParams
+from repro.dram.physical_memory import PhysicalMemory
+from repro.cache.llc import LLC
+from repro.core.compcpy import CompCpy, CompCpyError
+from repro.core.compute_dma import ComputeDMA
+from repro.core.direct_offload import DirectOffloadEngine
+from repro.core.driver import SmartDIMMDriver
+from repro.core.smartdimm import SmartDIMM, SmartDIMMConfig
+from repro.core.dsa.base import UlpKind
+from repro.core.dsa.tls_dsa import TLSOffloadContext
+from repro.core.dsa.deflate_dsa import (
+    DeflateOffloadContext,
+    HardwareMatcher,
+    InflateOffloadContext,
+    parse_compressed_page,
+)
+from repro.core.dsa.serde_dsa import SerdeOffloadContext
+
+TAG_SIZE = 16
+
+
+def _pages_for(length: int) -> int:
+    return max(1, (length + PAGE_SIZE - 1) // PAGE_SIZE)
+
+
+@dataclass
+class SessionConfig:
+    """Micro-system sizing for a SmartDIMM session."""
+
+    memory_bytes: int = 64 * 1024 * 1024
+    llc_bytes: int = 2 * 1024 * 1024
+    llc_ways: int = 16
+    rows: int = 1 << 9  # keep the mapped space small for fast simulation
+    columns_per_row: int = 128
+    smartdimm: SmartDIMMConfig = None
+    trace: bool = False
+
+    def __post_init__(self):
+        if self.smartdimm is None:
+            self.smartdimm = SmartDIMMConfig()
+
+
+class SmartDIMMSession:
+    """A single-channel server slice with a SmartDIMM on its memory bus."""
+
+    def __init__(self, config: SessionConfig = None):
+        self.config = config or SessionConfig()
+        self.mapping = AddressMapping(
+            channels=1,
+            rows=self.config.rows,
+            columns_per_row=self.config.columns_per_row,
+            interleave=InterleaveMode.SINGLE_CHANNEL,
+        )
+        capacity = min(self.config.memory_bytes, self.mapping.total_capacity)
+        self.memory = PhysicalMemory(capacity)
+        self.device = SmartDIMM(
+            self.memory, self.mapping, channel=0, config=self.config.smartdimm
+        )
+        self.mc = MemoryController(
+            self.mapping, {0: self.device}, TimingParams(), trace=self.config.trace
+        )
+        self.llc = LLC(self.mc, size=self.config.llc_bytes, ways=self.config.llc_ways)
+        self.driver = SmartDIMMDriver(self.device, self.mc)
+        self.compcpy = CompCpy(self.llc, self.mc, self.driver)
+        self.compute_dma = ComputeDMA(self.llc, self.mc, self.driver)
+        self.direct_offload = DirectOffloadEngine(self.llc, self.mc, self.driver)
+
+    # -- buffer management ------------------------------------------------------------
+
+    def alloc(self, length: int) -> int:
+        """Reserve pages covering `length` bytes; returns the base address."""
+        return self.driver.alloc_pages(_pages_for(length))
+
+    def free(self, address: int) -> None:
+        """Release a buffer allocated with :meth:`alloc`."""
+        self.driver.free_pages(address)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Application write through the LLC."""
+        self.compcpy.write_buffer(address, data)
+
+    def read(self, address: int, length: int) -> bytes:
+        """Application read through the LLC."""
+        return self.compcpy.read_buffer(address, length)
+
+    # -- TLS offload (Sec. V-A) -----------------------------------------------------------
+
+    def tls_encrypt(self, key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt a record payload on SmartDIMM; returns ciphertext || tag."""
+        return self._tls_offload(key, nonce, plaintext, aad, decrypt=False)
+
+    def tls_decrypt(
+        self, key: bytes, nonce: bytes, ciphertext: bytes, aad: bytes = b""
+    ) -> bytes:
+        """Decrypt on SmartDIMM; returns plaintext || computed tag.
+
+        The caller compares the trailing 16 bytes against the record tag —
+        the DIMM deposits the computed tag but the comparison stays on the
+        CPU (the DIMM has no fault channel).
+        """
+        return self._tls_offload(key, nonce, ciphertext, aad, decrypt=True)
+
+    def _tls_offload(self, key, nonce, payload, aad, decrypt: bool) -> bytes:
+        pages = _pages_for(len(payload) + TAG_SIZE)
+        size = pages * PAGE_SIZE
+        sbuf = self.driver.alloc_pages(pages)
+        dbuf = self.driver.alloc_pages(pages)
+        try:
+            self.write(sbuf, payload + bytes(size - len(payload)))
+            context = TLSOffloadContext(
+                key=key,
+                nonce=nonce,
+                record_length=len(payload),
+                aad=aad,
+                decrypt=decrypt,
+            )
+            self.compcpy.compcpy(dbuf, sbuf, size, context,
+                                 UlpKind.TLS_DECRYPT if decrypt else UlpKind.TLS_ENCRYPT)
+            return self.read(dbuf, len(payload) + TAG_SIZE)
+        finally:
+            self.driver.free_pages(sbuf)
+            self.driver.free_pages(dbuf)
+
+    # -- compression offload (Sec. V-B) -----------------------------------------------------
+
+    def deflate_page(self, data: bytes, matcher: HardwareMatcher = None):
+        """Compress up to one 4 KB page; returns the DEFLATE stream or None
+        when the hardware output did not fit (software falls back to CPU)."""
+        if len(data) > PAGE_SIZE:
+            raise ValueError("deflate offload operates at 4KB page granularity")
+        sbuf = self.driver.alloc_pages(1)
+        dbuf = self.driver.alloc_pages(1)
+        try:
+            self.write(sbuf, data + bytes(PAGE_SIZE - len(data)))
+            context = DeflateOffloadContext(
+                matcher=matcher or HardwareMatcher(), input_length=len(data)
+            )
+            # Deflate is stateful over its input: ordered copy required.
+            self.compcpy.compcpy(
+                dbuf, sbuf, PAGE_SIZE, context, UlpKind.DEFLATE, ordered=True
+            )
+            return parse_compressed_page(self.read(dbuf, PAGE_SIZE))
+        finally:
+            self.driver.free_pages(sbuf)
+            self.driver.free_pages(dbuf)
+
+    def deflate_message(self, data: bytes) -> list:
+        """Compress a message page by page (one CompCpy per page, Sec. V-C).
+
+        Returns one entry per page: the DEFLATE stream, or None on hardware
+        overflow for that page.
+        """
+        return [
+            self.deflate_page(data[offset : offset + PAGE_SIZE])
+            for offset in range(0, max(len(data), 1), PAGE_SIZE)
+        ]
+
+    def inflate_page(self, stream: bytes):
+        """Decompress one page-framed DEFLATE stream on the DIMM (the RX
+        direction of "(de)compression"); returns the decompressed bytes or
+        None when the hardware fell back (corrupt stream or output larger
+        than a page)."""
+        if len(stream) > PAGE_SIZE - 4:
+            raise ValueError("inflate offload operates at 4KB page granularity")
+        # Decompression is expansive: register a two-page destination (the
+        # compressor guarantees each SmartDIMM-compressed page inflates to
+        # at most 4KB, which fits the two-page budget with its prefix).
+        sbuf = self.driver.alloc_pages(2)
+        dbuf = self.driver.alloc_pages(2)
+        try:
+            framed = len(stream).to_bytes(4, "little") + stream
+            self.write(sbuf, framed + bytes(2 * PAGE_SIZE - len(framed)))
+            context = InflateOffloadContext()
+            self.compcpy.compcpy(
+                dbuf, sbuf, 2 * PAGE_SIZE, context, UlpKind.INFLATE, ordered=True
+            )
+            page = self.read(dbuf, 2 * PAGE_SIZE)
+            length = int.from_bytes(page[:4], "little")
+            from repro.core.dsa.deflate_dsa import OVERFLOW_MARKER
+
+            if length == OVERFLOW_MARKER:
+                return None
+            if length > 2 * PAGE_SIZE - 4:
+                raise ValueError("corrupt length prefix %d" % length)
+            return page[4 : 4 + length]
+        finally:
+            self.driver.free_pages(sbuf)
+            self.driver.free_pages(dbuf)
+
+    # -- deserialization offload (extension ULP) ----------------------------------------
+
+    def deserialize_message(self, wire: bytes, schema):
+        """Parse a wire-format message into its flat representation on the
+        DIMM; returns the flat bytes, or None when the hardware fell back
+        (flat form too large for the page, or malformed input).
+
+        Follows the deflate contract: [4B length][wire] in the source page,
+        ordered CompCpy, [4B length][flat] or overflow marker in the
+        destination page.
+        """
+        if len(wire) > PAGE_SIZE - 4:
+            raise ValueError("serde offload operates at 4KB page granularity")
+        sbuf = self.driver.alloc_pages(1)
+        dbuf = self.driver.alloc_pages(1)
+        try:
+            framed = len(wire).to_bytes(4, "little") + wire
+            self.write(sbuf, framed + bytes(PAGE_SIZE - len(framed)))
+            context = SerdeOffloadContext(schema=schema)
+            self.compcpy.compcpy(
+                dbuf, sbuf, PAGE_SIZE, context, UlpKind.DESERIALIZE, ordered=True
+            )
+            return parse_compressed_page(self.read(dbuf, PAGE_SIZE))
+        finally:
+            self.driver.free_pages(sbuf)
+            self.driver.free_pages(dbuf)
+
+    # -- Compute DMA extension (Sec. IV-E) -------------------------------------------
+
+    def tls_encrypt_dma(self, key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt a payload *as a device DMAs it in* — the CPU never
+        touches the bytes (Compute DMA, Sec. IV-E).  Returns ct || tag."""
+        pages = _pages_for(len(plaintext) + TAG_SIZE)
+        size = pages * PAGE_SIZE
+        sbuf = self.driver.alloc_pages(pages)
+        dbuf = self.driver.alloc_pages(pages)
+        try:
+            context = TLSOffloadContext(
+                key=key, nonce=nonce, record_length=len(plaintext), aad=aad
+            )
+            self.compute_dma.register(dbuf, sbuf, size, context, UlpKind.TLS_ENCRYPT)
+            self.compute_dma.dma_in(sbuf, plaintext + bytes(size - len(plaintext)))
+            return self.compute_dma.read_result(dbuf, len(plaintext) + TAG_SIZE)
+        finally:
+            self.driver.free_pages(sbuf)
+            self.driver.free_pages(dbuf)

@@ -1,0 +1,516 @@
+"""The SmartDIMM buffer device: Fig. 5's datapath driven by Fig. 6's arbiter.
+
+SmartDIMM is controlled *solely* by the DDR command stream; it plugs into
+:class:`repro.dram.memory_controller.MemoryController` exactly like a
+:class:`~repro.dram.memory_controller.PlainDIMM`.  Every CAS command walks
+the arbiter decision tree:
+
+1. Regenerate the physical address (Bank Table + Addr Remap) — the buffer
+   device only sees BG/BA/column; the row was named by the earlier ACT.
+2. MMIO config space?  Handle register reads/writes (registration, S17).
+3. Translation Table hit?  No → regular DIMM behaviour.
+4. Source page + rdCAS → serve DRAM data to the host *and* feed the line to
+   the DSA (S6); results land in the Scratchpad.
+5. Destination page + wrCAS → if the line's result is ready, *replace* the
+   burst with the Scratchpad data and recycle the line (self-recycle,
+   S8/S9); if computation is pending, ignore the write (S7).
+6. Destination page + rdCAS → serve from the Scratchpad when ready (S10);
+   assert ALERT_N to force a controller retry when pending (S13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.address import AddressMapping, DramCoordinate
+from repro.dram.commands import CACHELINE_SIZE, LINES_PER_PAGE, PAGE_SIZE, Command, CommandType
+from repro.dram.memory_controller import CasResult
+from repro.dram.physical_memory import PhysicalMemory
+from repro.core.bank_table import BankTable
+from repro.core.config_memory import ConfigMemory
+from repro.core.scratchpad import LineState, Scratchpad, ScratchpadFullError
+from repro.core.translation_table import TranslationEntry, TranslationTable
+from repro.core.dsa.base import (
+    DSA,
+    Offload,
+    OffloadState,
+    OffloadTrigger,
+    ScratchpadWriter,
+    UlpKind,
+)
+from repro.core.dsa.tls_dsa import TLSDSA
+from repro.core.dsa.deflate_dsa import DeflateDSA, InflateDSA
+from repro.core.dsa.serde_dsa import SerdeDSA
+
+MMIO_MAGIC = 0x5D17
+MMIO_OP_REGISTER_PAIR = 2
+_EMPTY_SLOT = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass
+class SmartDIMMConfig:
+    """Sizing knobs, defaulting to the paper's configuration (Sec. VI)."""
+
+    scratchpad_pages: int = 2048  # 8 MB
+    config_slots: int = 2048  # 8 MB
+    translation_slots: int = 12288  # 3-ary cuckoo at 3x occupancy headroom
+    dsa_line_latency_cycles: int = 160
+    finalize_latency_cycles: int = 320
+    mmio_base: int = None  # defaults to the top page of the address space
+
+
+@dataclass
+class SmartDIMMStats:
+    normal_reads: int = 0
+    normal_writes: int = 0
+    dsa_lines_processed: int = 0
+    offloads_registered: int = 0
+    offloads_finalized: int = 0
+    self_recycles: int = 0
+    scratchpad_serves: int = 0  # S10
+    ignored_writes: int = 0  # S7
+    alerts: int = 0  # S13
+    mmio_reads: int = 0
+    mmio_writes: int = 0
+    pages_registered: int = 0
+    pages_deregistered: int = 0
+    address_regenerations: int = 0
+    compute_reads: int = 0  # Sec. IV-E CMP_RDCAS handled
+    spad_writebacks: int = 0  # Sec. IV-E SPAD_WB retirements
+
+
+def pack_register_record(
+    offload_id: int,
+    sbuf_page: int,
+    dbuf_page: int,
+    position: int,
+    total_pages: int,
+    trigger: OffloadTrigger = OffloadTrigger.SOURCE_READ,
+) -> bytes:
+    """Encode one page-pair registration into a 64-byte MMIO burst.
+
+    This is the paper's "source page number, destination page number, and
+    any additional context ... within a 64-byte MMIO write" (Sec. IV-C).
+    The trigger flag selects CompCpy (read-fed) vs Compute DMA (write-fed)
+    interception for the source pages (Sec. IV-E).
+    """
+    record = bytearray(CACHELINE_SIZE)
+    record[0:2] = MMIO_MAGIC.to_bytes(2, "little")
+    record[2] = MMIO_OP_REGISTER_PAIR
+    record[3] = 1 if trigger is OffloadTrigger.SOURCE_WRITE else 0
+    record[4:8] = offload_id.to_bytes(4, "little")
+    record[8:16] = sbuf_page.to_bytes(8, "little")
+    record[16:24] = dbuf_page.to_bytes(8, "little")
+    record[24:26] = position.to_bytes(2, "little")
+    record[26:28] = total_pages.to_bytes(2, "little")
+    return bytes(record)
+
+
+def _parse_register_record(data: bytes) -> dict:
+    if int.from_bytes(data[0:2], "little") != MMIO_MAGIC:
+        raise ValueError("bad MMIO magic")
+    if data[2] != MMIO_OP_REGISTER_PAIR:
+        raise ValueError("unknown MMIO opcode %d" % data[2])
+    return {
+        "offload_id": int.from_bytes(data[4:8], "little"),
+        "sbuf_page": int.from_bytes(data[8:16], "little"),
+        "dbuf_page": int.from_bytes(data[16:24], "little"),
+        "position": int.from_bytes(data[24:26], "little"),
+        "total_pages": int.from_bytes(data[26:28], "little"),
+        "trigger": OffloadTrigger.SOURCE_WRITE if data[3] else OffloadTrigger.SOURCE_READ,
+    }
+
+
+class SmartDIMM:
+    """A DIMM whose buffer device hosts the ULP accelerators."""
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        mapping: AddressMapping,
+        channel: int = 0,
+        config: SmartDIMMConfig = None,
+    ):
+        self.memory = memory
+        self.mapping = mapping
+        self.channel = channel
+        self.config = config or SmartDIMMConfig()
+        self.bank_table = BankTable(mapping.bank_groups, mapping.banks_per_group)
+        self.translation_table = TranslationTable(self.config.translation_slots)
+        self.scratchpad = Scratchpad(self.config.scratchpad_pages)
+        self.config_memory = ConfigMemory(self.config.config_slots)
+        self.stats = SmartDIMMStats()
+        self.dsas = {
+            UlpKind.TLS_ENCRYPT: TLSDSA(),
+            UlpKind.TLS_DECRYPT: TLSDSA(),
+            UlpKind.DEFLATE: DeflateDSA(),
+            UlpKind.INFLATE: InflateDSA(),
+            UlpKind.DESERIALIZE: SerdeDSA(),
+        }
+        if self.config.mmio_base is None:
+            self.config.mmio_base = memory.size - PAGE_SIZE
+        self._offloads = {}  # offload_id -> Offload
+        self._page_binding = {}  # page number -> (offload, position, is_source)
+        self._next_offload_id = 1
+        self._freed_dbuf_pages = {}  # offload_id -> count
+        # Pages fully recycled before their offload finalised: released once
+        # the DSA is done touching the offload's scratchpad set.
+        self._deferred_releases = set()  # (dbuf_page, scratchpad_index)
+
+    # -- software-visible helpers (driver side) ----------------------------------------
+
+    @property
+    def _channel_stride(self) -> int:
+        """With N-channel cacheline interleaving, only every Nth line of the
+        shared MMIO page routes to this device, so the logical registers are
+        strided by channel (Sec. V-D: per-DIMM configuration)."""
+        return max(1, self.mapping.channels)
+
+    @property
+    def mmio_register_address(self) -> int:
+        return self.config.mmio_base + CACHELINE_SIZE * self.channel
+
+    @property
+    def mmio_status_address(self) -> int:
+        return self.config.mmio_base + CACHELINE_SIZE * self.channel
+
+    def pending_list_address(self, chunk: int) -> int:
+        """MMIO address of pending-page-list chunk `chunk` for this device."""
+        stride = self._channel_stride
+        return self.config.mmio_base + CACHELINE_SIZE * (stride * (1 + chunk) + self.channel)
+
+    def create_offload(self, kind: UlpKind, context: object) -> Offload:
+        """Stage an offload's context on the device.
+
+        Models the burst of MMIO config writes the software performs before
+        registering pages; the write count is charged to `stats.mmio_writes`
+        according to the DSA's declared context footprint.
+        """
+        offload = Offload(
+            offload_id=self._next_offload_id,
+            kind=kind,
+            context=context,
+            sbuf_pages=[],
+            dbuf_pages=[],
+        )
+        self._next_offload_id += 1
+        self._offloads[offload.offload_id] = offload
+        context_bytes = self.dsas[kind].context_size_bytes(context)
+        self.stats.mmio_writes += (context_bytes + CACHELINE_SIZE - 1) // CACHELINE_SIZE
+        return offload
+
+    def offload(self, offload_id: int) -> Offload:
+        """The live offload record for `offload_id`."""
+        return self._offloads[offload_id]
+
+    # -- DDR command interface -------------------------------------------------------------
+
+    def handle_command(self, command: Command) -> CasResult:
+        """Process one DDR command through the Fig. 6 arbiter."""
+        if command.kind is CommandType.ACT:
+            self.bank_table.activate(command.bank_group, command.bank, command.row)
+            return CasResult()
+        if command.kind is CommandType.PRE:
+            self.bank_table.precharge(command.bank_group, command.bank)
+            return CasResult()
+        address = self._regenerate_address(command)
+        if self._in_mmio(address):
+            return self._handle_mmio(command, address)
+        entry = self.translation_table.lookup(address >> 12)
+        if command.kind is CommandType.CMP_RDCAS:
+            return self._compute_read(command, address, entry)
+        if command.kind is CommandType.SPAD_WB:
+            return self._scratchpad_writeback(command, address, entry)
+        if entry is None:
+            return self._plain_access(command, address)
+        if entry.is_source:
+            return self._source_access(command, address, entry)
+        return self._destination_access(command, address, entry)
+
+    # -- Sec. IV-E command extensions --------------------------------------------------
+
+    def _compute_read(self, command: Command, address: int, entry) -> CasResult:
+        """CMP_RDCAS: DRAM -> DSA only; nothing crosses the data bus."""
+        if entry is None or not entry.is_source:
+            # A compute read of an unregistered page is a controller bug.
+            raise RuntimeError("CMP_RDCAS to unregistered page 0x%x" % address)
+        data = self.memory.read_line(address)
+        self.stats.compute_reads += 1
+        self._maybe_feed_dsa(command, address, data, OffloadTrigger.SOURCE_READ)
+        return CasResult()
+
+    def _scratchpad_writeback(self, command: Command, address: int, entry) -> CasResult:
+        """SPAD_WB: retire one staged line to DRAM, buffer-device internal."""
+        if entry is None or entry.is_source:
+            raise RuntimeError("SPAD_WB to non-destination page 0x%x" % address)
+        index = entry.target_offset
+        line = (address & (PAGE_SIZE - 1)) // CACHELINE_SIZE
+        state = self.scratchpad.line_state(index, line)
+        if state is LineState.RECYCLED:
+            return CasResult()  # already home: idempotent
+        if state is LineState.VALID and self.scratchpad.is_ready(index, line, command.cycle):
+            data, page_free = self.scratchpad.recycle_line(index, line, forced=True)
+            self.memory.write_line(address, data)
+            self.stats.spad_writebacks += 1
+            if page_free:
+                binding = self._page_binding.get(entry.page_number)
+                if binding is not None and binding[0].state is not OffloadState.FINALIZED:
+                    self._deferred_releases.add((entry.page_number, index))
+                else:
+                    self._release_destination_page(entry.page_number, index)
+            return CasResult()
+        # Computation pending: controller retries, as with S13.
+        self.stats.alerts += 1
+        return CasResult(alert=True)
+
+    # -- address regeneration (Bank Table + Addr Remap, Sec. IV-C) ---------------------------
+
+    def _regenerate_address(self, command: Command) -> int:
+        row = self.bank_table.active_row(command.bank_group, command.bank)
+        coordinate = DramCoordinate(
+            channel=self.channel,
+            bank_group=command.bank_group,
+            bank=command.bank,
+            row=row,
+            column=command.column,
+        )
+        address = self.mapping.encode(coordinate)
+        self.stats.address_regenerations += 1
+        if address != command.address:
+            raise RuntimeError(
+                "address regeneration mismatch: got 0x%x, controller sent 0x%x"
+                % (address, command.address)
+            )
+        return address
+
+    def _in_mmio(self, address: int) -> bool:
+        return self.config.mmio_base <= address < self.config.mmio_base + PAGE_SIZE
+
+    # -- plain DIMM behaviour ----------------------------------------------------------------
+
+    def _plain_access(self, command: Command, address: int) -> CasResult:
+        if command.kind is CommandType.RDCAS:
+            self.stats.normal_reads += 1
+            return CasResult(data=self.memory.read_line(address))
+        self.stats.normal_writes += 1
+        self.memory.write_line(address, command.data)
+        return CasResult()
+
+    # -- MMIO config space ----------------------------------------------------------------------
+
+    def _handle_mmio(self, command: Command, address: int) -> CasResult:
+        # Logical register index: with interleaving, this device only sees
+        # every Nth line of the MMIO page, so divide the stride back out.
+        offset = (
+            (address - self.config.mmio_base)
+            // CACHELINE_SIZE
+            // self._channel_stride
+            * CACHELINE_SIZE
+        )
+        if command.kind is CommandType.WRCAS:
+            self.stats.mmio_writes += 1
+            record = _parse_register_record(command.data)
+            self._register_pair(**record)
+            return CasResult()
+        self.stats.mmio_reads += 1
+        if offset == 0:
+            status = bytearray(CACHELINE_SIZE)
+            status[0:8] = self.scratchpad.free_pages.to_bytes(8, "little")
+            status[8:16] = self.scratchpad.used_pages.to_bytes(8, "little")
+            pending = self.scratchpad.pending_pages()
+            status[16:24] = len(pending).to_bytes(8, "little")
+            return CasResult(data=bytes(status))
+        chunk = offset // CACHELINE_SIZE - 1
+        pending = sorted(self.scratchpad.pending_pages())
+        window = pending[8 * chunk : 8 * chunk + 8]
+        data = bytearray()
+        for page in window:
+            data += page.to_bytes(8, "little")
+        while len(data) < CACHELINE_SIZE:
+            data += _EMPTY_SLOT.to_bytes(8, "little")
+        return CasResult(data=bytes(data))
+
+    # -- registration (S17) -------------------------------------------------------------------------
+
+    def _register_pair(
+        self,
+        offload_id: int,
+        sbuf_page: int,
+        dbuf_page: int,
+        position: int,
+        total_pages: int,
+        trigger: OffloadTrigger = OffloadTrigger.SOURCE_READ,
+    ) -> None:
+        offload = self._offloads.get(offload_id)
+        if offload is None:
+            raise ValueError("MMIO registration for unknown offload %d" % offload_id)
+        offload.trigger = trigger
+        if offload.state is not OffloadState.REGISTERED and position == 0:
+            raise ValueError("offload %d already started" % offload_id)
+        if position == 0:
+            offload.config_slot = self.config_memory.allocate(
+                sbuf_page,
+                offload.context,
+                self.dsas[offload.kind].context_size_bytes(offload.context),
+            )
+        scratchpad_index = self.scratchpad.allocate(dbuf_page)
+        offload.sbuf_pages.append(sbuf_page)
+        offload.dbuf_pages.append(dbuf_page)
+        offload.scratchpad_indices.append(scratchpad_index)
+        if self.mapping.channels > 1:
+            # Fine-grain interleaving (Sec. V-D): this DIMM owns only the
+            # lines of the page that route to its channel; foreign lines
+            # are pre-marked RECYCLED so page accounting stays exact.
+            if offload.owned_lines is None:
+                offload.owned_lines = set()
+            for line in range(LINES_PER_PAGE):
+                address = dbuf_page * PAGE_SIZE + line * CACHELINE_SIZE
+                if self.mapping.decode(address).channel == self.channel:
+                    offload.owned_lines.add(offload.global_line(position, line))
+                else:
+                    page = self.scratchpad.page(scratchpad_index)
+                    page.states[line] = LineState.RECYCLED
+        self.translation_table.insert(
+            TranslationEntry(
+                page_number=sbuf_page,
+                is_config=True,
+                target_offset=offload.config_slot,
+                linked_pages=(dbuf_page,),
+                is_source=True,
+            )
+        )
+        self.translation_table.insert(
+            TranslationEntry(
+                page_number=dbuf_page,
+                is_config=False,
+                target_offset=scratchpad_index,
+                linked_pages=(sbuf_page,),
+                is_source=False,
+            )
+        )
+        self._page_binding[sbuf_page] = (offload, position, True)
+        self._page_binding[dbuf_page] = (offload, position, False)
+        self.stats.pages_registered += 2
+        if position == total_pages - 1:
+            offload.state = OffloadState.IN_PROGRESS
+            self.stats.offloads_registered += 1
+            self.dsas[offload.kind].begin(offload, ScratchpadWriter(self.scratchpad, offload))
+
+    # -- source-page accesses (S6) ---------------------------------------------------------------------
+
+    def _source_access(self, command: Command, address: int, entry) -> CasResult:
+        if command.kind is CommandType.WRCAS:
+            self.stats.normal_writes += 1
+            self.memory.write_line(address, command.data)
+            # Compute DMA (Sec. IV-E): the DSA taps the *write* stream, so
+            # data is transformed while an I/O device DMAs it into the DIMM.
+            self._maybe_feed_dsa(command, address, command.data, OffloadTrigger.SOURCE_WRITE)
+            return CasResult()
+        data = self.memory.read_line(address)
+        self.stats.normal_reads += 1
+        self._maybe_feed_dsa(command, address, data, OffloadTrigger.SOURCE_READ)
+        return CasResult(data=data)
+
+    def _maybe_feed_dsa(
+        self, command: Command, address: int, data: bytes, trigger: OffloadTrigger
+    ) -> None:
+        binding = self._page_binding.get(address >> 12)
+        if binding is None:
+            return
+        offload, position, _ = binding
+        if offload.state is not OffloadState.IN_PROGRESS or offload.trigger is not trigger:
+            return
+        line_in_page = (address & (PAGE_SIZE - 1)) // CACHELINE_SIZE
+        global_line = offload.global_line(position, line_in_page)
+        if global_line in offload.processed_lines:
+            return
+        writer = ScratchpadWriter(self.scratchpad, offload)
+        self.dsas[offload.kind].process_line(offload, writer, global_line, data)
+        offload.processed_lines.add(global_line)
+        self.stats.dsa_lines_processed += 1
+        self._set_line_ready(
+            offload, global_line, command.cycle + self.config.dsa_line_latency_cycles
+        )
+        if offload.complete():
+            self._finalize_offload(offload, command.cycle)
+
+    def _set_line_ready(self, offload: Offload, global_line: int, cycle: int) -> None:
+        page_position, line = divmod(global_line, LINES_PER_PAGE)
+        index = offload.scratchpad_indices[page_position]
+        if self.scratchpad.line_state(index, line) is LineState.VALID:
+            self.scratchpad.set_ready_cycle(index, line, cycle)
+
+    def _finalize_offload(self, offload: Offload, cycle: int) -> None:
+        writer = ScratchpadWriter(self.scratchpad, offload)
+        self.dsas[offload.kind].finalize(offload, writer)
+        finalize_cycle = cycle + self.config.finalize_latency_cycles
+        for index in offload.scratchpad_indices:
+            page = self.scratchpad.page(index)
+            for line in range(LINES_PER_PAGE):
+                if page.states[line] is LineState.VALID and page.ready_cycles[line] is None:
+                    page.ready_cycles[line] = finalize_cycle
+        offload.state = OffloadState.FINALIZED
+        offload.finalize_cycle = finalize_cycle
+        self.stats.offloads_finalized += 1
+        for dbuf_page, index in sorted(self._deferred_releases):
+            binding = self._page_binding.get(dbuf_page)
+            if binding is not None and binding[0] is offload:
+                self._deferred_releases.discard((dbuf_page, index))
+                self._release_destination_page(dbuf_page, index)
+
+    # -- destination-page accesses (S7-S13) --------------------------------------------------------------
+
+    def _destination_access(self, command: Command, address: int, entry) -> CasResult:
+        index = entry.target_offset
+        line = (address & (PAGE_SIZE - 1)) // CACHELINE_SIZE
+        state = self.scratchpad.line_state(index, line)
+        if command.kind is CommandType.WRCAS:
+            if state is LineState.RECYCLED:
+                self.stats.normal_writes += 1
+                self.memory.write_line(address, command.data)
+                return CasResult()
+            if state is LineState.VALID and self.scratchpad.is_ready(index, line, command.cycle):
+                data, page_free = self.scratchpad.recycle_line(index, line)
+                self.memory.write_line(address, data)
+                self.stats.self_recycles += 1
+                if page_free:
+                    binding = self._page_binding.get(entry.page_number)
+                    if binding is not None and binding[0].state is not OffloadState.FINALIZED:
+                        self._deferred_releases.add((entry.page_number, index))
+                    else:
+                        self._release_destination_page(entry.page_number, index)
+                return CasResult()
+            # S7: write arrived before the computation finished — ignore it;
+            # the scratchpad still owns this line.
+            self.stats.ignored_writes += 1
+            return CasResult(ignored=True)
+        # rdCAS
+        if state is LineState.RECYCLED:
+            self.stats.normal_reads += 1
+            return CasResult(data=self.memory.read_line(address))
+        if state is LineState.VALID and self.scratchpad.is_ready(index, line, command.cycle):
+            self.stats.scratchpad_serves += 1  # S10
+            return CasResult(data=self.scratchpad.read_line(index, line))
+        # S13: computation pending — assert ALERT_N so the controller retries.
+        self.stats.alerts += 1
+        return CasResult(alert=True)
+
+    # -- deregistration -------------------------------------------------------------------------------------
+
+    def _release_destination_page(self, dbuf_page: int, scratchpad_index: int) -> None:
+        """A fully recycled destination page frees its scratchpad page and
+        removes its translations; when the whole offload is recycled, the
+        source pages and config slot are released too."""
+        self.scratchpad.free(scratchpad_index)
+        self.translation_table.remove(dbuf_page)
+        offload, position, _ = self._page_binding.pop(dbuf_page)
+        sbuf_page = offload.sbuf_pages[position]
+        self.translation_table.remove(sbuf_page)
+        self._page_binding.pop(sbuf_page, None)
+        self.stats.pages_deregistered += 2
+        freed = self._freed_dbuf_pages.get(offload.offload_id, 0) + 1
+        self._freed_dbuf_pages[offload.offload_id] = freed
+        if freed == len(offload.dbuf_pages):
+            self.config_memory.free(offload.config_slot)
+            del self._offloads[offload.offload_id]
+            del self._freed_dbuf_pages[offload.offload_id]

@@ -1,0 +1,14 @@
+"""CPU-side cost models.
+
+The macro simulation charges CPU cycles and DDR traffic per request stage
+rather than executing instructions; the constants live in
+:mod:`repro.cpu.costs` with their provenance documented.  The micro
+simulation uses :mod:`repro.cpu.flush` for cacheline-flush behaviour
+(notably the paper's observation that flushing data already in DRAM is
+about half the cost of flushing dirty cached data, Sec. IV-A).
+"""
+
+from repro.cpu.costs import CostModel, DEFAULT_COSTS
+from repro.cpu.flush import FlushDriver
+
+__all__ = ["CostModel", "DEFAULT_COSTS", "FlushDriver"]

@@ -1,0 +1,150 @@
+"""Physical-address ↔ DRAM-coordinate mapping.
+
+The buffer device sees only (bank group, bank, row, column) plus chip
+select; to decide whether a CAS targets an acceleration range it must
+*regenerate* the physical address (the Addr Remap module of Fig. 5).  That
+forces the mapping to be invertible, which this module guarantees by
+construction: the address is a pure bit-field concatenation.
+
+Two interleaving modes from Sec. V-D are supported:
+
+* ``SINGLE_CHANNEL`` — 4 KB pages land wholly on one DIMM (AxDIMM's mode;
+  required for non-size-preserving ULPs like deflate).
+* ``CACHELINE`` — consecutive 64-byte lines round-robin across channels
+  (the common server default; fine for size-preserving ULPs like AES-GCM
+  provided every channel's DIMM holds the config, Sec. V-D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.commands import CACHELINE_SIZE
+
+
+class InterleaveMode(enum.Enum):
+    """How consecutive cachelines map to memory channels (Sec. V-D)."""
+
+    SINGLE_CHANNEL = "single_channel"
+    CACHELINE = "cacheline"
+
+
+@dataclass(frozen=True)
+class DramCoordinate:
+    """Where a 64-byte line lives inside the memory system."""
+
+    channel: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int
+
+    def bank_index(self, banks_per_group: int) -> int:
+        """Flat bank id used to index the bank table."""
+        return self.bank_group * banks_per_group + self.bank
+
+
+def _bits_for(value: int) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ValueError("%d is not a positive power of two" % value)
+    return value.bit_length() - 1
+
+
+class AddressMapping:
+    """Invertible bit-field mapping between physical addresses and coordinates.
+
+    Layout (most significant to least):
+    ``row | bank_group | bank | column | [channel] | line offset``
+    with the channel bits present only in CACHELINE mode (placed just above
+    the 6 offset bits so consecutive lines alternate channels).
+    """
+
+    def __init__(
+        self,
+        channels: int = 1,
+        bank_groups: int = 4,
+        banks_per_group: int = 4,
+        rows: int = 1 << 16,
+        columns_per_row: int = 128,
+        interleave: InterleaveMode = InterleaveMode.SINGLE_CHANNEL,
+    ):
+        self.channels = channels
+        self.bank_groups = bank_groups
+        self.banks_per_group = banks_per_group
+        self.rows = rows
+        self.columns_per_row = columns_per_row
+        self.interleave = interleave
+        self._offset_bits = _bits_for(CACHELINE_SIZE)
+        self._channel_bits = _bits_for(channels) if channels > 1 else 0
+        self._column_bits = _bits_for(columns_per_row)
+        self._bank_bits = _bits_for(banks_per_group)
+        self._bg_bits = _bits_for(bank_groups)
+        self._row_bits = _bits_for(rows)
+        if interleave is InterleaveMode.SINGLE_CHANNEL and channels > 1:
+            # Channel bits sit above everything else: each channel owns a
+            # contiguous region.
+            pass
+
+    @property
+    def capacity_per_channel(self) -> int:
+        return (
+            self.rows
+            * self.bank_groups
+            * self.banks_per_group
+            * self.columns_per_row
+            * CACHELINE_SIZE
+        )
+
+    @property
+    def total_capacity(self) -> int:
+        return self.capacity_per_channel * self.channels
+
+    # -- forward mapping -----------------------------------------------------
+
+    def decode(self, address: int) -> DramCoordinate:
+        """Physical address -> DRAM coordinate (line-aligned)."""
+        if not 0 <= address < self.total_capacity:
+            raise ValueError("address 0x%x out of range" % address)
+        bits = address >> self._offset_bits
+        if self.interleave is InterleaveMode.CACHELINE and self.channels > 1:
+            channel = bits & (self.channels - 1)
+            bits >>= self._channel_bits
+        else:
+            channel = 0
+        column = bits & (self.columns_per_row - 1)
+        bits >>= self._column_bits
+        bank = bits & (self.banks_per_group - 1)
+        bits >>= self._bank_bits
+        bank_group = bits & (self.bank_groups - 1)
+        bits >>= self._bg_bits
+        row = bits & (self.rows - 1)
+        bits >>= self._row_bits
+        if self.interleave is InterleaveMode.SINGLE_CHANNEL and self.channels > 1:
+            channel = bits & (self.channels - 1)
+        return DramCoordinate(
+            channel=channel, bank_group=bank_group, bank=bank, row=row, column=column
+        )
+
+    # -- inverse mapping (the Addr Remap module) ------------------------------
+
+    def encode(self, coordinate: DramCoordinate) -> int:
+        """DRAM coordinate -> line-aligned physical address."""
+        bits = coordinate.row
+        if self.interleave is InterleaveMode.SINGLE_CHANNEL and self.channels > 1:
+            bits |= coordinate.channel << self._row_bits
+        bits = (bits << self._bg_bits) | coordinate.bank_group
+        bits = (bits << self._bank_bits) | coordinate.bank
+        bits = (bits << self._column_bits) | coordinate.column
+        if self.interleave is InterleaveMode.CACHELINE and self.channels > 1:
+            bits = (bits << self._channel_bits) | coordinate.channel
+        return bits << self._offset_bits
+
+    def page_number(self, address: int) -> int:
+        """4 KB page number containing `address`."""
+        return address >> 12
+
+    def lines_of_page(self, page_number: int) -> range:
+        """Line-aligned addresses covering one 4 KB page."""
+        base = page_number << 12
+        return range(base, base + 4096, CACHELINE_SIZE)

@@ -1,0 +1,306 @@
+"""Command-level DDR memory controller.
+
+The controller is the clock master of the micro-simulation: each command it
+issues advances a cycle counter by calibrated amounts, and the resulting
+(cycle, command, address) stream is what the SmartDIMM buffer device — or a
+plain DIMM — consumes.
+
+Behaviours the SmartDIMM offload model depends on (Sec. IV-D):
+
+* **Open-page policy with per-bank row tracking.**  ACT/PRE commands keep
+  the DIMM-side bank table (Fig. 5) in sync with reality.
+* **Write batching.**  Stores buffer in a write queue and drain lazily; this
+  is one source of the >1 µs slack between the first sbuf rdCAS and the
+  first dbuf wrCAS that lets the DSA run ahead of consumption.
+* **Read priority with store forwarding.**  Reads bypass queued writes but
+  must observe them.
+* **ALERT_N retry.**  When the DIMM asserts ALERT_N on a rdCAS (S13 in
+  Fig. 6: computation not yet finished), the controller waits and reissues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.address import AddressMapping, DramCoordinate
+from repro.dram.commands import CACHELINE_SIZE, Command, CommandType
+from repro.dram.physical_memory import PhysicalMemory
+
+
+@dataclass
+class CasResult:
+    """Outcome of a CAS command at the DIMM."""
+
+    data: bytes = b""
+    alert: bool = False  # ALERT_N asserted: retry the rdCAS
+    ignored: bool = False  # wrCAS dropped (S7: write before compute done)
+
+
+class PlainDIMM:
+    """A regular DIMM: CAS commands go straight to the DRAM devices."""
+
+    def __init__(self, memory: PhysicalMemory):
+        self.memory = memory
+
+    def handle_command(self, command: Command) -> CasResult:
+        """Serve one DDR command from the DRAM devices."""
+        if command.kind is CommandType.RDCAS:
+            return CasResult(data=self.memory.read_line(command.address))
+        if command.kind is CommandType.WRCAS:
+            self.memory.write_line(command.address, command.data)
+            return CasResult()
+        return CasResult()  # ACT/PRE maintain bank state only
+
+
+@dataclass
+class TimingParams:
+    """Controller-cycle costs (DDR4-3200-class defaults, coarse)."""
+
+    activate_cycles: int = 22  # tRCD
+    precharge_cycles: int = 22  # tRP
+    cas_cycles: int = 4  # channel occupancy of one 64-byte burst
+    turnaround_cycles: int = 12  # read<->write bus turnaround
+    fence_cycles: int = 8  # serialisation cost of a memory barrier
+    command_only_cycles: int = 1  # CMP_RDCAS / SPAD_WB: no data burst
+    alert_retry_cycles: int = 64  # back-off before reissuing after ALERT_N
+    cycle_time_ns: float = 0.625  # 1.6 GHz controller clock
+    # Bank-level parallelism: after an ACT, the bank is busy for tRAS-class
+    # time; a CAS to a *different*, already-open bank can proceed without
+    # waiting, but hammering one bank serialises on its recovery window.
+    bank_busy_cycles: int = 34  # ~tRAS at DDR4-3200 in controller cycles
+
+
+@dataclass
+class ControllerStats:
+    reads: int = 0
+    writes: int = 0
+    activates: int = 0
+    precharges: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    alerts: int = 0
+    forwarded_reads: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    compute_reads: int = 0  # Sec. IV-E CMP_RDCAS commands (no data burst)
+    scratchpad_writebacks: int = 0  # Sec. IV-E SPAD_WB commands
+    bank_conflicts: int = 0  # ACT delayed by the bank's recovery window
+
+    @property
+    def data_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class TraceEntry:
+    cycle: int
+    kind: str  # "rdCAS" or "wrCAS"
+    address: int
+
+
+class MemoryController:
+    """Schedules line-granular reads/writes onto per-channel DIMM devices."""
+
+    WRITE_QUEUE_HIGH_WATERMARK = 48
+    WRITE_QUEUE_DRAIN_TO = 16
+    MAX_ALERT_RETRIES = 64
+
+    def __init__(
+        self,
+        mapping: AddressMapping,
+        dimms: dict,
+        timing: TimingParams = None,
+        trace: bool = False,
+    ):
+        self.mapping = mapping
+        self.dimms = dict(dimms)
+        missing = set(range(mapping.channels)) - set(self.dimms)
+        if missing:
+            raise ValueError("no DIMM bound to channels %s" % sorted(missing))
+        self.timing = timing or TimingParams()
+        self.cycle = 0
+        self.stats = ControllerStats()
+        self.trace = [] if trace else None
+        self._open_rows = {}  # (channel, flat_bank) -> row
+        self._bank_busy_until = {}  # (channel, flat_bank) -> cycle
+        self._write_queue = {}  # address -> data, insertion ordered
+        self._last_direction = None  # "read" | "write"
+
+    # -- public line interface ------------------------------------------------
+
+    def read_line(self, address: int) -> bytes:
+        """Read one cacheline, observing queued writes."""
+        self._check_aligned(address)
+        if address in self._write_queue:
+            # Store-to-load forwarding: the line never travels to DRAM.
+            self.stats.forwarded_reads += 1
+            return self._write_queue[address]
+        result = self._issue_cas(address, CommandType.RDCAS, b"")
+        retries = 0
+        while result.alert:
+            self.stats.alerts += 1
+            retries += 1
+            if retries > self.MAX_ALERT_RETRIES:
+                raise RuntimeError(
+                    "ALERT_N retry limit exceeded at 0x%x; DSA wedged?" % address
+                )
+            # Exponential backoff: a stalled computation should not keep the
+            # channel busy with retry traffic.
+            self.cycle += self.timing.alert_retry_cycles * min(1 << (retries - 1), 64)
+            result = self._issue_cas(address, CommandType.RDCAS, b"")
+        self.stats.reads += 1
+        self.stats.bytes_read += CACHELINE_SIZE
+        return result.data
+
+    def write_line(self, address: int, data: bytes) -> None:
+        """Queue one cacheline write; drains lazily."""
+        self._check_aligned(address)
+        if len(data) != CACHELINE_SIZE:
+            raise ValueError("write must be one %d-byte line" % CACHELINE_SIZE)
+        self._write_queue[address] = bytes(data)
+        if len(self._write_queue) >= self.WRITE_QUEUE_HIGH_WATERMARK:
+            self._drain_writes(target=self.WRITE_QUEUE_DRAIN_TO)
+
+    def fence(self) -> None:
+        """Memory barrier: drain all queued writes (CompCpy's membar).
+
+        Even with an empty queue the barrier serialises the pipeline, so it
+        always costs `fence_cycles` — the ordering tax of Algorithm 2's
+        per-64-byte membar path.
+        """
+        self.cycle += self.timing.fence_cycles
+        self._drain_writes(target=0)
+
+    def write_line_now(self, address: int, data: bytes) -> None:
+        """Write bypassing the queue (used for explicit flush writebacks)."""
+        self._check_aligned(address)
+        self._write_queue.pop(address, None)
+        self._issue_write(address, data)
+
+    # -- Sec. IV-E command extensions (used by DirectOffload, not plain CPUs) ----
+
+    def compute_read_line(self, address: int) -> None:
+        """Issue a compute read: the buffer device feeds the line from DRAM
+        straight to the DSA; no data burst returns, no cache is polluted."""
+        self._check_aligned(address)
+        if address in self._write_queue:
+            # The freshest copy is still queued; push it home first so the
+            # DSA sees current data.
+            self.write_line_now(address, self._write_queue[address])
+        self._issue_cas(address, CommandType.CMP_RDCAS, b"")
+        self.stats.compute_reads += 1
+
+    def scratchpad_writeback_line(self, address: int) -> bool:
+        """Tell the buffer device to retire a staged scratchpad line to
+        DRAM internally.  Returns False (with a retry consumed) while the
+        DSA has not finished that line."""
+        self._check_aligned(address)
+        result = self._issue_cas(address, CommandType.SPAD_WB, b"")
+        retries = 0
+        while result.alert:
+            self.stats.alerts += 1
+            retries += 1
+            if retries > self.MAX_ALERT_RETRIES:
+                raise RuntimeError("SPAD_WB retry limit exceeded at 0x%x" % address)
+            self.cycle += self.timing.alert_retry_cycles * min(1 << (retries - 1), 64)
+            result = self._issue_cas(address, CommandType.SPAD_WB, b"")
+        self.stats.scratchpad_writebacks += 1
+        return True
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _check_aligned(address: int) -> None:
+        if address % CACHELINE_SIZE:
+            raise ValueError("unaligned line access at 0x%x" % address)
+
+    def _drain_writes(self, target: int) -> None:
+        while len(self._write_queue) > target:
+            address, data = next(iter(self._write_queue.items()))
+            del self._write_queue[address]
+            self._issue_write(address, data)
+
+    def _issue_write(self, address: int, data: bytes) -> None:
+        result = self._issue_cas(address, CommandType.WRCAS, data)
+        self.stats.writes += 1
+        self.stats.bytes_written += CACHELINE_SIZE
+        if result.ignored:
+            # S7: the DIMM dropped a premature writeback; nothing to do —
+            # the scratchpad still owns the line.
+            pass
+
+    def _issue_cas(self, address: int, kind: CommandType, data: bytes) -> CasResult:
+        coordinate = self.mapping.decode(address)
+        device = self.dimms[coordinate.channel]
+        self._open_row(coordinate, device)
+        direction = "read" if kind in (CommandType.RDCAS, CommandType.CMP_RDCAS) else "write"
+        if self._last_direction not in (None, direction):
+            self.cycle += self.timing.turnaround_cycles
+        self._last_direction = direction
+        # Command-only operations occupy a command slot but no data burst.
+        if kind in (CommandType.CMP_RDCAS, CommandType.SPAD_WB):
+            self.cycle += self.timing.command_only_cycles
+        else:
+            self.cycle += self.timing.cas_cycles
+        command = Command(
+            kind=kind,
+            cycle=self.cycle,
+            address=address,
+            bank_group=coordinate.bank_group,
+            bank=coordinate.bank,
+            row=coordinate.row,
+            column=coordinate.column,
+            data=data,
+        )
+        if self.trace is not None and kind in (CommandType.RDCAS, CommandType.WRCAS):
+            self.trace.append(TraceEntry(self.cycle, kind.value, address))
+        return device.handle_command(command)
+
+    def _open_row(self, coordinate: DramCoordinate, device) -> None:
+        key = (coordinate.channel, coordinate.bank_index(self.mapping.banks_per_group))
+        open_row = self._open_rows.get(key)
+        if open_row == coordinate.row:
+            self.stats.row_hits += 1
+            return
+        self.stats.row_misses += 1
+        # Bank-level parallelism: re-opening a bank must respect its
+        # recovery window; other banks' activity overlaps freely.
+        busy_until = self._bank_busy_until.get(key, 0)
+        if self.cycle < busy_until:
+            self.stats.bank_conflicts += 1
+            self.cycle = busy_until
+        if open_row is not None:
+            self.cycle += self.timing.precharge_cycles
+            self.stats.precharges += 1
+            device.handle_command(
+                Command(
+                    kind=CommandType.PRE,
+                    cycle=self.cycle,
+                    bank_group=coordinate.bank_group,
+                    bank=coordinate.bank,
+                    row=open_row,
+                )
+            )
+        self.cycle += self.timing.activate_cycles
+        self.stats.activates += 1
+        device.handle_command(
+            Command(
+                kind=CommandType.ACT,
+                cycle=self.cycle,
+                bank_group=coordinate.bank_group,
+                bank=coordinate.bank,
+                row=coordinate.row,
+            )
+        )
+        self._open_rows[key] = coordinate.row
+        self._bank_busy_until[key] = self.cycle + self.timing.bank_busy_cycles
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def time_ns(self) -> float:
+        return self.cycle * self.timing.cycle_time_ns
+
+    def memory_bandwidth_bytes(self) -> int:
+        """Total data moved over the DDR channels so far."""
+        return self.stats.data_bytes

@@ -1,0 +1,81 @@
+"""Byte-addressable physical memory backing store.
+
+Pages materialise lazily (zero-filled) so the model can expose large address
+spaces cheaply.  All DRAM devices — plain DIMMs and SmartDIMM's SDRAM behind
+the MIG PHY — share this store class.
+"""
+
+from __future__ import annotations
+
+from repro.dram.commands import CACHELINE_SIZE, PAGE_SIZE
+
+
+class PhysicalMemory:
+    """Sparse page-granular byte store."""
+
+    def __init__(self, size: int):
+        if size % PAGE_SIZE:
+            raise ValueError("memory size must be a multiple of %d" % PAGE_SIZE)
+        self.size = size
+        self._pages = {}
+
+    def _page(self, page_number: int, create: bool) -> bytearray:
+        page = self._pages.get(page_number)
+        if page is None and create:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_number] = page
+        return page
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or address + length > self.size:
+            raise ValueError(
+                "access [0x%x, 0x%x) outside memory of size 0x%x"
+                % (address, address + length, self.size)
+            )
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read `length` bytes; untouched pages read as zeros."""
+        self._check_range(address, length)
+        out = bytearray()
+        while length:
+            page_number, offset = divmod(address, PAGE_SIZE)
+            chunk = min(length, PAGE_SIZE - offset)
+            page = self._page(page_number, create=False)
+            if page is None:
+                out.extend(bytes(chunk))
+            else:
+                out.extend(page[offset : offset + chunk])
+            address += chunk
+            length -= chunk
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write `data` at `address`."""
+        self._check_range(address, len(data))
+        offset_in_data = 0
+        while offset_in_data < len(data):
+            page_number, offset = divmod(address, PAGE_SIZE)
+            chunk = min(len(data) - offset_in_data, PAGE_SIZE - offset)
+            page = self._page(page_number, create=True)
+            page[offset : offset + chunk] = data[offset_in_data : offset_in_data + chunk]
+            address += chunk
+            offset_in_data += chunk
+
+    def read_line(self, address: int) -> bytes:
+        """Read one 64-byte cacheline (must be line-aligned)."""
+        if address % CACHELINE_SIZE:
+            raise ValueError("unaligned line read at 0x%x" % address)
+        return self.read(address, CACHELINE_SIZE)
+
+    def write_line(self, address: int, data: bytes) -> None:
+        """Write one 64-byte cacheline (must be line-aligned)."""
+        if address % CACHELINE_SIZE:
+            raise ValueError("unaligned line write at 0x%x" % address)
+        if len(data) != CACHELINE_SIZE:
+            raise ValueError("line write must be %d bytes" % CACHELINE_SIZE)
+        self.write(address, data)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes actually materialised (for tests and memory accounting)."""
+        return PAGE_SIZE * len(self._pages)

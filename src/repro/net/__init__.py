@@ -1,0 +1,33 @@
+"""Network substrate: TCP, lossy links, and NIC models.
+
+Built for Observation 1 (Fig. 2): autonomous SmartNIC TLS offload rides the
+TCP stream and must *resynchronise* — falling back to CPU encryption — when
+packets are lost or reordered, which erases the offload benefit exactly
+when the network misbehaves.
+
+* :mod:`repro.net.link` — bandwidth/latency pipe with drop and reorder
+  injection (the programmable switch of Sec. III).
+* :mod:`repro.net.tcp` — event-driven TCP sender/receiver: cumulative ACKs,
+  fast retransmit on 3 dupACKs, RTO with slow start.
+* :mod:`repro.net.smartnic` — TX crypto placements: CPU AES-NI, autonomous
+  SmartNIC offload with resync, or none (plain HTTP).
+"""
+
+from repro.net.link import LossyLink
+from repro.net.tcp import TcpSimulation, TcpResult
+from repro.net.smartnic import (
+    CpuTlsCrypto,
+    NoCrypto,
+    SmartNicTlsCrypto,
+    TxCryptoModel,
+)
+
+__all__ = [
+    "LossyLink",
+    "TcpSimulation",
+    "TcpResult",
+    "CpuTlsCrypto",
+    "NoCrypto",
+    "SmartNicTlsCrypto",
+    "TxCryptoModel",
+]

@@ -1,0 +1,120 @@
+"""TX-path crypto placements for the TCP simulation.
+
+Three models of who encrypts TLS records on the transmit path:
+
+* :class:`NoCrypto` — plain HTTP; nothing but stack cycles.
+* :class:`CpuTlsCrypto` — OpenSSL + AES-NI on the host core; every payload
+  byte costs ``aesni_cycles_per_byte``.
+* :class:`SmartNicTlsCrypto` — autonomous NIC offload à la ConnectX-6 /
+  Pismenny et al.: the TLS library *skips* encryption and the NIC encrypts
+  segments inline, tracking the TCP sequence space.  The NIC can only do so
+  for in-order, first-transmission bytes; a retransmission or reordered
+  send desynchronises the record tracker, so the driver (a) re-encrypts the
+  affected record on the CPU and (b) replays record state to the NIC, which
+  stalls offload for `resync_penalty_s`.  During the stall every record is
+  CPU-encrypted.
+
+All models share one interface: :meth:`TxCryptoModel.segment_cost` returns
+(cpu_cycles, extra_delay_s) for a segment about to be handed to the NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.costs import CostModel, DEFAULT_COSTS
+
+
+@dataclass
+class CryptoStats:
+    segments: int = 0
+    cpu_encrypted_bytes: int = 0
+    nic_encrypted_bytes: int = 0
+    resyncs: int = 0
+
+
+class TxCryptoModel:
+    """Interface: per-segment CPU cycles and added latency."""
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS):
+        self.costs = costs
+        self.stats = CryptoStats()
+
+    def segment_cost(self, now: float, nbytes: int, is_retransmission: bool) -> tuple:
+        """(cpu_cycles, extra_delay_s) to prepare one outgoing segment."""
+        raise NotImplementedError
+
+    def _stack_cycles(self, nbytes: int) -> float:
+        return self.costs.tcp_tx_cycles_per_segment
+
+
+class NoCrypto(TxCryptoModel):
+    """Plain HTTP baseline."""
+
+    def segment_cost(self, now: float, nbytes: int, is_retransmission: bool) -> tuple:
+        """Stack cycles only; no crypto anywhere."""
+        self.stats.segments += 1
+        return self._stack_cycles(nbytes), 0.0
+
+
+class CpuTlsCrypto(TxCryptoModel):
+    """OpenSSL on the host CPU with AES-NI."""
+
+    def segment_cost(self, now: float, nbytes: int, is_retransmission: bool) -> tuple:
+        """Stack + AES-NI cycles (records encrypted once)."""
+        self.stats.segments += 1
+        cycles = self._stack_cycles(nbytes)
+        if not is_retransmission:
+            # Records are encrypted once; retransmissions resend ciphertext.
+            cycles += self.costs.aesni_cycles_per_byte * nbytes
+            cycles += self.costs.tls_record_framing_cycles * max(
+                1, nbytes // 16384
+            )
+            self.stats.cpu_encrypted_bytes += nbytes
+        return cycles, 0.0
+
+
+class SmartNicTlsCrypto(TxCryptoModel):
+    """Autonomous inline TLS offload with hardware resynchronisation."""
+
+    def __init__(
+        self,
+        costs: CostModel = DEFAULT_COSTS,
+        record_bytes: int = 16384,
+        resync_penalty_s: float = 300e-6,
+        per_segment_driver_cycles: int = 1700,
+    ):
+        super().__init__(costs)
+        self.record_bytes = record_bytes
+        self.resync_penalty_s = resync_penalty_s
+        self.per_segment_driver_cycles = per_segment_driver_cycles
+        self._offload_disabled_until = 0.0
+
+    def segment_cost(self, now: float, nbytes: int, is_retransmission: bool) -> tuple:
+        """Driver bookkeeping, plus CPU fallback + resync on desync."""
+        self.stats.segments += 1
+        cycles = self._stack_cycles(nbytes)
+        # Per-segment driver bookkeeping (record metadata in the TX
+        # descriptor ring, sequence tracking): this is why the paper sees
+        # "the same, or even lower, throughput" than AES-NI at zero loss —
+        # the testbed's Xeon and BlueField-2 are the same generation.
+        cycles += self.per_segment_driver_cycles
+        extra_delay = 0.0
+        if is_retransmission:
+            # Desync: CPU re-encrypts the whole record containing these
+            # bytes, and the NIC replays state before offloading again.
+            self.stats.resyncs += 1
+            cycles += self.costs.aesni_cycles_per_byte * self.record_bytes
+            cycles += self.costs.gcm_init_cycles
+            self.stats.cpu_encrypted_bytes += self.record_bytes
+            self._offload_disabled_until = max(
+                self._offload_disabled_until, now + self.resync_penalty_s
+            )
+            extra_delay = self.resync_penalty_s
+        elif now < self._offload_disabled_until:
+            # Fallback window: software path while the NIC catches up.
+            cycles += self.costs.aesni_cycles_per_byte * nbytes
+            self.stats.cpu_encrypted_bytes += nbytes
+        else:
+            self.stats.nic_encrypted_bytes += nbytes
+        return cycles, extra_delay

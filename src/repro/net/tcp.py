@@ -1,0 +1,219 @@
+"""Event-driven TCP bulk-transfer simulation.
+
+Implements the behaviours Fig. 2 depends on: cumulative ACKs, duplicate-ACK
+fast retransmit, RTO with exponential backoff and slow-start restart, and a
+CPU-occupancy model on the sender so the achieved rate is the min of what
+TCP allows and what the (crypto-burdened) core can produce.  The TX crypto
+placement is pluggable (:mod:`repro.net.smartnic`), which is the entire
+point: a retransmission costs the SmartNIC placement a hardware resync,
+while the CPU placement just resends already-encrypted bytes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cpu.costs import CostModel, DEFAULT_COSTS
+from repro.net.link import LossyLink
+from repro.net.smartnic import TxCryptoModel
+
+SEGMENT_HEADER_BYTES = 66  # Ethernet + IP + TCP
+
+
+@dataclass
+class TcpResult:
+    bytes_delivered: int
+    duration_s: float
+    retransmissions: int
+    timeouts: int
+    fast_retransmits: int
+    segments_sent: int
+
+    @property
+    def goodput_bps(self) -> float:
+        return 8.0 * self.bytes_delivered / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def goodput_gbps(self) -> float:
+        return self.goodput_bps / 1e9
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    order: int
+    kind: str = field(compare=False)
+    payload: tuple = field(compare=False, default=())
+
+
+class TcpSimulation:
+    """One sender, one receiver, a lossy data link, a clean ACK link."""
+
+    INITIAL_CWND_SEGMENTS = 10
+    MAX_EVENTS = 5_000_000
+
+    def __init__(
+        self,
+        total_bytes: int,
+        crypto: TxCryptoModel,
+        data_link: LossyLink,
+        ack_link: LossyLink = None,
+        costs: CostModel = DEFAULT_COSTS,
+        initial_rto_s: float = 20e-3,
+        max_cwnd_bytes: int = 4 * 1024 * 1024,
+        max_time_s: float = 120.0,
+    ):
+        self.total_bytes = total_bytes
+        self.crypto = crypto
+        self.data_link = data_link
+        self.ack_link = ack_link or LossyLink(
+            bandwidth_bytes_per_sec=data_link.bandwidth,
+            propagation_delay_s=data_link.propagation_delay,
+        )
+        self.costs = costs
+        self.mss = costs.mss_bytes
+        self.initial_rto = initial_rto_s
+        self.max_cwnd = max_cwnd_bytes
+        self.max_time = max_time_s
+        # Sender state.
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd = self.INITIAL_CWND_SEGMENTS * self.mss
+        self.ssthresh = max_cwnd_bytes
+        self.dup_acks = 0
+        self.cpu_free_at = 0.0
+        self.rto = initial_rto_s
+        self._rto_token = 0
+        self._in_recovery_until = 0
+        # Receiver state.
+        self.rcv_nxt = 0
+        self._out_of_order = {}
+        # Bookkeeping.
+        self._events = []
+        self._order = itertools.count()
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.segments_sent = 0
+        self.finish_time = None
+
+    # -- event machinery ----------------------------------------------------------
+
+    def _schedule(self, time: float, kind: str, payload: tuple = ()) -> None:
+        heapq.heappush(self._events, _Event(time, next(self._order), kind, payload))
+
+    def run(self) -> TcpResult:
+        """Drive the transfer to completion (or the time cap)."""
+        self._try_send(0.0)
+        self._arm_rto(0.0)
+        events = 0
+        while self._events and self.finish_time is None:
+            events += 1
+            if events > self.MAX_EVENTS:
+                raise RuntimeError("TCP simulation event explosion")
+            event = heapq.heappop(self._events)
+            if event.time > self.max_time:
+                break
+            if event.kind == "seg":
+                self._on_segment(event.time, *event.payload)
+            elif event.kind == "ack":
+                self._on_ack(event.time, *event.payload)
+            elif event.kind == "rto":
+                self._on_rto(event.time, *event.payload)
+        duration = self.finish_time if self.finish_time is not None else self.max_time
+        return TcpResult(
+            bytes_delivered=self.rcv_nxt if self.finish_time is None else self.total_bytes,
+            duration_s=duration,
+            retransmissions=self.retransmissions,
+            timeouts=self.timeouts,
+            fast_retransmits=self.fast_retransmits,
+            segments_sent=self.segments_sent,
+        )
+
+    # -- sender ----------------------------------------------------------------------
+
+    def _segment_length(self, seq: int) -> int:
+        return min(self.mss, self.total_bytes - seq)
+
+    def _try_send(self, now: float) -> None:
+        while (
+            self.snd_nxt < self.total_bytes
+            and self.snd_nxt - self.snd_una + self.mss <= self.cwnd
+        ):
+            length = self._segment_length(self.snd_nxt)
+            self._transmit(now, self.snd_nxt, length, is_retransmission=False)
+            self.snd_nxt += length
+
+    def _transmit(self, now: float, seq: int, length: int, is_retransmission: bool) -> None:
+        self.segments_sent += 1
+        if is_retransmission:
+            self.retransmissions += 1
+        cycles, extra_delay = self.crypto.segment_cost(now, length, is_retransmission)
+        cpu_seconds = self.costs.cycles_to_seconds(cycles)
+        start = max(now, self.cpu_free_at)
+        # `extra_delay` models driver<->NIC synchronisation (SmartNIC
+        # resync): it blocks the send path, not just this segment.
+        self.cpu_free_at = start + cpu_seconds + extra_delay
+        handoff = self.cpu_free_at
+        arrival = self.data_link.transmit(handoff, length + SEGMENT_HEADER_BYTES)
+        if arrival is not None:
+            self._schedule(arrival, "seg", (seq, length))
+
+    def _arm_rto(self, now: float) -> None:
+        self._rto_token += 1
+        self._schedule(now + self.rto, "rto", (self._rto_token,))
+
+    def _on_rto(self, now: float, token: int) -> None:
+        if token != self._rto_token or self.snd_una >= self.total_bytes:
+            return
+        # Timeout: collapse to slow start and retransmit the oldest hole.
+        self.timeouts += 1
+        self.ssthresh = max(self.cwnd // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.dup_acks = 0
+        self.rto = min(self.rto * 2, 2.0)
+        self._transmit(now, self.snd_una, self._segment_length(self.snd_una), True)
+        self._arm_rto(now)
+
+    def _on_ack(self, now: float, ack_no: int) -> None:
+        if ack_no > self.snd_una:
+            self.snd_una = ack_no
+            self.dup_acks = 0
+            self.rto = self.initial_rto
+            if self.cwnd < self.ssthresh:
+                self.cwnd = min(self.cwnd + self.mss, self.max_cwnd)  # slow start
+            else:
+                self.cwnd = min(
+                    self.cwnd + max(1, self.mss * self.mss // self.cwnd), self.max_cwnd
+                )
+            if self.snd_una >= self.total_bytes:
+                self.finish_time = now
+                return
+            self._arm_rto(now)
+            self._try_send(now)
+        elif ack_no == self.snd_una:
+            self.dup_acks += 1
+            if self.dup_acks == 3 and now >= self._in_recovery_until:
+                # Fast retransmit + multiplicative decrease.
+                self.fast_retransmits += 1
+                self.ssthresh = max(self.cwnd // 2, 2 * self.mss)
+                self.cwnd = self.ssthresh
+                self._in_recovery_until = now + 2 * self.data_link.propagation_delay
+                self._transmit(
+                    now, self.snd_una, self._segment_length(self.snd_una), True
+                )
+
+    # -- receiver ---------------------------------------------------------------------
+
+    def _on_segment(self, now: float, seq: int, length: int) -> None:
+        if seq == self.rcv_nxt:
+            self.rcv_nxt += length
+            while self.rcv_nxt in self._out_of_order:
+                self.rcv_nxt += self._out_of_order.pop(self.rcv_nxt)
+        elif seq > self.rcv_nxt:
+            self._out_of_order.setdefault(seq, length)
+        # else: duplicate of already-delivered data; still ACK.
+        arrival = self.ack_link.transmit(now, SEGMENT_HEADER_BYTES, droppable=False)
+        self._schedule(arrival, "ack", (self.rcv_nxt,))

@@ -1,0 +1,33 @@
+"""System-level simulation framework.
+
+Two layers:
+
+* The **micro** layer (:mod:`repro.sim.tracing` plus the functional stack in
+  :mod:`repro.core`) simulates DDR commands and cachelines — it drives the
+  trace/occupancy results (Figs. 9 and 10) and every correctness test.
+* The **macro** layer (:mod:`repro.sim.server`) is a calibrated analytic
+  model of the Nginx server: per-request CPU cycles, DDR traffic, cache
+  pressure, and accelerator occupancy per ULP placement — it drives the
+  end-to-end comparisons (Figs. 3, 11, 12 and Table I).
+"""
+
+from repro.sim.server import (
+    Placement,
+    ServerModel,
+    ServerMetrics,
+    Ulp,
+    WorkloadSpec,
+    corun,
+)
+from repro.sim.tracing import CommandTraceRecorder, ScratchpadProbe
+
+__all__ = [
+    "Placement",
+    "ServerModel",
+    "ServerMetrics",
+    "Ulp",
+    "WorkloadSpec",
+    "corun",
+    "CommandTraceRecorder",
+    "ScratchpadProbe",
+]

@@ -1,0 +1,103 @@
+"""Micro-simulation instrumentation: command traces and occupancy probes.
+
+* :class:`CommandTraceRecorder` captures the rdCAS/wrCAS stream at the
+  memory controller to regenerate Fig. 9 (the per-CompCpy monotonic address
+  sweep with interleaved self-recycle writes).
+* :class:`ScratchpadProbe` samples scratchpad occupancy over simulated
+  cycles to regenerate Fig. 10 (the self-recycle equilibrium under varying
+  LLC provisioning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TraceSummary:
+    reads: int
+    writes: int
+    read_addresses_monotonic_fraction: float
+    first_read_cycle: int
+    first_write_cycle: int
+
+    @property
+    def read_write_slack_cycles(self) -> int:
+        return self.first_write_cycle - self.first_read_cycle
+
+
+class CommandTraceRecorder:
+    """Analyses the MemoryController's trace buffer."""
+
+    def __init__(self, memory_controller):
+        if memory_controller.trace is None:
+            raise ValueError("memory controller built without trace=True")
+        self.mc = memory_controller
+
+    def entries(self, kind: str = None, address_range: tuple = None) -> list:
+        """Trace entries filtered by command kind and/or address range."""
+        out = []
+        for entry in self.mc.trace:
+            if kind and entry.kind != kind:
+                continue
+            if address_range and not address_range[0] <= entry.address < address_range[1]:
+                continue
+            out.append(entry)
+        return out
+
+    def summarize(self, sbuf_range: tuple, dbuf_range: tuple) -> TraceSummary:
+        """Characterise one CompCpy call's command stream."""
+        reads = self.entries("rdCAS", sbuf_range)
+        writes = self.entries("wrCAS", dbuf_range)
+        monotonic = 0
+        for previous, current in zip(reads, reads[1:]):
+            if current.address >= previous.address:
+                monotonic += 1
+        fraction = monotonic / (len(reads) - 1) if len(reads) > 1 else 1.0
+        return TraceSummary(
+            reads=len(reads),
+            writes=len(writes),
+            read_addresses_monotonic_fraction=fraction,
+            first_read_cycle=reads[0].cycle if reads else 0,
+            first_write_cycle=writes[0].cycle if writes else 0,
+        )
+
+    def scatter(self) -> list:
+        """(cycle, kind, address) tuples — the raw points of Fig. 9."""
+        return [(e.cycle, e.kind, e.address) for e in self.mc.trace]
+
+
+@dataclass
+class OccupancySample:
+    cycle: int
+    used_bytes: int
+    used_pages: int
+
+
+class ScratchpadProbe:
+    """Samples scratchpad occupancy as offloads stream through."""
+
+    def __init__(self, device):
+        self.device = device
+        self.samples = []
+
+    def sample(self, cycle: int) -> OccupancySample:
+        """Record current scratchpad occupancy at `cycle`."""
+        record = OccupancySample(
+            cycle=cycle,
+            used_bytes=self.device.scratchpad.used_bytes,
+            used_pages=self.device.scratchpad.used_pages,
+        )
+        self.samples.append(record)
+        return record
+
+    def equilibrium_bytes(self, tail_fraction: float = 0.5) -> float:
+        """Mean occupancy over the trailing window (the Fig. 10 plateau)."""
+        if not self.samples:
+            return 0.0
+        tail = self.samples[int(len(self.samples) * (1 - tail_fraction)) :]
+        return sum(s.used_bytes for s in tail) / len(tail)
+
+    def peak_bytes(self) -> int:
+        """Highest occupancy observed."""
+        return max((s.used_bytes for s in self.samples), default=0)

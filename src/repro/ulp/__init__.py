@@ -1,0 +1,30 @@
+"""Functional upper-layer protocol (ULP) implementations.
+
+This subpackage implements, from scratch, the two ULPs the paper offloads to
+SmartDIMM:
+
+* AES-GCM authenticated encryption (:mod:`repro.ulp.aes`, :mod:`repro.ulp.gcm`)
+  and the TLS 1.3 record layer built on top of it (:mod:`repro.ulp.tls`).
+* DEFLATE compression/decompression (:mod:`repro.ulp.lz77`,
+  :mod:`repro.ulp.huffman`, :mod:`repro.ulp.deflate`).
+
+Everything here is *functional*: it operates on real bytes and round-trips.
+Performance modelling lives elsewhere (:mod:`repro.cpu.costs` and the
+simulation layers); these modules are the ground truth that the DSA models in
+:mod:`repro.core.dsa` must agree with bit-for-bit.
+"""
+
+from repro.ulp.aes import AES
+from repro.ulp.gcm import AESGCM, ghash
+from repro.ulp.tls import TLSRecordLayer, TLSRecord
+from repro.ulp.deflate import deflate_compress, deflate_decompress
+
+__all__ = [
+    "AES",
+    "AESGCM",
+    "ghash",
+    "TLSRecordLayer",
+    "TLSRecord",
+    "deflate_compress",
+    "deflate_decompress",
+]

@@ -1,0 +1,103 @@
+"""Bit-level readers and writers for DEFLATE (RFC 1951 bit order).
+
+DEFLATE packs data least-significant-bit first within each byte.  Huffman
+codes are packed most-significant-bit first *of the code*, which in this
+convention means the code bits are reversed before writing.  The two classes
+here hide that asymmetry from the LZ/Huffman layers.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits LSB-first and yields the packed byte string."""
+
+    def __init__(self):
+        self._bytes = bytearray()
+        self._bit_buffer = 0
+        self._bit_count = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Write `count` bits of `value`, least significant bit first."""
+        if count < 0:
+            raise ValueError("negative bit count")
+        self._bit_buffer |= (value & ((1 << count) - 1)) << self._bit_count
+        self._bit_count += count
+        while self._bit_count >= 8:
+            self._bytes.append(self._bit_buffer & 0xFF)
+            self._bit_buffer >>= 8
+            self._bit_count -= 8
+
+    def write_huffman_code(self, code: int, length: int) -> None:
+        """Write a Huffman code (codes are bit-reversed on the wire)."""
+        reversed_code = 0
+        for _ in range(length):
+            reversed_code = (reversed_code << 1) | (code & 1)
+            code >>= 1
+        self.write_bits(reversed_code, length)
+
+    def align_to_byte(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        if self._bit_count:
+            self._bytes.append(self._bit_buffer & 0xFF)
+            self._bit_buffer = 0
+            self._bit_count = 0
+
+    def write_bytes(self, data: bytes) -> None:
+        """Write whole bytes; the stream must be byte-aligned."""
+        if self._bit_count:
+            raise ValueError("write_bytes requires byte alignment")
+        self._bytes.extend(data)
+
+    def getvalue(self) -> bytes:
+        """Packed bytes, flushing any partial final byte."""
+        out = bytearray(self._bytes)
+        if self._bit_count:
+            out.append(self._bit_buffer & 0xFF)
+        return bytes(out)
+
+    @property
+    def bit_length(self) -> int:
+        return 8 * len(self._bytes) + self._bit_count
+
+
+class BitReader:
+    """Reads bits LSB-first from a byte string."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._position = 0  # bit position
+
+    def read_bits(self, count: int) -> int:
+        """Read `count` bits, least significant bit first."""
+        value = 0
+        for i in range(count):
+            byte_index, bit_index = divmod(self._position, 8)
+            if byte_index >= len(self._data):
+                raise EOFError("bit stream exhausted")
+            bit = (self._data[byte_index] >> bit_index) & 1
+            value |= bit << i
+            self._position += 1
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read_bits(1)
+
+    def align_to_byte(self) -> None:
+        """Skip to the next byte boundary."""
+        self._position = (self._position + 7) // 8 * 8
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read whole bytes; the stream must be byte-aligned."""
+        if self._position % 8:
+            raise ValueError("read_bytes requires byte alignment")
+        start = self._position // 8
+        if start + count > len(self._data):
+            raise EOFError("bit stream exhausted")
+        self._position += 8 * count
+        return self._data[start : start + count]
+
+    @property
+    def bits_remaining(self) -> int:
+        return 8 * len(self._data) - self._position

@@ -1,0 +1,230 @@
+"""AES-GCM authenticated encryption (NIST SP 800-38D), from scratch.
+
+Two consumers share this module:
+
+* The CPU baseline (:mod:`repro.accel.cpu_onload`) encrypts whole TLS records
+  through :class:`AESGCM`.
+* The SmartDIMM TLS DSA (:mod:`repro.core.dsa.tls_dsa`) processes records one
+  64-byte cacheline at a time, possibly out of order.  To support that, this
+  module exposes the keystream block generator and the *stride-4 H-power*
+  GHASH formulation the paper describes in Sec. V-A: precomputing H^i lets
+  partial authentication tags for distinct cachelines be combined without a
+  serial dependency chain.
+
+All arithmetic is in GF(2^128) with the GCM polynomial
+x^128 + x^7 + x^2 + x + 1, bit-reflected per the spec ("rightmost" bit is the
+highest power).
+"""
+
+from __future__ import annotations
+
+from repro.ulp.aes import AES
+
+# The reduction polynomial R = 11100001 || 0^120, as an integer with bit 0
+# being the *leftmost* (most significant in GCM's reflected convention).
+_R = 0xE1000000000000000000000000000000
+
+
+def gf128_mul(x: int, y: int) -> int:
+    """Multiply two elements of GF(2^128) in GCM bit order.
+
+    Operands and result are 128-bit integers whose most significant bit is
+    the GCM "bit 0" (coefficient of x^0).
+    """
+    z = 0
+    v = x
+    for i in range(128):
+        if (y >> (127 - i)) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def _block_to_int(block: bytes) -> int:
+    return int.from_bytes(block, "big")
+
+
+def _int_to_block(value: int) -> bytes:
+    return value.to_bytes(16, "big")
+
+
+class GF128Multiplier:
+    """Precomputed multiply-by-constant in GF(2^128).
+
+    Models the GF Multiplier block of the TLS DSA (Fig. 7): the hardware
+    pipelines a fixed-operand multiplier; we precompute a 4-bit windowed
+    table so every `mul` is 32 table lookups + XORs.  The table itself is
+    built from 128 cheap shift-reduce steps, mirroring how the hardware's
+    LFSR-style reduction network is derived.
+    """
+
+    def __init__(self, constant: int):
+        self.constant = constant
+        # bit_products[i] = constant * x^i (GCM bit order: "bit i" is the
+        # coefficient read from the MSB side).
+        bit_products = [0] * 128
+        value = constant
+        bit_products[0] = value
+        for i in range(1, 128):
+            if value & 1:
+                value = (value >> 1) ^ _R
+            else:
+                value >>= 1
+            bit_products[i] = value
+        # Nibble tables: table[pos][nibble] for the nibble at bit offset
+        # 4*pos from the MSB.
+        self._tables = []
+        for pos in range(32):
+            row = [0] * 16
+            base = 4 * pos
+            for nibble in range(1, 16):
+                acc = 0
+                for bit in range(4):
+                    if (nibble >> (3 - bit)) & 1:
+                        acc ^= bit_products[base + bit]
+                row[nibble] = acc
+            self._tables.append(row)
+
+    def mul(self, x: int) -> int:
+        """Return x * constant in GF(2^128)."""
+        result = 0
+        tables = self._tables
+        for pos in range(32):
+            nibble = (x >> (124 - 4 * pos)) & 0xF
+            if nibble:
+                result ^= tables[pos][nibble]
+        return result
+
+
+def ghash(h: bytes, data: bytes) -> bytes:
+    """GHASH of `data` (zero-padded to a 16-byte multiple) under hash key `h`."""
+    return _int_to_block(ghash_int(GF128Multiplier(_block_to_int(h)), data))
+
+
+def ghash_int(mul_h: GF128Multiplier, data: bytes, y: int = 0) -> int:
+    """Horner-form GHASH with a prepared multiplier; returns the accumulator."""
+    for offset in range(0, len(data), 16):
+        block = data[offset : offset + 16]
+        if len(block) < 16:
+            block = block + bytes(16 - len(block))
+        y = mul_h.mul(y ^ _block_to_int(block))
+    return y
+
+
+def h_powers(h: bytes, count: int) -> list:
+    """Return [H^1, H^2, ..., H^count] as integers.
+
+    The TLS DSA precomputes these "in strides of 4" (Sec. V-A) to break the
+    serial GHASH dependency chain between 64-byte cachelines: a cacheline of
+    four 16-byte blocks contributes ``b0*H^4 + b1*H^3 + b2*H^2 + b3*H`` and
+    these per-cacheline partial products commute once weighted by the right
+    power of H.
+    """
+    h_int = _block_to_int(h)
+    powers = [h_int]
+    for _ in range(count - 1):
+        powers.append(gf128_mul(powers[-1], h_int))
+    return powers
+
+
+def _inc32(counter_block: bytes) -> bytes:
+    """Increment the rightmost 32 bits of a 16-byte counter block."""
+    prefix, counter = counter_block[:12], int.from_bytes(counter_block[12:], "big")
+    return prefix + ((counter + 1) & 0xFFFFFFFF).to_bytes(4, "big")
+
+
+class AESGCM:
+    """AES-GCM AEAD for a fixed key.
+
+    >>> gcm = AESGCM(bytes(16))
+    >>> ct, tag = gcm.encrypt(bytes(12), b"hello world", b"aad")
+    >>> gcm.decrypt(bytes(12), ct, b"aad", tag)
+    b'hello world'
+    """
+
+    TAG_SIZE = 16
+
+    def __init__(self, key: bytes):
+        self._aes = AES(key)
+        # Hash subkey H = E_K(0^128); the paper computes this on the CPU with
+        # one AES-NI invocation and ships it to the DIMM via MMIO.
+        self.h = self._aes.encrypt_block(bytes(16))
+        self.mul_h = GF128Multiplier(_block_to_int(self.h))
+
+    # -- building blocks used by the DSA ------------------------------------
+
+    def j0(self, iv: bytes) -> bytes:
+        """Pre-counter block J0 for a given IV."""
+        if len(iv) == 12:
+            return iv + b"\x00\x00\x00\x01"
+        length_block = bytes(8) + (8 * len(iv)).to_bytes(8, "big")
+        return ghash(self.h, iv + bytes((16 - len(iv) % 16) % 16) + length_block)
+
+    def encrypted_iv(self, iv: bytes) -> bytes:
+        """EIV = E_K(J0), the block masking the final tag (CPU-computed)."""
+        return self._aes.encrypt_block(self.j0(iv))
+
+    def keystream_block(self, iv: bytes, block_index: int) -> bytes:
+        """The keystream block XORed against plaintext block `block_index`.
+
+        Block 0 of the message stream corresponds to counter J0 + 1.  Random
+        access here is what makes AES-GCM "incrementally computable"
+        (Observation 4): any byte range can be (de/en)crypted independently.
+        """
+        j0 = self.j0(iv)
+        counter = int.from_bytes(j0[12:], "big")
+        counter = (counter + 1 + block_index) & 0xFFFFFFFF
+        return self._aes.encrypt_block(j0[:12] + counter.to_bytes(4, "big"))
+
+    def keystream(self, iv: bytes, length: int, start_block: int = 0) -> bytes:
+        """`length` bytes of keystream starting at block `start_block`."""
+        blocks_needed = (length + 15) // 16
+        out = bytearray()
+        for i in range(blocks_needed):
+            out.extend(self.keystream_block(iv, start_block + i))
+        return bytes(out[:length])
+
+    @staticmethod
+    def _lengths_block(aad_len: int, ct_len: int) -> bytes:
+        return (8 * aad_len).to_bytes(8, "big") + (8 * ct_len).to_bytes(8, "big")
+
+    def tag(self, iv: bytes, ciphertext: bytes, aad: bytes) -> bytes:
+        """Authentication tag over (aad, ciphertext)."""
+        padded = (
+            aad
+            + bytes((16 - len(aad) % 16) % 16)
+            + ciphertext
+            + bytes((16 - len(ciphertext) % 16) % 16)
+            + self._lengths_block(len(aad), len(ciphertext))
+        )
+        s = _int_to_block(ghash_int(self.mul_h, padded))
+        eiv = self.encrypted_iv(iv)
+        return bytes(a ^ b for a, b in zip(s, eiv))
+
+    # -- whole-message AEAD --------------------------------------------------
+
+    def encrypt(self, iv: bytes, plaintext: bytes, aad: bytes = b"") -> tuple:
+        """Encrypt and authenticate; returns (ciphertext, tag)."""
+        stream = self.keystream(iv, len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        return ciphertext, self.tag(iv, ciphertext, aad)
+
+    def decrypt(self, iv: bytes, ciphertext: bytes, aad: bytes, tag: bytes) -> bytes:
+        """Verify the tag and decrypt; raises ValueError on tag mismatch."""
+        expected = self.tag(iv, ciphertext, aad)
+        if not _constant_time_eq(expected, tag):
+            raise ValueError("GCM authentication tag mismatch")
+        stream = self.keystream(iv, len(ciphertext))
+        return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+
+def _constant_time_eq(a: bytes, b: bytes) -> bool:
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

@@ -1,0 +1,235 @@
+"""Huffman coding for DEFLATE (RFC 1951 Sec. 3.2).
+
+Provides canonical code construction (including optimal length-limited codes
+via the package-merge algorithm), the fixed literal/length and distance
+codes, and the length/distance symbol tables shared by the compressor,
+decompressor, and the deflate DSA.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+MAX_CODE_LENGTH = 15
+
+# Length symbol table (RFC 1951 Sec. 3.2.5): symbol 257 + i encodes lengths
+# starting at _LENGTH_BASE[i] with _LENGTH_EXTRA[i] extra bits.
+LENGTH_BASE = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+    35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
+]
+LENGTH_EXTRA = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+    3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+]
+DISTANCE_BASE = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+    257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145,
+    8193, 12289, 16385, 24577,
+]
+DISTANCE_EXTRA = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+    7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
+]
+
+END_OF_BLOCK = 256
+
+# Order in which code-length-code lengths appear in a dynamic block header.
+CODE_LENGTH_ORDER = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15]
+
+
+def length_to_symbol(length: int) -> tuple:
+    """Map a match length (3..258) to (symbol, extra_bits_value, extra_bits)."""
+    for i in range(len(LENGTH_BASE) - 1, -1, -1):
+        if length >= LENGTH_BASE[i]:
+            return 257 + i, length - LENGTH_BASE[i], LENGTH_EXTRA[i]
+    raise ValueError("invalid match length %d" % length)
+
+
+def distance_to_symbol(distance: int) -> tuple:
+    """Map a match distance (1..32768) to (symbol, extra_bits_value, extra_bits)."""
+    for i in range(len(DISTANCE_BASE) - 1, -1, -1):
+        if distance >= DISTANCE_BASE[i]:
+            return i, distance - DISTANCE_BASE[i], DISTANCE_EXTRA[i]
+    raise ValueError("invalid match distance %d" % distance)
+
+
+def package_merge_lengths(frequencies: dict, limit: int = MAX_CODE_LENGTH) -> dict:
+    """Optimal length-limited Huffman code lengths (package-merge).
+
+    `frequencies` maps symbol -> count (counts must be positive).  Returns
+    symbol -> code length.  With a single symbol, the length is 1 (DEFLATE
+    requires at least one bit per code).
+    """
+    symbols = sorted(frequencies)
+    if not symbols:
+        return {}
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+    if len(symbols) > (1 << limit):
+        raise ValueError("alphabet too large for %d-bit codes" % limit)
+    # Each item is (weight, {symbol: count-of-activations}).
+    originals = [(frequencies[s], {s: 1}) for s in symbols]
+    packages = sorted(originals, key=lambda item: item[0])
+    merged_rows = []
+    for _ in range(limit - 1):
+        paired = []
+        for i in range(0, len(packages) - 1, 2):
+            weight = packages[i][0] + packages[i + 1][0]
+            members = dict(packages[i][1])
+            for symbol, count in packages[i + 1][1].items():
+                members[symbol] = members.get(symbol, 0) + count
+            paired.append((weight, members))
+        packages = sorted(paired + originals, key=lambda item: item[0])
+        merged_rows.append(packages)
+    take = 2 * len(symbols) - 2
+    lengths = dict.fromkeys(symbols, 0)
+    for weight, members in packages[:take]:
+        for symbol, count in members.items():
+            lengths[symbol] += count
+    return lengths
+
+
+def canonical_codes(lengths: dict) -> dict:
+    """Assign canonical Huffman codes given symbol -> length (RFC 1951 3.2.2)."""
+    bl_count = [0] * (MAX_CODE_LENGTH + 1)
+    for length in lengths.values():
+        if length:
+            bl_count[length] += 1
+    next_code = [0] * (MAX_CODE_LENGTH + 2)
+    code = 0
+    for bits in range(1, MAX_CODE_LENGTH + 1):
+        code = (code + bl_count[bits - 1]) << 1
+        next_code[bits] = code
+    codes = {}
+    for symbol in sorted(lengths):
+        length = lengths[symbol]
+        if length:
+            codes[symbol] = next_code[length]
+            next_code[length] += 1
+    return codes
+
+
+def validate_kraft(lengths: dict) -> bool:
+    """Check that the code lengths satisfy the Kraft inequality with equality
+    allowed only when <= 1 (a complete or under-full code)."""
+    total = sum(1 << (MAX_CODE_LENGTH - L) for L in lengths.values() if L)
+    return total <= (1 << MAX_CODE_LENGTH)
+
+
+class HuffmanEncoder:
+    """Symbol -> (code, length) encoder built from code lengths."""
+
+    def __init__(self, lengths: dict):
+        if not validate_kraft(lengths):
+            raise ValueError("code lengths violate the Kraft inequality")
+        self.lengths = dict(lengths)
+        self.codes = canonical_codes(lengths)
+
+    @classmethod
+    def from_frequencies(cls, frequencies: dict, limit: int = MAX_CODE_LENGTH):
+        return cls(package_merge_lengths(frequencies, limit))
+
+    def encode(self, symbol: int) -> tuple:
+        """Return (code, bit_length) for `symbol`."""
+        return self.codes[symbol], self.lengths[symbol]
+
+    def __contains__(self, symbol: int) -> bool:
+        return symbol in self.codes
+
+
+class HuffmanDecoder:
+    """Bit-serial canonical Huffman decoder."""
+
+    def __init__(self, lengths: dict):
+        codes = canonical_codes(lengths)
+        self._table = {
+            (lengths[symbol], code): symbol for symbol, code in codes.items()
+        }
+        self._max_length = max((L for L in lengths.values() if L), default=0)
+
+    def decode(self, reader) -> int:
+        """Decode one symbol from a :class:`repro.ulp.bitstream.BitReader`."""
+        code = 0
+        for length in range(1, self._max_length + 1):
+            code = (code << 1) | reader.read_bit()
+            symbol = self._table.get((length, code))
+            if symbol is not None:
+                return symbol
+        raise ValueError("invalid Huffman code in stream")
+
+
+def fixed_literal_lengths() -> dict:
+    """Code lengths of the fixed literal/length code (RFC 1951 Sec. 3.2.6)."""
+    lengths = {}
+    for symbol in range(0, 144):
+        lengths[symbol] = 8
+    for symbol in range(144, 256):
+        lengths[symbol] = 9
+    for symbol in range(256, 280):
+        lengths[symbol] = 7
+    for symbol in range(280, 288):
+        lengths[symbol] = 8
+    return lengths
+
+
+def fixed_distance_lengths() -> dict:
+    """Code lengths of the fixed distance code: 5 bits for all 30 symbols."""
+    return {symbol: 5 for symbol in range(30)}
+
+
+def encode_code_lengths(lengths_sequence: list) -> list:
+    """Run-length encode a code-length sequence with symbols 16/17/18.
+
+    Returns a list of (symbol, extra_value, extra_bits) tuples per
+    RFC 1951 Sec. 3.2.7.
+    """
+    out = []
+    i = 0
+    n = len(lengths_sequence)
+    while i < n:
+        value = lengths_sequence[i]
+        run = 1
+        while i + run < n and lengths_sequence[i + run] == value:
+            run += 1
+        i += run
+        if value == 0:
+            while run >= 11:
+                chunk = min(run, 138)
+                out.append((18, chunk - 11, 7))
+                run -= chunk
+            if run >= 3:
+                out.append((17, run - 3, 3))
+                run = 0
+            for _ in range(run):
+                out.append((0, 0, 0))
+        else:
+            out.append((value, 0, 0))
+            run -= 1
+            while run >= 3:
+                chunk = min(run, 6)
+                out.append((16, chunk - 3, 2))
+                run -= chunk
+            for _ in range(run):
+                out.append((value, 0, 0))
+    return out
+
+
+def decode_code_lengths(entries: list, total: int) -> list:
+    """Inverse of :func:`encode_code_lengths` given decoded (symbol, extra)
+    pairs; used by the dynamic-block reader in :mod:`repro.ulp.deflate`."""
+    lengths = []
+    for symbol, extra in entries:
+        if symbol < 16:
+            lengths.append(symbol)
+        elif symbol == 16:
+            if not lengths:
+                raise ValueError("repeat code with no previous length")
+            lengths.extend([lengths[-1]] * (3 + extra))
+        elif symbol == 17:
+            lengths.extend([0] * (3 + extra))
+        else:
+            lengths.extend([0] * (11 + extra))
+    if len(lengths) != total:
+        raise ValueError("decoded %d code lengths, expected %d" % (len(lengths), total))
+    return lengths

@@ -1,0 +1,152 @@
+"""TLS 1.3 record layer (RFC 8446 Sec. 5) over AES-GCM.
+
+This models exactly the slice of TLS the paper offloads: symmetric record
+protection.  Handshake and key derivation stay on the CPU in every
+configuration the paper evaluates (even QuickAssist offloads them as a
+separate coarse-grain path), so we take traffic keys as given.
+
+A :class:`TLSRecordLayer` holds one direction of a connection: a key, a
+static IV, and a 64-bit sequence number that is XORed into the per-record
+nonce.  Records round-trip between two layers constructed with the same key
+material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ulp.gcm import AESGCM
+
+CONTENT_TYPE_APPLICATION_DATA = 23
+CONTENT_TYPE_ALERT = 21
+CONTENT_TYPE_HANDSHAKE = 22
+
+LEGACY_RECORD_VERSION = 0x0303
+MAX_PLAINTEXT_SIZE = 16384  # 2^14, RFC 8446 Sec. 5.1
+HEADER_SIZE = 5
+
+
+@dataclass
+class TLSRecord:
+    """One protected record: 5-byte header + ciphertext + 16-byte tag."""
+
+    content_type: int
+    ciphertext: bytes
+    tag: bytes
+
+    @property
+    def payload(self) -> bytes:
+        return self.ciphertext + self.tag
+
+    def wire_bytes(self) -> bytes:
+        """Serialize to TLSCiphertext wire format."""
+        body = self.payload
+        header = (
+            bytes([CONTENT_TYPE_APPLICATION_DATA])
+            + LEGACY_RECORD_VERSION.to_bytes(2, "big")
+            + len(body).to_bytes(2, "big")
+        )
+        return header + body
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "TLSRecord":
+        """Parse one record from wire bytes (must contain exactly one record)."""
+        if len(data) < HEADER_SIZE + AESGCM.TAG_SIZE:
+            raise ValueError("record too short: %d bytes" % len(data))
+        length = int.from_bytes(data[3:5], "big")
+        body = data[HEADER_SIZE : HEADER_SIZE + length]
+        if len(body) != length:
+            raise ValueError("truncated record body")
+        return cls(
+            content_type=CONTENT_TYPE_APPLICATION_DATA,
+            ciphertext=body[: -AESGCM.TAG_SIZE],
+            tag=body[-AESGCM.TAG_SIZE :],
+        )
+
+
+def record_nonce(static_iv: bytes, sequence: int) -> bytes:
+    """Per-record nonce: the 64-bit sequence number XORed into the IV tail."""
+    if len(static_iv) != 12:
+        raise ValueError("TLS 1.3 static IV must be 12 bytes")
+    seq_bytes = sequence.to_bytes(8, "big")
+    padded = bytes(4) + seq_bytes
+    return bytes(a ^ b for a, b in zip(static_iv, padded))
+
+
+def record_aad(inner_length: int) -> bytes:
+    """Additional data: the TLSCiphertext header (RFC 8446 Sec. 5.2)."""
+    return (
+        bytes([CONTENT_TYPE_APPLICATION_DATA])
+        + LEGACY_RECORD_VERSION.to_bytes(2, "big")
+        + inner_length.to_bytes(2, "big")
+    )
+
+
+class TLSRecordLayer:
+    """One direction of TLS 1.3 record protection.
+
+    >>> tx = TLSRecordLayer(bytes(16), bytes(12))
+    >>> rx = TLSRecordLayer(bytes(16), bytes(12))
+    >>> rx.unprotect(tx.protect(b"GET / HTTP/1.1\\r\\n"))
+    (b'GET / HTTP/1.1\\r\\n', 23)
+    """
+
+    def __init__(self, key: bytes, static_iv: bytes):
+        self.gcm = AESGCM(key)
+        self.static_iv = bytes(static_iv)
+        self.sequence = 0
+
+    def next_nonce(self) -> bytes:
+        """The nonce the next record will use (sequence not advanced)."""
+        return record_nonce(self.static_iv, self.sequence)
+
+    def protect(
+        self, plaintext: bytes, content_type: int = CONTENT_TYPE_APPLICATION_DATA
+    ) -> TLSRecord:
+        """Encrypt a plaintext fragment into a protected record.
+
+        The inner plaintext is ``plaintext || content_type`` per RFC 8446;
+        padding is not modelled (the paper's workloads never pad).
+        """
+        if len(plaintext) > MAX_PLAINTEXT_SIZE:
+            raise ValueError(
+                "TLS plaintext fragment exceeds 2^14 bytes: %d" % len(plaintext)
+            )
+        inner = plaintext + bytes([content_type])
+        nonce = self.next_nonce()
+        aad = record_aad(len(inner) + AESGCM.TAG_SIZE)
+        ciphertext, tag = self.gcm.encrypt(nonce, inner, aad)
+        self.sequence += 1
+        return TLSRecord(content_type=content_type, ciphertext=ciphertext, tag=tag)
+
+    def unprotect(self, record: TLSRecord) -> tuple:
+        """Decrypt and authenticate a record; returns (plaintext, content_type)."""
+        nonce = self.next_nonce()
+        aad = record_aad(len(record.payload))
+        inner = self.gcm.decrypt(nonce, record.ciphertext, aad, record.tag)
+        self.sequence += 1
+        if not inner:
+            raise ValueError("empty inner plaintext")
+        # Strip zero padding then the content-type octet.
+        end = len(inner)
+        while end > 0 and inner[end - 1] == 0:
+            end -= 1
+        if end == 0:
+            raise ValueError("record contains only padding")
+        return inner[: end - 1], inner[end - 1]
+
+
+def fragment_message(message: bytes, fragment_size: int) -> list:
+    """Split an application message into record-sized fragments.
+
+    The paper's ULP messages (4 KB / 16 KB / 64 KB web responses) span
+    multiple TLS records and multiple TCP segments; this helper produces the
+    record-layer fragmentation.
+    """
+    if fragment_size <= 0:
+        raise ValueError("fragment_size must be positive")
+    fragment_size = min(fragment_size, MAX_PLAINTEXT_SIZE)
+    return [
+        message[offset : offset + fragment_size]
+        for offset in range(0, max(len(message), 1), fragment_size)
+    ]

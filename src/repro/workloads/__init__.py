@@ -1,0 +1,20 @@
+"""Workload generation: synthetic web content and HTTP messages.
+
+The paper's artifact uses public web servers and compression corpora; with
+no network access we generate synthetic corpora with controllable structure
+(match density, entropy) that exercise the same compressor/cipher code
+paths, plus HTTP/1.1 request and response builders for the functional
+server.
+"""
+
+from repro.workloads.corpus import CorpusKind, generate_corpus
+from repro.workloads.http import HttpRequest, HttpResponse, build_request, parse_request
+
+__all__ = [
+    "CorpusKind",
+    "generate_corpus",
+    "HttpRequest",
+    "HttpResponse",
+    "build_request",
+    "parse_request",
+]

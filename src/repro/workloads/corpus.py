@@ -1,0 +1,126 @@
+"""Synthetic compression corpora.
+
+Substitutes for the public corpora the paper's artifact downloads (e.g.
+Calgary/Silesia-style text and web assets).  Each generator is seeded and
+deterministic, with structure chosen to exercise a particular compressor
+behaviour:
+
+* ``HTML`` — tag-heavy markup with repeated boilerplate: high match density
+  at short distances (the nginx workload of Figs. 11/12).
+* ``TEXT`` — natural-language-like word soup from a Zipf-ish vocabulary:
+  moderate matches, Huffman-friendly symbol skew.
+* ``JSON`` — API-response-like structures: repetitive keys, numeric noise.
+* ``LOG`` — timestamped server-log lines: near-identical line prefixes.
+* ``RANDOM`` — incompressible; exercises stored-block and DSA-overflow
+  fallbacks.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+
+class CorpusKind(enum.Enum):
+    """Synthetic corpus families with distinct compressibility."""
+
+    HTML = "html"
+    TEXT = "text"
+    JSON = "json"
+    LOG = "log"
+    RANDOM = "random"
+
+
+_WORDS = (
+    "memory network protocol accelerator cache layer transport offload "
+    "buffer device channel record packet stream server request response "
+    "throughput latency bandwidth datacenter hardware software kernel "
+    "socket cipher compress encrypt payload header segment page line"
+).split()
+
+_TAGS = ["div", "span", "p", "a", "li", "ul", "section", "article", "h2", "td"]
+
+
+def _html(rng: random.Random, size: int) -> bytes:
+    out = bytearray(b"<!DOCTYPE html><html><head><title>SmartDIMM</title></head><body>")
+    while len(out) < size:
+        tag = rng.choice(_TAGS)
+        cls = rng.choice(["row", "col", "nav", "hero", "card", "footer"])
+        words = " ".join(rng.choice(_WORDS) for _ in range(rng.randint(3, 12)))
+        out += ('<%s class="%s">%s</%s>' % (tag, cls, words, tag)).encode()
+    out += b"</body></html>"
+    return bytes(out[:size])
+
+
+def _text(rng: random.Random, size: int) -> bytes:
+    out = bytearray()
+    while len(out) < size:
+        sentence = " ".join(rng.choice(_WORDS) for _ in range(rng.randint(6, 14)))
+        out += sentence.capitalize().encode() + b". "
+        if rng.random() < 0.08:
+            out += b"\n\n"
+    return bytes(out[:size])
+
+
+def _json(rng: random.Random, size: int) -> bytes:
+    out = bytearray(b'{"items":[')
+    first = True
+    while len(out) < size:
+        if not first:
+            out += b","
+        first = False
+        out += (
+            '{"id":%d,"name":"%s","score":%.3f,"tags":["%s","%s"],"active":%s}'
+            % (
+                rng.randint(1, 10_000_000),
+                rng.choice(_WORDS),
+                rng.random(),
+                rng.choice(_WORDS),
+                rng.choice(_WORDS),
+                rng.choice(["true", "false"]),
+            )
+        ).encode()
+    out += b"]}"
+    return bytes(out[:size])
+
+
+def _log(rng: random.Random, size: int) -> bytes:
+    out = bytearray()
+    second = 0
+    while len(out) < size:
+        second += rng.randint(0, 2)
+        out += (
+            "2026-07-%02d %02d:%02d:%02d INFO worker[%d] served /%s/%d in %dus\n"
+            % (
+                1 + second // 86400,
+                (second // 3600) % 24,
+                (second // 60) % 60,
+                second % 60,
+                rng.randint(0, 9),
+                rng.choice(_WORDS),
+                rng.randint(1, 9999),
+                rng.randint(40, 900),
+            )
+        ).encode()
+    return bytes(out[:size])
+
+
+def _random(rng: random.Random, size: int) -> bytes:
+    return bytes(rng.getrandbits(8) for _ in range(size))
+
+
+_GENERATORS = {
+    CorpusKind.HTML: _html,
+    CorpusKind.TEXT: _text,
+    CorpusKind.JSON: _json,
+    CorpusKind.LOG: _log,
+    CorpusKind.RANDOM: _random,
+}
+
+
+def generate_corpus(kind: CorpusKind, size: int, seed: int = 0) -> bytes:
+    """Generate `size` bytes of deterministic corpus of the given kind."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    rng = random.Random((hash(kind.value) & 0xFFFF) * 31 + seed)
+    return _GENERATORS[kind](rng, size)

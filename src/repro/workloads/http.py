@@ -1,0 +1,93 @@
+"""HTTP/1.1 message builders and parsers for the functional server.
+
+Minimal but real: the functional Nginx model parses these requests and
+emits these responses byte-for-byte, so the end-to-end examples exercise a
+genuine protocol path (request line, headers, keep-alive, content
+encoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CRLF = b"\r\n"
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: dict = field(default_factory=dict)
+
+    @property
+    def accepts_deflate(self) -> bool:
+        encodings = self.headers.get("accept-encoding", "")
+        return "deflate" in encodings.lower()
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    body: bytes
+    headers: dict = field(default_factory=dict)
+
+    REASONS = {200: "OK", 404: "Not Found", 500: "Internal Server Error"}
+
+    def wire_bytes(self) -> bytes:
+        """Serialise status line, headers, and body."""
+        lines = [
+            ("HTTP/1.1 %d %s" % (self.status, self.REASONS.get(self.status, "OK"))).encode()
+        ]
+        headers = dict(self.headers)
+        headers.setdefault("content-length", str(len(self.body)))
+        headers.setdefault("connection", "keep-alive")
+        for name in sorted(headers):
+            lines.append(("%s: %s" % (name, headers[name])).encode())
+        return CRLF.join(lines) + CRLF + CRLF + self.body
+
+
+def build_request(path: str, accept_deflate: bool = False, extra_headers: dict = None) -> bytes:
+    """Serialise a GET request (what the wrk model sends)."""
+    headers = {"host": "server", "connection": "keep-alive"}
+    if accept_deflate:
+        headers["accept-encoding"] = "deflate"
+    if extra_headers:
+        headers.update(extra_headers)
+    lines = [("GET %s HTTP/1.1" % path).encode()]
+    for name in sorted(headers):
+        lines.append(("%s: %s" % (name, headers[name])).encode())
+    return CRLF.join(lines) + CRLF + CRLF
+
+
+def parse_request(data: bytes) -> HttpRequest:
+    """Parse one serialised request."""
+    head, _, _ = data.partition(CRLF + CRLF)
+    lines = head.split(CRLF)
+    try:
+        method, path, version = lines[0].decode().split(" ")
+    except ValueError:
+        raise ValueError("malformed request line: %r" % lines[0])
+    if not version.startswith("HTTP/1."):
+        raise ValueError("unsupported HTTP version %s" % version)
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return HttpRequest(method=method, path=path, headers=headers)
+
+
+def parse_response(data: bytes) -> HttpResponse:
+    """Parse one serialised response (test/loadgen side)."""
+    head, _, body = data.partition(CRLF + CRLF)
+    lines = head.split(CRLF)
+    status = int(lines[0].decode().split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", len(body)))
+    return HttpResponse(status=status, body=body[:length], headers=headers)

@@ -1,0 +1,49 @@
+"""On-CPU software placement."""
+
+import zlib
+
+import pytest
+
+from repro.accel.cpu_onload import CpuOnload
+from repro.ulp.gcm import AESGCM
+
+KEY = bytes(range(16))
+NONCE = bytes(12)
+
+
+def test_encrypt_decrypt_round_trip():
+    onload = CpuOnload()
+    payload = b"software path " * 50
+    enc = onload.tls_encrypt(KEY, NONCE, payload, b"aad")
+    dec = onload.tls_decrypt(KEY, NONCE, enc.payload[:-16], b"aad", enc.payload[-16:])
+    assert dec.payload == payload
+
+
+def test_compress_decompress_round_trip():
+    onload = CpuOnload()
+    data = b"compress this text please " * 200
+    compressed = onload.compress(data)
+    assert zlib.decompress(compressed.payload, -15) == data
+    assert onload.decompress(compressed.payload).payload == data
+
+
+def test_cycle_accounting_accumulates():
+    onload = CpuOnload()
+    onload.tls_encrypt(KEY, NONCE, bytes(4096))
+    onload.compress(bytes(100))
+    assert onload.total_cycles > 0
+
+
+def test_compression_costs_dwarf_crypto():
+    """The asymmetry behind Fig. 11 vs Fig. 12."""
+    onload = CpuOnload()
+    crypto = onload.tls_encrypt(KEY, NONCE, bytes(4096)).cpu_cycles
+    compress = onload.compress(bytes(4096)).cpu_cycles
+    assert compress > 20 * crypto
+
+
+def test_gcm_context_cached_per_key():
+    onload = CpuOnload()
+    onload.tls_encrypt(KEY, NONCE, b"one")
+    onload.tls_encrypt(KEY, NONCE, b"two")
+    assert len(onload._gcm_cache) == 1

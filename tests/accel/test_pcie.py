@@ -1,0 +1,26 @@
+"""PCIe link model."""
+
+import pytest
+
+from repro.accel.pcie import PcieLink
+
+
+def test_transfer_time_includes_latency():
+    link = PcieLink(bandwidth_bytes_per_sec=8e9, transaction_latency_s=1e-6)
+    assert link.transfer_time(8000) == pytest.approx(1e-6 + 1e-6)
+
+
+def test_transfers_serialise_on_shared_link():
+    link = PcieLink(bandwidth_bytes_per_sec=8e9, transaction_latency_s=0.0)
+    first = link.transfer(0.0, 8000)
+    second = link.transfer(0.0, 8000)
+    assert second == pytest.approx(first + 1e-6)
+
+
+def test_stats():
+    link = PcieLink()
+    link.transfer(0.0, 1000)
+    link.transfer(0.0, 2000)
+    assert link.stats.transactions == 2
+    assert link.stats.bytes_transferred == 3000
+    assert link.stats.total_time_s > 0

@@ -1,0 +1,63 @@
+"""QuickAssist lookaside model: correctness + lookaside tax."""
+
+import zlib
+
+import pytest
+
+from repro.accel.quickassist import QuickAssist
+from repro.cpu.costs import DEFAULT_COSTS
+from repro.ulp.gcm import AESGCM
+from repro.workloads.corpus import CorpusKind, generate_corpus
+
+KEY = bytes(range(16))
+NONCE = bytes(12)
+
+
+def test_crypto_output_matches_software():
+    card = QuickAssist()
+    payload = b"offload me " * 100
+    result = card.tls_encrypt(KEY, NONCE, payload, b"aad")
+    ct, tag = AESGCM(KEY).encrypt(NONCE, payload, b"aad")
+    assert result.payload == ct + tag
+
+
+def test_compression_output_is_valid_deflate():
+    card = QuickAssist()
+    data = generate_corpus(CorpusKind.JSON, 8000)
+    result = card.compress(data)
+    assert zlib.decompress(result.payload, -15) == data
+
+
+def test_small_offload_pays_fixed_tax():
+    """Observation 2: at 4KB the management cycles swamp the saved compute."""
+    card = QuickAssist()
+    result = card.tls_encrypt(KEY, NONCE, bytes(4096))
+    min_tax = DEFAULT_COSTS.qat_setup_cycles + DEFAULT_COSTS.qat_completion_cycles
+    assert result.cpu_cycles >= min_tax
+    assert result.cpu_cycles > DEFAULT_COSTS.aes_gcm_cycles(4096)
+
+
+def test_offload_latency_includes_pcie_round_trip():
+    card = QuickAssist()
+    result = card.tls_encrypt(KEY, NONCE, bytes(4096))
+    assert result.offload_latency_s >= 2 * card.link.transaction_latency
+
+
+def test_pcie_bytes_counted_both_directions():
+    card = QuickAssist()
+    result = card.tls_encrypt(KEY, NONCE, bytes(1000))
+    assert result.pcie_bytes == 1000 + 1016  # payload + ct||tag
+
+
+def test_latency_grows_with_size():
+    card = QuickAssist()
+    small = card.compress(generate_corpus(CorpusKind.TEXT, 1024))
+    large = card.compress(generate_corpus(CorpusKind.TEXT, 65536))
+    assert large.offload_latency_s > small.offload_latency_s
+
+
+def test_offload_counter():
+    card = QuickAssist()
+    card.tls_encrypt(KEY, NONCE, b"x" * 100)
+    card.compress(b"y" * 100)
+    assert card.offloads == 2

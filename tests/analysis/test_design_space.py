@@ -1,0 +1,41 @@
+"""Fig. 13 design-space matrix."""
+
+from repro.analysis.design_space import CRITERIA, OPTIONS, DesignSpace
+
+
+def test_matrix_is_complete():
+    space = DesignSpace()
+    matrix = space.matrix()
+    assert len(matrix) == len(CRITERIA) * len(OPTIONS)
+    assert all(0 <= entry.score <= 3 for entry in matrix)
+    assert all(entry.rationale for entry in matrix)
+
+
+def test_smartdimm_wins_high_contention():
+    space = DesignSpace()
+    scores = {o: space.score(o, "high_llc_contention_performance") for o in OPTIONS}
+    assert scores["smartdimm"] == max(scores.values())
+
+
+def test_autonomous_nic_weak_on_loss_resilience():
+    space = DesignSpace()
+    assert space.score("smartnic_autonomous", "loss_reorder_resilience") <= 1
+    assert space.score("smartdimm", "loss_reorder_resilience") == 3
+
+
+def test_toe_freezes_the_transport():
+    space = DesignSpace()
+    assert space.score("smartnic_toe", "transport_flexibility") == 0
+    assert space.score("cpu", "transport_flexibility") == 3
+
+
+def test_autonomous_nic_cannot_do_diverse_ulps():
+    space = DesignSpace()
+    assert space.score("smartnic_autonomous", "ulp_diversity") < space.score("cpu", "ulp_diversity")
+
+
+def test_overall_ranking_favours_smartdimm():
+    """Fig. 13's takeaway: SmartDIMM covers the criteria best overall."""
+    totals = DesignSpace().totals()
+    assert totals["smartdimm"] == max(totals.values())
+    assert totals["smartnic_toe"] <= min(totals["cpu"], totals["smartdimm"])

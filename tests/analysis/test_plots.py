@@ -1,0 +1,62 @@
+"""ASCII figure renderers and CSV export."""
+
+import pytest
+
+from repro.analysis.plots import render_bars, render_scatter, render_timeline, to_csv
+
+
+def test_csv_round_shape():
+    text = to_csv(["a", "b"], [[1, 2], [3, 4]])
+    assert text.splitlines() == ["a,b", "1,2", "3,4"]
+
+
+def test_scatter_renders_both_series():
+    points = [(0, 0, "rdCAS"), (100, 1000, "wrCAS"), (50, 500, "rdCAS")]
+    art = render_scatter(points, width=20, height=5)
+    assert "r" in art and "w" in art
+    assert "x: 0..100" in art
+
+
+def test_scatter_empty():
+    assert render_scatter([]) == "(no points)\n"
+
+
+def test_scatter_write_glyph_survives_collisions():
+    points = [(0, 0, "wrCAS")] + [(0, 0, "rdCAS")] * 5
+    art = render_scatter(points, width=10, height=3)
+    assert "w" in art
+
+
+def test_timeline_multiple_series():
+    art = render_timeline({"full": [0, 10, 20, 20], "small": [0, 5, 5, 5]},
+                          width=16, height=6)
+    assert "a=full" in art and "b=small" in art
+    assert "peak=20" in art
+
+
+def test_timeline_empty():
+    assert render_timeline({}) == "(no samples)\n"
+
+
+def test_bars_reference_marker():
+    art = render_bars({"TLS 4KB": {"cpu": 1.0, "smartdimm": 1.3}}, width=20)
+    assert "cpu" in art and "smartdimm" in art
+    assert "|" in art  # the normalised reference line
+    assert "1.30" in art
+
+
+def test_scatter_from_real_trace(traced_session):
+    """End to end: a real CompCpy trace renders without error."""
+    from repro.core.dsa.base import UlpKind
+    from repro.core.dsa.tls_dsa import TLSOffloadContext
+    from repro.dram.commands import PAGE_SIZE
+
+    session = traced_session
+    sbuf = session.driver.alloc_pages(1)
+    dbuf = session.driver.alloc_pages(1)
+    session.write(sbuf, bytes(PAGE_SIZE))
+    context = TLSOffloadContext(key=bytes(16), nonce=bytes(12), record_length=64)
+    session.compcpy.compcpy(dbuf, sbuf, PAGE_SIZE, context, UlpKind.TLS_ENCRYPT)
+    points = [(e.cycle, e.address, e.kind) for e in session.mc.trace]
+    art = render_scatter(points)
+    assert art.count("\n") >= 20

@@ -1,0 +1,50 @@
+"""Power/area model against the Sec. VII-D numbers."""
+
+import pytest
+
+from repro.analysis.power import AXDIMM_FPGA, PowerModel
+
+
+def test_full_activity_matches_vivado_estimate():
+    assert PowerModel().full_activity_watts() == pytest.approx(4.78, abs=0.05)
+
+
+def test_benchmark_utilisation_added_power():
+    """<30% channel utilisation during TLS offload -> ~0.92W average adder."""
+    report = PowerModel().report(channel_utilisation=0.19, deflate=False)
+    assert report.dynamic_watts == pytest.approx(0.92, abs=0.25)
+
+
+def test_power_scales_with_channel_activity():
+    model = PowerModel()
+    assert model.report(0.1).dynamic_watts < model.report(0.5).dynamic_watts
+    assert model.report(1.2).dynamic_watts == model.report(1.0).dynamic_watts
+
+
+def test_tls_dsa_fpga_fraction():
+    assert PowerModel().tls_utilisation_fraction() == pytest.approx(0.218, abs=0.01)
+
+
+def test_scratchpad_size_moves_power():
+    small = PowerModel(scratchpad_mb=2).full_activity_watts()
+    large = PowerModel(scratchpad_mb=16).full_activity_watts()
+    assert large > small
+
+
+def test_cuckoo_cheaper_than_cam():
+    """The Sec. IV-C argument for rejecting a CAM translation table."""
+    model = PowerModel()
+    assert model.TRANSLATION_TABLE_W < model.TRANSLATION_CAM_ALTERNATIVE_W / 3
+
+
+def test_deflate_window_area_grows_superlinearly():
+    model = PowerModel()
+    w8 = model.deflate_dsa_resources(8)
+    w16 = model.deflate_dsa_resources(16)
+    assert w16.luts > 2 * w8.luts  # superlinear in window width
+
+
+def test_breakdown_sums():
+    report = PowerModel().report(0.5)
+    assert sum(report.breakdown.values()) == pytest.approx(report.dynamic_watts)
+    assert report.total_watts > report.dynamic_watts

@@ -1,0 +1,57 @@
+"""Report aggregation and CLI."""
+
+import os
+
+import pytest
+
+from repro.analysis.report import SECTIONS, build_report, coverage
+
+
+def test_build_report_with_empty_dir(tmp_path):
+    text = build_report(results_dir=str(tmp_path))
+    assert "missing sections" in text
+    for _, title in SECTIONS:
+        assert title in text
+
+
+def test_build_report_includes_present_sections(tmp_path):
+    name, title = SECTIONS[0]
+    (tmp_path / (name + ".txt")).write_text("ROW-ONE\nROW-TWO\n")
+    text = build_report(results_dir=str(tmp_path))
+    assert "ROW-ONE" in text and "ROW-TWO" in text
+
+
+def test_coverage_counts(tmp_path):
+    assert coverage(results_dir=str(tmp_path)) == (0, len(SECTIONS))
+    for name, _ in SECTIONS[:3]:
+        (tmp_path / (name + ".txt")).write_text("x\n")
+    assert coverage(results_dir=str(tmp_path)) == (3, len(SECTIONS))
+
+
+def test_cli_demo_runs():
+    from repro.__main__ import main
+
+    assert main(["demo"]) == 0
+
+
+def test_cli_compare_runs(capsys):
+    from repro.__main__ import main
+
+    assert main(["compare", "4096"]) == 0
+    out = capsys.readouterr().out
+    assert "smartdimm" in out and "TLS 4096B" in out
+
+
+def test_cli_power_runs(capsys):
+    from repro.__main__ import main
+
+    assert main(["power", "0.5"]) == 0
+    assert "dynamic power" in capsys.readouterr().out
+
+
+def test_cli_report_to_file(tmp_path, capsys):
+    from repro.__main__ import main
+
+    target = tmp_path / "report.txt"
+    assert main(["report", "-o", str(target)]) == 0
+    assert target.exists()

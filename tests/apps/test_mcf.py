@@ -1,0 +1,41 @@
+"""mcf-like co-runner kernel."""
+
+import pytest
+
+from repro.apps.mcf import McfKernel
+from repro.cache.llc import LLC
+from repro.dram.address import AddressMapping
+from repro.dram.memory_controller import MemoryController, PlainDIMM
+from repro.dram.physical_memory import PhysicalMemory
+
+
+def _llc(size=32 * 1024):
+    mapping = AddressMapping(rows=1 << 8)
+    mc = MemoryController(mapping, {0: PlainDIMM(PhysicalMemory(16 * 1024 * 1024))})
+    return LLC(mc, size=size, ways=4)
+
+
+def test_footprint_larger_than_cache_thrashes():
+    llc = _llc(size=32 * 1024)
+    kernel = McfKernel(llc, base_address=0, footprint_bytes=1 << 20)
+    kernel.step(4000)
+    assert kernel.stats.miss_rate > 0.8
+
+
+def test_footprint_smaller_than_cache_hits():
+    llc = _llc(size=256 * 1024)
+    kernel = McfKernel(llc, base_address=0, footprint_bytes=16 * 1024)
+    kernel.step(1000)  # warm up (256 lines) then loop
+    assert kernel.stats.miss_rate < 0.5
+
+
+def test_permutation_covers_whole_footprint():
+    llc = _llc(size=1024 * 1024)
+    kernel = McfKernel(llc, base_address=0, footprint_bytes=64 * 64)
+    kernel.step(64)
+    assert llc.resident_lines == 64  # every line touched exactly once
+
+
+def test_minimum_footprint():
+    with pytest.raises(ValueError):
+        McfKernel(_llc(), base_address=0, footprint_bytes=32)

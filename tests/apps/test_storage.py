@@ -1,0 +1,43 @@
+"""Storage DMA via DDIO and the leak behaviour of Observation 3."""
+
+from repro.apps.storage import StorageDevice
+from repro.cache.llc import LLC
+from repro.dram.address import AddressMapping
+from repro.dram.memory_controller import MemoryController, PlainDIMM
+from repro.dram.physical_memory import PhysicalMemory
+
+
+def _system(dma_way_mask=0b11):
+    mapping = AddressMapping(rows=1 << 8)
+    memory = PhysicalMemory(16 * 1024 * 1024)
+    mc = MemoryController(mapping, {0: PlainDIMM(memory)})
+    llc = LLC(mc, size=16 * 1024, ways=4, dma_way_mask=dma_way_mask)
+    return StorageDevice(llc), llc, mc, memory
+
+
+def test_dma_lands_in_cache_first():
+    storage, llc, mc, memory = _system()
+    storage.store("file", b"\x9d" * 4096)
+    storage.dma_read_into("file", 0)
+    assert storage.stats.bytes_dma == 4096
+    # Consumed promptly: served from the LLC without DRAM reads.
+    reads_before = mc.stats.reads
+    assert llc.load(0) == b"\x9d" * 64
+    assert mc.stats.reads == reads_before
+
+
+def test_large_dma_leaks_to_dram():
+    """DDIO's restricted ways cannot hold a large DMA burst: Observation 3."""
+    storage, llc, mc, memory = _system(dma_way_mask=0b1)
+    storage.store("big", bytes(range(256)) * 64)  # 16KB through a 4KB DMA way
+    storage.dma_read_into("big", 0)
+    assert llc.stats.dma_leaks > 0
+    mc.fence()
+    assert memory.read_line(0) == bytes(range(64))  # leaked lines reached DRAM
+
+
+def test_short_blob_padded_to_line():
+    storage, llc, _, _ = _system()
+    storage.store("tiny", b"abc")
+    storage.dma_read_into("tiny", 128)
+    assert llc.load(128)[:3] == b"abc"

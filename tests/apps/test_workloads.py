@@ -1,0 +1,71 @@
+"""Corpus generation and HTTP message handling."""
+
+import zlib
+
+import pytest
+
+from repro.workloads.corpus import CorpusKind, generate_corpus
+from repro.workloads.http import (
+    HttpResponse,
+    build_request,
+    parse_request,
+    parse_response,
+)
+
+
+@pytest.mark.parametrize("kind", list(CorpusKind))
+def test_corpus_exact_size_and_deterministic(kind):
+    a = generate_corpus(kind, 5000, seed=1)
+    b = generate_corpus(kind, 5000, seed=1)
+    assert len(a) == 5000
+    assert a == b
+    assert generate_corpus(kind, 5000, seed=2) != a or kind is CorpusKind.RANDOM
+
+
+def test_corpus_compressibility_ordering():
+    """Structured corpora compress well; RANDOM does not."""
+    sizes = {
+        kind: len(zlib.compress(generate_corpus(kind, 16384), 6))
+        for kind in CorpusKind
+    }
+    assert sizes[CorpusKind.LOG] < sizes[CorpusKind.RANDOM]
+    assert sizes[CorpusKind.HTML] < sizes[CorpusKind.RANDOM]
+    assert sizes[CorpusKind.RANDOM] > 16000  # incompressible
+
+
+def test_corpus_negative_size_rejected():
+    with pytest.raises(ValueError):
+        generate_corpus(CorpusKind.TEXT, -1)
+
+
+def test_request_round_trip():
+    raw = build_request("/path/x", accept_deflate=True, extra_headers={"x-a": "1"})
+    request = parse_request(raw)
+    assert request.method == "GET"
+    assert request.path == "/path/x"
+    assert request.accepts_deflate
+    assert request.headers["x-a"] == "1"
+
+
+def test_request_without_deflate():
+    assert not parse_request(build_request("/")).accepts_deflate
+
+
+def test_malformed_request_rejected():
+    with pytest.raises(ValueError):
+        parse_request(b"GARBAGE\r\n\r\n")
+    with pytest.raises(ValueError):
+        parse_request(b"GET / SPDY/9\r\n\r\n")
+
+
+def test_response_wire_round_trip():
+    response = HttpResponse(status=200, body=b"payload", headers={"x-h": "v"})
+    parsed = parse_response(response.wire_bytes())
+    assert parsed.status == 200
+    assert parsed.body == b"payload"
+    assert parsed.headers["x-h"] == "v"
+    assert parsed.headers["content-length"] == "7"
+
+
+def test_response_reason_phrases():
+    assert b"404 Not Found" in HttpResponse(status=404, body=b"").wire_bytes()

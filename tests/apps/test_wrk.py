@@ -1,0 +1,48 @@
+"""wrk load generator: end-to-end decode verification."""
+
+from repro.apps.nginx import NginxServer, ServerConfig, SoftwareBackend
+from repro.apps.wrk import WrkLoadGenerator
+from repro.workloads.corpus import CorpusKind, generate_corpus
+
+CONTENT = {
+    "/a": generate_corpus(CorpusKind.HTML, 5000),
+    "/b": generate_corpus(CorpusKind.JSON, 3000),
+}
+
+
+def _run(tls=False, compression=False, requests=10, connections=3):
+    server = NginxServer(ServerConfig(tls=tls, compression=compression),
+                         SoftwareBackend(), CONTENT)
+    generator = WrkLoadGenerator(server, connections=connections)
+    return generator.run(list(CONTENT), requests=requests)
+
+
+def test_plain_http_all_ok():
+    report = _run()
+    assert report.requests == 10
+    assert report.responses_ok == 10
+    assert report.decode_failures == 0
+
+
+def test_tls_all_ok():
+    report = _run(tls=True)
+    assert report.responses_ok == 10
+
+
+def test_compressed_all_ok():
+    report = _run(compression=True)
+    assert report.responses_ok == 10
+    assert report.wire_bytes < report.body_bytes  # compression worked
+
+
+def test_tls_plus_compression():
+    report = _run(tls=True, compression=True, requests=6)
+    assert report.responses_ok == 6
+
+
+def test_requests_round_robin_connections():
+    server = NginxServer(ServerConfig(tls=True), SoftwareBackend(), CONTENT)
+    generator = WrkLoadGenerator(server, connections=4)
+    report = generator.run(list(CONTENT), requests=8)
+    assert report.responses_ok == 8
+    assert len(server._tls_tx_by_connection) == 4

@@ -1,0 +1,27 @@
+"""Shared fixtures for the SmartDIMM reproduction test suite."""
+
+import random
+
+import pytest
+
+from repro.core.offload_api import SessionConfig, SmartDIMMSession
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xD1 + 0x33)
+
+
+@pytest.fixture
+def session():
+    """A small, fast SmartDIMM micro-system."""
+    return SmartDIMMSession(SessionConfig(memory_bytes=16 * 1024 * 1024,
+                                          llc_bytes=512 * 1024))
+
+
+@pytest.fixture
+def traced_session():
+    """Same, but with DDR command tracing enabled."""
+    return SmartDIMMSession(
+        SessionConfig(memory_bytes=16 * 1024 * 1024, llc_bytes=512 * 1024, trace=True)
+    )

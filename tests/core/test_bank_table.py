@@ -1,0 +1,49 @@
+"""Bank table: ACT/PRE tracking."""
+
+import pytest
+
+from repro.core.bank_table import BankTable
+
+
+def test_activate_then_lookup():
+    table = BankTable()
+    table.activate(2, 3, row=77)
+    assert table.active_row(2, 3) == 77
+
+
+def test_precharge_closes_row():
+    table = BankTable()
+    table.activate(0, 0, row=5)
+    table.precharge(0, 0)
+    with pytest.raises(RuntimeError):
+        table.active_row(0, 0)
+
+
+def test_cas_to_closed_bank_is_loud():
+    with pytest.raises(RuntimeError):
+        BankTable().active_row(1, 1)
+
+
+def test_banks_are_independent():
+    table = BankTable()
+    table.activate(0, 0, row=1)
+    table.activate(0, 1, row=2)
+    table.activate(3, 3, row=3)
+    assert table.active_row(0, 0) == 1
+    assert table.active_row(0, 1) == 2
+    assert table.active_row(3, 3) == 3
+
+
+def test_reactivation_replaces_row():
+    table = BankTable()
+    table.activate(1, 2, row=10)
+    table.activate(1, 2, row=20)
+    assert table.active_row(1, 2) == 20
+
+
+def test_bounds_checked():
+    table = BankTable(bank_groups=4, banks_per_group=4)
+    with pytest.raises(ValueError):
+        table.activate(4, 0, row=0)
+    with pytest.raises(ValueError):
+        table.activate(0, 4, row=0)

@@ -1,0 +1,102 @@
+"""Compute DMA: write-triggered offloads (the Sec. IV-E extension)."""
+
+import zlib
+
+import pytest
+
+from repro.core.compcpy import CompCpyError
+from repro.core.compute_dma import ComputeDMA
+from repro.core.dsa.base import OffloadState, OffloadTrigger, UlpKind
+from repro.core.dsa.deflate_dsa import DeflateOffloadContext, parse_compressed_page
+from repro.core.dsa.tls_dsa import TLSOffloadContext
+from repro.dram.commands import PAGE_SIZE
+from repro.ulp.gcm import AESGCM
+from repro.workloads.corpus import CorpusKind, generate_corpus
+
+KEY = bytes(range(16))
+NONCE = bytes(12)
+
+
+def test_tls_encrypt_via_dma_matches_software(session):
+    payload = generate_corpus(CorpusKind.TEXT, 6000)
+    out = session.tls_encrypt_dma(KEY, NONCE, payload, aad=b"hdr")
+    ct, tag = AESGCM(KEY).encrypt(NONCE, payload, b"hdr")
+    assert out == ct + tag
+
+
+def test_dma_offload_never_loads_source_through_cache(session):
+    """The CPU (and its cache) never read the payload: zero sbuf loads."""
+    payload = bytes(4096 - 16)
+    sbuf = session.driver.alloc_pages(1)
+    dbuf = session.driver.alloc_pages(1)
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=len(payload))
+    session.compute_dma.register(dbuf, sbuf, PAGE_SIZE, context, UlpKind.TLS_ENCRYPT)
+    hits_before = session.llc.stats.accesses
+    session.compute_dma.dma_in(sbuf, payload + bytes(16))
+    assert session.llc.stats.accesses == hits_before  # device path only
+
+
+def test_write_triggered_offload_completes_on_dma(session):
+    sbuf = session.driver.alloc_pages(1)
+    dbuf = session.driver.alloc_pages(1)
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=64)
+    offload = session.compute_dma.register(dbuf, sbuf, PAGE_SIZE, context, UlpKind.TLS_ENCRYPT)
+    assert offload.trigger is OffloadTrigger.SOURCE_WRITE
+    session.compute_dma.dma_in(sbuf, bytes(PAGE_SIZE))
+    assert offload.state is OffloadState.FINALIZED
+
+
+def test_read_triggered_offload_ignores_writes(session):
+    """A CompCpy-armed (read-fed) offload must not consume DMA writes."""
+    sbuf = session.driver.alloc_pages(1)
+    dbuf = session.driver.alloc_pages(1)
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=64)
+    offload = session.driver.register_offload(
+        UlpKind.TLS_ENCRYPT, context, sbuf, dbuf, pages=1,
+        trigger=OffloadTrigger.SOURCE_READ,
+    )
+    session.mc.write_line_now(sbuf, b"\x55" * 64)
+    assert not offload.processed_lines
+
+
+def test_dma_deflate_page(session):
+    data = generate_corpus(CorpusKind.HTML, PAGE_SIZE)
+    sbuf = session.driver.alloc_pages(1)
+    dbuf = session.driver.alloc_pages(1)
+    context = DeflateOffloadContext(input_length=PAGE_SIZE)
+    session.compute_dma.register(dbuf, sbuf, PAGE_SIZE, context, UlpKind.DEFLATE)
+    session.compute_dma.dma_in(sbuf, data)
+    page = session.compute_dma.read_result(dbuf, PAGE_SIZE)
+    stream = parse_compressed_page(page)
+    assert zlib.decompress(stream, -15) == data
+
+
+def test_source_dram_holds_dma_payload(session):
+    """The DMA writes land in DRAM normally besides feeding the DSA."""
+    payload = b"\x3c" * PAGE_SIZE
+    sbuf = session.driver.alloc_pages(1)
+    dbuf = session.driver.alloc_pages(1)
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=PAGE_SIZE - 16)
+    session.compute_dma.register(dbuf, sbuf, PAGE_SIZE, context, UlpKind.TLS_ENCRYPT)
+    session.compute_dma.dma_in(sbuf, payload)
+    assert session.memory.read(sbuf, PAGE_SIZE) == payload
+
+
+def test_register_validates_alignment_and_size(session):
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=64)
+    with pytest.raises(CompCpyError):
+        session.compute_dma.register(64, 0, PAGE_SIZE, context, UlpKind.TLS_ENCRYPT)
+    with pytest.raises(CompCpyError):
+        session.compute_dma.register(0, 0, 100, context, UlpKind.TLS_ENCRYPT)
+
+
+def test_dma_requires_line_alignment(session):
+    with pytest.raises(CompCpyError):
+        session.compute_dma.dma_in(3, b"x")
+
+
+def test_stats_accumulate(session):
+    payload = bytes(2000)
+    session.tls_encrypt_dma(KEY, NONCE, payload)
+    assert session.compute_dma.stats.transfers == 1
+    assert session.compute_dma.stats.bytes_transformed == 4096

@@ -1,0 +1,51 @@
+"""Config memory slot allocator."""
+
+import pytest
+
+from repro.core.config_memory import ConfigMemory, ConfigMemoryFullError
+
+
+def test_allocate_get_free():
+    config = ConfigMemory(total_slots=4)
+    slot = config.allocate(sbuf_page=10, context={"k": 1}, size_bytes=1024)
+    stored = config.get(slot)
+    assert stored.sbuf_page == 10
+    assert stored.context == {"k": 1}
+    config.free(slot)
+    assert config.free_slots == 4
+
+
+def test_context_must_fit_slot():
+    config = ConfigMemory(total_slots=2)
+    with pytest.raises(ValueError):
+        config.allocate(0, context=None, size_bytes=5000)
+
+
+def test_exhaustion():
+    config = ConfigMemory(total_slots=1)
+    config.allocate(0, None, 64)
+    with pytest.raises(ConfigMemoryFullError):
+        config.allocate(1, None, 64)
+
+
+def test_update_replaces_context():
+    config = ConfigMemory(total_slots=2)
+    slot = config.allocate(0, {"v": 1}, 64)
+    config.update(slot, {"v": 2})
+    assert config.get(slot).context == {"v": 2}
+
+
+def test_double_free_raises():
+    config = ConfigMemory(total_slots=2)
+    slot = config.allocate(0, None, 64)
+    config.free(slot)
+    with pytest.raises(KeyError):
+        config.free(slot)
+
+
+def test_peak_tracking():
+    config = ConfigMemory(total_slots=8)
+    slots = [config.allocate(i, None, 64) for i in range(5)]
+    for slot in slots:
+        config.free(slot)
+    assert config.peak_slots == 5

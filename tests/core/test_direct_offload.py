@@ -1,0 +1,149 @@
+"""Direct offload (Sec. IV-E): new DDR commands, zero cache pollution."""
+
+import zlib
+
+import pytest
+
+from repro.core.compcpy import CompCpyError
+from repro.core.dsa.base import UlpKind
+from repro.core.dsa.deflate_dsa import DeflateOffloadContext, parse_compressed_page
+from repro.core.dsa.tls_dsa import TLSOffloadContext
+from repro.dram.commands import PAGE_SIZE
+from repro.ulp.gcm import AESGCM
+from repro.workloads.corpus import CorpusKind, generate_corpus
+
+KEY = bytes(range(16))
+NONCE = bytes(12)
+
+
+def _armed_offload(session, payload):
+    pages = max(1, (len(payload) + 16 + PAGE_SIZE - 1) // PAGE_SIZE)
+    size = pages * PAGE_SIZE
+    sbuf = session.driver.alloc_pages(pages)
+    dbuf = session.driver.alloc_pages(pages)
+    session.write(sbuf, payload + bytes(size - len(payload)))
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=len(payload))
+    session.direct_offload.offload(dbuf, sbuf, size, context, UlpKind.TLS_ENCRYPT)
+    return sbuf, dbuf
+
+
+def test_direct_tls_matches_software(session):
+    payload = generate_corpus(CorpusKind.TEXT, 6000)
+    sbuf, dbuf = _armed_offload(session, payload)
+    out = session.direct_offload.read_result(dbuf, len(payload) + 16)
+    ct, tag = AESGCM(KEY).encrypt(NONCE, payload)
+    assert out == ct + tag
+
+
+def test_transform_moves_no_bus_data_and_no_cache_lines(session):
+    """The headline of the optimised model: after the source flush, the
+    transform itself crosses the data bus zero times and allocates zero
+    cachelines."""
+    payload = bytes(PAGE_SIZE - 16)
+    pages = 1
+    sbuf = session.driver.alloc_pages(pages)
+    dbuf = session.driver.alloc_pages(pages)
+    session.write(sbuf, payload + bytes(16))
+    session.llc.flush_range(sbuf, PAGE_SIZE)
+    session.mc.fence()
+    bus_bytes_before = session.mc.stats.data_bytes
+    llc_accesses_before = session.llc.stats.accesses
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=len(payload))
+    session.direct_offload.offload(dbuf, sbuf, PAGE_SIZE, context, UlpKind.TLS_ENCRYPT)
+    session.direct_offload.retire_all()
+    # The only burst on the bus is the single 64-byte MMIO registration
+    # record; the 4KB payload and its 4KB result crossed zero times.
+    assert session.mc.stats.data_bytes == bus_bytes_before + 64
+    assert session.llc.stats.accesses == llc_accesses_before  # zero pollution
+    assert session.mc.stats.compute_reads == 64
+    assert session.mc.stats.scratchpad_writebacks == 64
+    # And DRAM now holds the ciphertext.
+    ct, tag = AESGCM(KEY).encrypt(NONCE, payload)
+    assert session.memory.read(dbuf, len(payload)) == ct
+
+
+def test_timer_retirement(session):
+    payload = bytes(100)
+    sbuf, dbuf = _armed_offload(session, payload)
+    engine = session.direct_offload
+    assert engine.tick() == 0  # timer not expired yet
+    session.mc.cycle += engine.timer_cycles + 1
+    assert engine.tick() == 1
+    assert engine.stats.timer_evictions == 1
+    ct, tag = AESGCM(KEY).encrypt(NONCE, payload)
+    assert session.memory.read(dbuf, 100) == ct
+
+
+def test_read_result_force_retires(session):
+    payload = bytes(range(200))
+    sbuf, dbuf = _armed_offload(session, bytes(payload))
+    out = session.direct_offload.read_result(dbuf, len(payload) + 16)
+    assert session.direct_offload.stats.forced_evictions == 1
+    ct, tag = AESGCM(KEY).encrypt(NONCE, bytes(payload))
+    assert out == ct + tag
+
+
+def test_direct_deflate(session):
+    data = generate_corpus(CorpusKind.LOG, PAGE_SIZE)
+    sbuf = session.driver.alloc_pages(1)
+    dbuf = session.driver.alloc_pages(1)
+    session.write(sbuf, data)
+    context = DeflateOffloadContext(input_length=PAGE_SIZE)
+    session.direct_offload.offload(dbuf, sbuf, PAGE_SIZE, context, UlpKind.DEFLATE)
+    page = session.direct_offload.read_result(dbuf, PAGE_SIZE)
+    stream = parse_compressed_page(page)
+    assert zlib.decompress(stream, -15) == data
+
+
+def test_spad_wb_idempotent_while_range_is_live(session):
+    payload = bytes(50)
+    sbuf, dbuf = _armed_offload(session, payload)
+    session.mc.cycle += 10_000  # let the DSA latency elapse
+    # Retire line 0 twice: the second command is a no-op (RECYCLED state).
+    session.mc.scratchpad_writeback_line(dbuf)
+    before = session.device.stats.spad_writebacks
+    session.mc.scratchpad_writeback_line(dbuf)
+    assert session.device.stats.spad_writebacks == before
+    ct, _ = AESGCM(KEY).encrypt(NONCE, payload)
+    assert session.memory.read(dbuf, 50) == ct
+    session.direct_offload.retire_all()
+    # Once the whole range retired and deregistered, further SPAD_WB to it
+    # is a controller bug and faults loudly.
+    with pytest.raises(RuntimeError):
+        session.mc.scratchpad_writeback_line(dbuf)
+
+
+def test_cmp_rdcas_unregistered_page_is_a_bug(session):
+    address = session.driver.alloc_pages(1)
+    with pytest.raises(RuntimeError):
+        session.mc.compute_read_line(address)
+
+
+def test_spad_wb_unregistered_page_is_a_bug(session):
+    address = session.driver.alloc_pages(1)
+    with pytest.raises(RuntimeError):
+        session.mc.scratchpad_writeback_line(address)
+
+
+def test_validation(session):
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=64)
+    with pytest.raises(CompCpyError):
+        session.direct_offload.offload(64, 0, PAGE_SIZE, context, UlpKind.TLS_ENCRYPT)
+    with pytest.raises(CompCpyError):
+        session.direct_offload.offload(0, 0, 17, context, UlpKind.TLS_ENCRYPT)
+
+
+def test_compute_read_observes_queued_writes(session):
+    """A CMP_RDCAS racing a queued write must see the fresh data."""
+    payload = b"\x7d" * (PAGE_SIZE - 16)
+    pages = 1
+    sbuf = session.driver.alloc_pages(pages)
+    dbuf = session.driver.alloc_pages(pages)
+    # Write via the controller's write queue without a fence.
+    for offset in range(0, PAGE_SIZE, 64):
+        chunk = (payload + bytes(16))[offset : offset + 64]
+        session.mc.write_line(sbuf + offset, chunk)
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=len(payload))
+    session.direct_offload.offload(dbuf, sbuf, PAGE_SIZE, context, UlpKind.TLS_ENCRYPT)
+    out = session.direct_offload.read_result(dbuf, len(payload))
+    assert out == AESGCM(KEY).encrypt(NONCE, payload)[0]

@@ -1,0 +1,82 @@
+"""Adaptive offload engine: LLC-contention-driven dispatch."""
+
+import pytest
+
+from repro.core.engine import AdaptiveOffloadEngine, OffloadDecision
+
+
+class _FakeLLC:
+    class _Stats:
+        def __init__(self):
+            self.hits = 0
+            self.misses = 0
+
+    def __init__(self):
+        self.stats = self._Stats()
+
+
+def test_low_miss_rate_stays_on_cpu():
+    llc = _FakeLLC()
+    engine = AdaptiveOffloadEngine(llc, miss_rate_threshold=0.25, sample_every=1)
+    llc.stats.hits, llc.stats.misses = 90, 10
+    assert engine.decide() is OffloadDecision.CPU
+
+
+def test_high_miss_rate_offloads():
+    llc = _FakeLLC()
+    engine = AdaptiveOffloadEngine(llc, miss_rate_threshold=0.25, sample_every=1)
+    llc.stats.hits, llc.stats.misses = 10, 90
+    engine.decide()  # first window covers startup counters
+    llc.stats.hits, llc.stats.misses = 20, 180
+    assert engine.decide() is OffloadDecision.SMARTDIMM
+
+
+def test_sampling_interval_reuses_window():
+    llc = _FakeLLC()
+    engine = AdaptiveOffloadEngine(llc, miss_rate_threshold=0.5, sample_every=10)
+    llc.stats.hits, llc.stats.misses = 0, 100
+    first = engine.decide()  # samples now
+    llc.stats.hits = 10**6  # would flip the decision if resampled
+    for _ in range(8):
+        assert engine.decide() is first
+
+
+def test_decision_counters():
+    llc = _FakeLLC()
+    engine = AdaptiveOffloadEngine(llc, miss_rate_threshold=0.25, sample_every=1)
+    llc.stats.misses = 100
+    engine.decide()
+    llc.stats.misses = 300
+    engine.decide()
+    assert engine.decisions_cpu + engine.decisions_smartdimm == 2
+
+
+def test_threshold_validation():
+    llc = _FakeLLC()
+    with pytest.raises(ValueError):
+        AdaptiveOffloadEngine(llc, miss_rate_threshold=1.5)
+    with pytest.raises(ValueError):
+        AdaptiveOffloadEngine(llc, sample_every=0)
+
+
+def test_adaptive_switches_with_real_contention():
+    """Against the real LLC: contention flips the decision to SmartDIMM."""
+    from repro.cache.llc import LLC
+    from repro.dram.address import AddressMapping
+    from repro.dram.memory_controller import MemoryController, PlainDIMM
+    from repro.dram.physical_memory import PhysicalMemory
+    from repro.apps.mcf import McfKernel
+
+    mapping = AddressMapping(rows=1 << 8)
+    mc = MemoryController(mapping, {0: PlainDIMM(PhysicalMemory(8 * 1024 * 1024))})
+    llc = LLC(mc, size=32 * 1024, ways=4)
+    engine = AdaptiveOffloadEngine(llc, miss_rate_threshold=0.3, sample_every=1)
+
+    # Phase 1: a tiny hot loop -> hits -> stay on CPU.
+    for _ in range(50):
+        llc.load(0)
+    assert engine.decide() is OffloadDecision.CPU
+    # Phase 2: mcf thrashes a 1MB footprint through a 32KB cache.
+    thrash = McfKernel(llc, base_address=0x100000, footprint_bytes=1 << 20)
+    thrash.step(2000)
+    assert engine.decide() is OffloadDecision.SMARTDIMM

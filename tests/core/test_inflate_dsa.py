@@ -1,0 +1,66 @@
+"""Inflate DSA: the RX direction of the paper's "(de)compression" offload."""
+
+import os
+import zlib
+
+import pytest
+
+from repro.core.dsa.deflate_dsa import InflateDSA, InflateOffloadContext
+from repro.dram.commands import PAGE_SIZE
+from repro.ulp.deflate import deflate_compress
+from repro.workloads.corpus import CorpusKind, generate_corpus
+
+
+@pytest.mark.parametrize("kind", [CorpusKind.HTML, CorpusKind.TEXT, CorpusKind.LOG])
+def test_smartdimm_compressed_pages_round_trip(session, kind):
+    data = generate_corpus(kind, PAGE_SIZE)
+    stream = session.deflate_page(data)
+    assert session.inflate_page(stream) == data
+
+
+def test_foreign_streams_inflate(session):
+    """Streams from zlib (not our compressor) decompress on the DIMM too."""
+    data = generate_corpus(CorpusKind.JSON, 3500)
+    compressor = zlib.compressobj(level=6, wbits=-15)
+    stream = compressor.compress(data) + compressor.flush()
+    assert session.inflate_page(stream) == data
+
+
+def test_software_compressed_stream(session):
+    data = generate_corpus(CorpusKind.TEXT, 4000)
+    assert session.inflate_page(deflate_compress(data, level=9)) == data
+
+
+def test_corrupt_stream_falls_back(session):
+    assert session.inflate_page(b"\x07not deflate at all") is None
+
+
+def test_bomb_overflows_to_software(session):
+    """A stream inflating past the two-page budget must fall back, not
+    crash or overrun the scratchpad."""
+    bomb = deflate_compress(b"\x00" * 60000)  # 60KB of zeros, tiny stream
+    assert len(bomb) < PAGE_SIZE - 4
+    assert session.inflate_page(bomb) is None
+
+
+def test_empty_stream(session):
+    stream = deflate_compress(b"")
+    assert session.inflate_page(stream) == b""
+
+
+def test_oversize_input_rejected(session):
+    with pytest.raises(ValueError):
+        session.inflate_page(os.urandom(PAGE_SIZE))
+
+
+def test_no_leaks_after_mixed_outcomes(session):
+    data = generate_corpus(CorpusKind.LOG, PAGE_SIZE)
+    session.inflate_page(session.deflate_page(data))
+    session.inflate_page(b"garbage!")
+    device = session.device
+    assert device.translation_table.live_entries == 0
+    assert device.scratchpad.free_pages == device.config.scratchpad_pages
+
+
+def test_context_budget():
+    assert InflateDSA().context_size_bytes(InflateOffloadContext()) == PAGE_SIZE

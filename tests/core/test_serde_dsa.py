@@ -1,0 +1,78 @@
+"""Deserialization DSA: the extension ULP end to end."""
+
+import pytest
+
+from repro.core.dsa.serde_dsa import SerdeDSA, SerdeOffloadContext
+from repro.dram.commands import PAGE_SIZE
+from repro.ulp.serialization import (
+    FieldKind,
+    FieldSpec,
+    Schema,
+    flatten,
+    serialize,
+    unflatten,
+)
+
+SCHEMA = Schema(
+    {
+        1: FieldSpec("user", FieldKind.UINT),
+        2: FieldSpec("path", FieldKind.STRING),
+        3: FieldSpec("score", FieldKind.SINT),
+        4: FieldSpec("payload", FieldKind.BYTES),
+    }
+)
+
+RECORD = {"user": 9001, "path": "/api/v2/items", "score": -17, "payload": b"abc" * 40}
+
+
+def test_offload_matches_software_flatten(session):
+    wire = serialize(RECORD, SCHEMA)
+    flat = session.deserialize_message(wire, SCHEMA)
+    assert flat == flatten(wire, SCHEMA)
+    assert unflatten(flat, SCHEMA) == RECORD
+
+
+def test_empty_message(session):
+    assert session.deserialize_message(b"", SCHEMA) == b""
+
+
+def test_large_message_near_page(session):
+    record = {"user": 1, "payload": b"z" * 3000}
+    wire = serialize(record, SCHEMA)
+    flat = session.deserialize_message(wire, SCHEMA)
+    assert unflatten(flat, SCHEMA) == record
+
+
+def test_oversize_input_rejected(session):
+    with pytest.raises(ValueError):
+        session.deserialize_message(bytes(PAGE_SIZE), SCHEMA)
+
+
+def test_malformed_wire_falls_back(session):
+    # A lone continuation byte is a truncated varint: hardware signals
+    # fallback, software parsing reports the real error.
+    assert session.deserialize_message(b"\x80", SCHEMA) is None
+
+
+def test_flat_overflow_falls_back(session):
+    # ~500 one-byte fields flatten to ~16B each: 8x expansion overflows
+    # the destination page for a >512-field message.
+    wire = serialize({"user": 1}, SCHEMA) * 600
+    assert len(wire) < PAGE_SIZE - 4
+    assert session.deserialize_message(wire, SCHEMA) is None
+
+
+def test_sequential_offloads_no_leaks(session):
+    for i in range(4):
+        record = dict(RECORD, user=i)
+        wire = serialize(record, SCHEMA)
+        flat = session.deserialize_message(wire, SCHEMA)
+        assert unflatten(flat, SCHEMA) == record
+    device = session.device
+    assert device.translation_table.live_entries == 0
+    assert device.config_memory.used_slots == 0
+
+
+def test_context_declares_budget():
+    context = SerdeOffloadContext(schema=SCHEMA)
+    assert SerdeDSA().context_size_bytes(context) == 2048

@@ -1,0 +1,129 @@
+"""3-ary cuckoo translation table + CAM staging."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.translation_table import (
+    CuckooInsertError,
+    TranslationEntry,
+    TranslationTable,
+)
+
+
+def _entry(page, **kwargs):
+    defaults = dict(is_config=False, target_offset=page % 2048)
+    defaults.update(kwargs)
+    return TranslationEntry(page_number=page, **defaults)
+
+
+def test_insert_lookup_remove():
+    table = TranslationTable()
+    table.insert(_entry(42, target_offset=7))
+    entry = table.lookup(42)
+    assert entry is not None and entry.target_offset == 7
+    assert 42 in table
+    removed = table.remove(42)
+    assert removed.page_number == 42
+    assert table.lookup(42) is None
+    assert table.live_entries == 0
+
+
+def test_duplicate_insert_rejected():
+    table = TranslationTable()
+    table.insert(_entry(1))
+    with pytest.raises(ValueError):
+        table.insert(_entry(1))
+
+
+def test_remove_missing_raises():
+    with pytest.raises(KeyError):
+        TranslationTable().remove(99)
+
+
+def test_slots_must_divide_by_ways():
+    with pytest.raises(ValueError):
+        TranslationTable(slots=100)
+
+
+def test_occupancy_tracking():
+    table = TranslationTable(slots=12288)
+    for page in range(4096):
+        table.insert(_entry(page))
+    assert table.occupancy == pytest.approx(4096 / 12288)
+
+
+def test_paper_sizing_mostly_immediate_inserts():
+    """At <33% occupancy, inserts land immediately or with one displacement
+    (the Sec. IV-C design argument)."""
+    table = TranslationTable(slots=12288)
+    rng = random.Random(3)
+    pages = rng.sample(range(1 << 30), 4096)
+    for page in pages:
+        table.insert(_entry(page))
+    stats = table.stats()
+    assert stats["failures"] == 0
+    easy = stats["immediate_inserts"] + stats["single_displacement_inserts"]
+    assert easy / stats["inserts"] > 0.99
+    assert stats["occupancy"] < 0.34
+
+
+def test_churn_stays_healthy():
+    """Register/deregister cycles (the offload steady state) never fail."""
+    table = TranslationTable(slots=12288)
+    rng = random.Random(9)
+    live = []
+    for step in range(20000):
+        if live and (len(live) >= 4096 or rng.random() < 0.5):
+            victim = live.pop(rng.randrange(len(live)))
+            table.remove(victim)
+        else:
+            page = rng.getrandbits(40)
+            if page not in table:
+                table.insert(_entry(page))
+                live.append(page)
+    assert table.stats()["failures"] == 0
+    for page in live:
+        assert table.lookup(page) is not None
+
+
+def test_cam_absorbs_hard_inserts_then_fails_gracefully():
+    """Overfilling a tiny table spills to the CAM, then raises."""
+    table = TranslationTable(slots=6)  # 2 slots per way
+    inserted = 0
+    with pytest.raises(CuckooInsertError):
+        for page in range(100):
+            table.insert(_entry(page))
+            inserted += 1
+    # Everything inserted before the failure is still findable (losslessness).
+    for page in range(inserted):
+        assert table.lookup(page) is not None
+
+
+@settings(max_examples=25, deadline=None)
+@given(pages=st.lists(st.integers(0, 1 << 40), min_size=1, max_size=300, unique=True))
+def test_lookup_consistency_property(pages):
+    table = TranslationTable(slots=12288)
+    for page in pages:
+        table.insert(_entry(page))
+    for page in pages:
+        found = table.lookup(page)
+        assert found is not None and found.page_number == page
+    # Half removed, half must remain.
+    for page in pages[::2]:
+        table.remove(page)
+    for index, page in enumerate(pages):
+        if index % 2 == 0:
+            assert table.lookup(page) is None
+        else:
+            assert table.lookup(page) is not None
+
+
+def test_entry_flags_round_trip():
+    table = TranslationTable()
+    table.insert(_entry(5, is_config=True, is_source=True, linked_pages=(6,)))
+    entry = table.lookup(5)
+    assert entry.is_config and entry.is_source
+    assert entry.linked_pages == (6,)

@@ -1,0 +1,51 @@
+"""Cost model helpers and overrides."""
+
+import pytest
+
+from repro.cpu.costs import DEFAULT_COSTS, CostModel
+
+
+def test_aes_gcm_linear_in_size():
+    small = DEFAULT_COSTS.aes_gcm_cycles(4096)
+    large = DEFAULT_COSTS.aes_gcm_cycles(16384)
+    assert large - small == pytest.approx(DEFAULT_COSTS.aesni_cycles_per_byte * 12288)
+
+
+def test_deflate_much_heavier_than_aes():
+    """The structural fact behind Figs. 11 vs 12: compression dominates."""
+    assert DEFAULT_COSTS.deflate_cycles(4096) > 20 * DEFAULT_COSTS.aes_gcm_cycles(4096)
+
+
+def test_flush_cycles_resident_vs_not():
+    """The Sec. IV-A claim: flushing in-DRAM data is ~50% cheaper."""
+    dirty = DEFAULT_COSTS.flush_cycles(4096, resident_dirty_fraction=1.0)
+    clean = DEFAULT_COSTS.flush_cycles(4096, resident_dirty_fraction=0.0)
+    assert clean == pytest.approx(dirty / 2, rel=0.01)
+
+
+def test_flush_fraction_clamped():
+    over = DEFAULT_COSTS.flush_cycles(4096, resident_dirty_fraction=2.0)
+    assert over == DEFAULT_COSTS.flush_cycles(4096, resident_dirty_fraction=1.0)
+
+
+def test_tcp_tx_segments():
+    one = DEFAULT_COSTS.tcp_tx_cycles(100)
+    three = DEFAULT_COSTS.tcp_tx_cycles(4096)
+    assert three == 3 * one
+
+
+def test_memcpy_cold_costs_more():
+    assert DEFAULT_COSTS.memcpy_cycles(4096, cold=True) > DEFAULT_COSTS.memcpy_cycles(
+        4096, cold=False
+    )
+
+
+def test_cycles_to_seconds():
+    assert DEFAULT_COSTS.cycles_to_seconds(DEFAULT_COSTS.core_ghz * 1e9) == pytest.approx(1.0)
+
+
+def test_with_overrides_returns_new_model():
+    custom = DEFAULT_COSTS.with_overrides(aesni_cycles_per_byte=2.0)
+    assert custom.aesni_cycles_per_byte == 2.0
+    assert DEFAULT_COSTS.aesni_cycles_per_byte == 0.75
+    assert isinstance(custom, CostModel)

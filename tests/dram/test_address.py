@@ -1,0 +1,99 @@
+"""Address mapping: invertibility (the Addr Remap requirement) and modes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapping, DramCoordinate, InterleaveMode
+from repro.dram.commands import CACHELINE_SIZE
+
+
+def _mapping(**kwargs):
+    defaults = dict(channels=1, bank_groups=4, banks_per_group=4, rows=1 << 10,
+                    columns_per_row=128)
+    defaults.update(kwargs)
+    return AddressMapping(**defaults)
+
+
+def test_capacity_computation():
+    mapping = _mapping()
+    assert mapping.capacity_per_channel == (1 << 10) * 16 * 128 * 64
+    assert mapping.total_capacity == mapping.capacity_per_channel
+
+
+def test_decode_zero():
+    coord = _mapping().decode(0)
+    assert coord == DramCoordinate(channel=0, bank_group=0, bank=0, row=0, column=0)
+
+
+def test_encode_decode_inverse_single_channel():
+    mapping = _mapping()
+    for address in range(0, mapping.total_capacity, mapping.total_capacity // 97 // 64 * 64):
+        assert mapping.encode(mapping.decode(address)) == address
+
+
+@settings(max_examples=60, deadline=None)
+@given(line=st.integers(min_value=0, max_value=(1 << 10) * 16 * 128 - 1))
+def test_encode_decode_inverse_property(line):
+    mapping = _mapping()
+    address = line * CACHELINE_SIZE
+    assert mapping.encode(mapping.decode(address)) == address
+
+
+@settings(max_examples=60, deadline=None)
+@given(line=st.integers(min_value=0, max_value=4 * (1 << 8) * 16 * 128 - 1))
+def test_inverse_property_cacheline_interleaved(line):
+    mapping = _mapping(channels=4, rows=1 << 8, interleave=InterleaveMode.CACHELINE)
+    address = line * CACHELINE_SIZE
+    assert mapping.encode(mapping.decode(address)) == address
+
+
+def test_cacheline_interleave_alternates_channels():
+    mapping = _mapping(channels=2, interleave=InterleaveMode.CACHELINE)
+    channels = [mapping.decode(i * CACHELINE_SIZE).channel for i in range(8)]
+    assert channels == [0, 1, 0, 1, 0, 1, 0, 1]
+
+
+def test_single_channel_mode_keeps_pages_together():
+    """Sec. V-D: non-size-preserving ULPs need whole pages on one DIMM."""
+    mapping = _mapping(channels=2, rows=1 << 9, interleave=InterleaveMode.SINGLE_CHANNEL)
+    for page in (0, 3, 17):
+        channels = {
+            mapping.decode(address).channel for address in mapping.lines_of_page(page)
+        }
+        assert len(channels) == 1
+
+
+def test_column_wraps_into_bank_bits():
+    mapping = _mapping()
+    first = mapping.decode(0)
+    next_row_boundary = mapping.decode(128 * CACHELINE_SIZE)
+    assert first.bank == 0
+    assert next_row_boundary.bank == 1  # column bits exhausted -> bank increments
+
+
+def test_out_of_range_address_rejected():
+    mapping = _mapping()
+    with pytest.raises(ValueError):
+        mapping.decode(mapping.total_capacity)
+    with pytest.raises(ValueError):
+        mapping.decode(-64)
+
+
+def test_non_power_of_two_geometry_rejected():
+    with pytest.raises(ValueError):
+        _mapping(rows=1000)
+
+
+def test_bank_index_flattens():
+    coord = DramCoordinate(channel=0, bank_group=2, bank=3, row=0, column=0)
+    assert coord.bank_index(banks_per_group=4) == 11
+
+
+def test_page_number_and_lines():
+    mapping = _mapping()
+    assert mapping.page_number(8192) == 2
+    lines = list(mapping.lines_of_page(2))
+    assert lines[0] == 8192
+    assert lines[-1] == 8192 + 4096 - 64
+    assert len(lines) == 64

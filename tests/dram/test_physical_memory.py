@@ -1,0 +1,77 @@
+"""Physical memory backing store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.commands import CACHELINE_SIZE, PAGE_SIZE
+from repro.dram.physical_memory import PhysicalMemory
+
+
+def test_untouched_memory_reads_zero():
+    memory = PhysicalMemory(64 * 1024)
+    assert memory.read(0, 128) == bytes(128)
+    assert memory.resident_bytes == 0
+
+
+def test_write_then_read():
+    memory = PhysicalMemory(64 * 1024)
+    memory.write(100, b"hello")
+    assert memory.read(100, 5) == b"hello"
+    assert memory.read(99, 7) == b"\x00hello\x00"
+
+
+def test_cross_page_write():
+    memory = PhysicalMemory(64 * 1024)
+    data = bytes(range(200)) * 50  # 10000 bytes spanning 3+ pages
+    memory.write(PAGE_SIZE - 100, data)
+    assert memory.read(PAGE_SIZE - 100, len(data)) == data
+    assert memory.resident_bytes == 4 * PAGE_SIZE
+
+
+def test_bounds_checked():
+    memory = PhysicalMemory(8 * 1024)
+    with pytest.raises(ValueError):
+        memory.read(8 * 1024 - 4, 8)
+    with pytest.raises(ValueError):
+        memory.write(-1, b"x")
+
+
+def test_size_must_be_page_multiple():
+    with pytest.raises(ValueError):
+        PhysicalMemory(5000)
+
+
+def test_line_helpers():
+    memory = PhysicalMemory(64 * 1024)
+    line = bytes(range(64))
+    memory.write_line(128, line)
+    assert memory.read_line(128) == line
+
+
+def test_line_helpers_enforce_alignment_and_size():
+    memory = PhysicalMemory(64 * 1024)
+    with pytest.raises(ValueError):
+        memory.read_line(65)
+    with pytest.raises(ValueError):
+        memory.write_line(64, b"short")
+    with pytest.raises(ValueError):
+        memory.write_line(63, bytes(CACHELINE_SIZE))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    offset=st.integers(0, 60000),
+    data=st.binary(min_size=1, max_size=1000),
+)
+def test_write_read_property(offset, data):
+    memory = PhysicalMemory(128 * 1024)
+    memory.write(offset, data)
+    assert memory.read(offset, len(data)) == data
+
+
+def test_overlapping_writes_last_wins():
+    memory = PhysicalMemory(64 * 1024)
+    memory.write(0, b"aaaaaaaa")
+    memory.write(4, b"bbbb")
+    assert memory.read(0, 8) == b"aaaabbbb"

@@ -1,0 +1,77 @@
+"""Cross-layer consistency: the macro model's constants vs functional truth.
+
+The macro server model carries calibrated constants (compression ratios,
+cost asymmetries).  These tests pin them to the *functional* layer: if the
+real compressor's behaviour drifts, the macro constants must be revisited,
+and these tests say so.
+"""
+
+import pytest
+
+from repro.accel.cpu_onload import CpuOnload
+from repro.core.dsa.deflate_dsa import HardwareMatcher
+from repro.cpu.costs import DEFAULT_COSTS
+from repro.sim.server import WorkloadSpec, Ulp, Placement
+from repro.ulp.bitstream import BitWriter
+from repro.ulp.deflate import deflate_compress, write_fixed_block
+from repro.workloads.corpus import CorpusKind, generate_corpus
+
+WEB_CORPORA = [CorpusKind.HTML, CorpusKind.TEXT, CorpusKind.JSON, CorpusKind.LOG]
+
+
+def _mean_ratio(compress):
+    total_in = total_out = 0
+    for kind in WEB_CORPORA:
+        for seed in range(2):
+            data = generate_corpus(kind, 4096, seed=seed)
+            total_in += len(data)
+            total_out += len(compress(data))
+    return total_out / total_in
+
+
+def test_cpu_compression_ratio_matches_model_constant():
+    """WorkloadSpec.compression_ratio_cpu (0.32) vs real zlib-class output."""
+    measured = _mean_ratio(lambda data: deflate_compress(data, level=6))
+    modelled = WorkloadSpec(ulp=Ulp.DEFLATE, placement=Placement.CPU).compression_ratio_cpu
+    assert measured == pytest.approx(modelled, abs=0.08)
+
+
+def test_dsa_compression_ratio_matches_model_constant():
+    """WorkloadSpec.compression_ratio_dsa (0.42) vs the hardware matcher."""
+
+    def hardware_compress(data):
+        writer = BitWriter()
+        write_fixed_block(writer, HardwareMatcher().tokenize(data), final=True)
+        return writer.getvalue()
+
+    measured = _mean_ratio(hardware_compress)
+    modelled = WorkloadSpec(ulp=Ulp.DEFLATE, placement=Placement.CPU).compression_ratio_dsa
+    assert measured == pytest.approx(modelled, abs=0.08)
+
+
+def test_dsa_ratio_worse_than_cpu_ratio_as_modelled():
+    """The model assumes the DSA compresses less tightly than zlib -6; the
+    functional layer must agree in direction."""
+    cpu = _mean_ratio(lambda data: deflate_compress(data, level=6))
+
+    def hardware_compress(data):
+        writer = BitWriter()
+        write_fixed_block(writer, HardwareMatcher().tokenize(data), final=True)
+        return writer.getvalue()
+
+    assert _mean_ratio(hardware_compress) > cpu
+
+
+def test_compression_to_crypto_cost_asymmetry():
+    """Fig. 12's gains dwarf Fig. 11's because deflate costs ~2 orders more
+    CPU than AES-NI; the cost model must preserve that measured asymmetry."""
+    onload = CpuOnload()
+    crypto = onload.tls_encrypt(bytes(16), bytes(12), bytes(4096)).cpu_cycles
+    compress = onload.compress(generate_corpus(CorpusKind.HTML, 4096)).cpu_cycles
+    assert 30 < compress / crypto < 300
+
+
+def test_flush_constants_consistent_between_layers():
+    """cpu.costs flush constants and the LLC-level FlushDriver agree on the
+    50% claim by construction; guard the 2x ratio."""
+    assert DEFAULT_COSTS.clflush_dirty_cycles == 2 * DEFAULT_COSTS.clflush_clean_cycles

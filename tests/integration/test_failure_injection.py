@@ -1,0 +1,143 @@
+"""Failure injection: the device must stay sound under hostile conditions."""
+
+import pytest
+
+from repro.core.compcpy import CompCpyError
+from repro.core.offload_api import SessionConfig, SmartDIMMSession
+from repro.core.smartdimm import SmartDIMMConfig
+from repro.core.dsa.base import UlpKind
+from repro.core.dsa.tls_dsa import TLSOffloadContext
+from repro.dram.commands import CACHELINE_SIZE, PAGE_SIZE
+from repro.ulp.gcm import AESGCM
+
+KEY, NONCE = bytes(range(16)), bytes(12)
+
+
+def _session(**kwargs):
+    defaults = dict(memory_bytes=16 * 1024 * 1024, llc_bytes=512 * 1024)
+    defaults.update(kwargs)
+    return SmartDIMMSession(SessionConfig(**defaults))
+
+
+def test_corrupt_mmio_record_rejected_without_state_change():
+    session = _session()
+    table_before = session.device.translation_table.live_entries
+    with pytest.raises(ValueError):
+        session.mc.write_line_now(session.device.mmio_register_address, bytes(64))
+    assert session.device.translation_table.live_entries == table_before
+    # The device still works afterwards.
+    out = session.tls_encrypt(KEY, NONCE, b"still alive")
+    assert out[:-16] == AESGCM(KEY).encrypt(NONCE, b"still alive")[0]
+
+
+def test_registration_for_unknown_offload_rejected():
+    from repro.core.smartdimm import pack_register_record
+
+    session = _session()
+    record = pack_register_record(offload_id=999, sbuf_page=5, dbuf_page=6,
+                                  position=0, total_pages=1)
+    with pytest.raises(ValueError, match="unknown offload"):
+        session.mc.write_line_now(session.device.mmio_register_address, record)
+
+
+def test_double_registration_of_page_rejected():
+    session = _session()
+    sbuf = session.driver.alloc_pages(1)
+    dbuf = session.driver.alloc_pages(1)
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=64)
+    session.driver.register_offload(UlpKind.TLS_ENCRYPT, context, sbuf, dbuf, 1)
+    other = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=64)
+    with pytest.raises(ValueError, match="already registered"):
+        session.driver.register_offload(UlpKind.TLS_ENCRYPT, other, sbuf, dbuf, 1)
+
+
+def test_extreme_dsa_latency_survives_via_alert_retries():
+    """With a pathologically slow DSA, every consumer read hits S13 and the
+    controller retries until the data is ready — output is still exact."""
+    session = _session()
+    session.device.config.dsa_line_latency_cycles = 5000
+    session.device.config.finalize_latency_cycles = 8000
+    payload = bytes((i * 3) & 0xFF for i in range(2000))
+    out = session.tls_encrypt(KEY, NONCE, payload)
+    ct, tag = AESGCM(KEY).encrypt(NONCE, payload)
+    assert out == ct + tag
+    assert session.mc.stats.alerts > 0  # the slow path really ran
+
+
+def test_tiny_scratchpad_with_tiny_llc_forces_recycling_pressure():
+    session = _session(
+        llc_bytes=64 * 1024,
+        smartdimm=SmartDIMMConfig(scratchpad_pages=3, config_slots=8),
+    )
+    for i in range(5):
+        payload = bytes(((i + 1) * j) & 0xFF for j in range(PAGE_SIZE - 16))
+        out = session.tls_encrypt(KEY, NONCE, payload)
+        assert out[:-16] == AESGCM(KEY).encrypt(NONCE, payload)[0]
+    assert session.device.scratchpad.free_pages == 3
+
+
+def test_offload_larger_than_scratchpad_fails_cleanly():
+    session = _session(smartdimm=SmartDIMMConfig(scratchpad_pages=2, config_slots=8))
+    sbuf = session.driver.alloc_pages(4)
+    dbuf = session.driver.alloc_pages(4)
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=4 * PAGE_SIZE - 16)
+    with pytest.raises(CompCpyError, match="exhausted"):
+        session.compcpy.compcpy(dbuf, sbuf, 4 * PAGE_SIZE, context, UlpKind.TLS_ENCRYPT)
+
+
+def test_interleaved_offloads_and_hostile_cache_traffic():
+    """An adversarial co-runner touching the *offload buffers' cache sets*
+    between every copy step must not corrupt results (evictions at the
+    worst moments exercise S7/S10 heavily)."""
+    from repro.apps.mcf import McfKernel
+
+    session = _session(llc_bytes=32 * 1024)
+    thrash = McfKernel(session.llc, base_address=8 * 1024 * 1024, footprint_bytes=1 << 20)
+    for i in range(3):
+        payload = bytes((i + j) & 0xFF for j in range(3000))
+        thrash.step(700)
+        out = session.tls_encrypt(KEY, NONCE, payload)
+        thrash.step(700)
+        ct, tag = AESGCM(KEY).encrypt(NONCE, payload)
+        assert out == ct + tag
+    assert session.device.stats.scratchpad_serves + session.device.stats.self_recycles > 0
+
+
+def test_source_mutation_mid_offload_is_softwares_problem_not_devices():
+    """Overwriting sbuf lines after their rdCAS fed the DSA changes nothing
+    (lines already processed are skipped); the device never wedges."""
+    session = _session()
+    sbuf = session.driver.alloc_pages(1)
+    dbuf = session.driver.alloc_pages(1)
+    payload = b"\x11" * (PAGE_SIZE - 16)
+    session.write(sbuf, payload + bytes(16))
+    session.llc.flush_range(sbuf, PAGE_SIZE)
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=len(payload))
+    session.driver.register_offload(UlpKind.TLS_ENCRYPT, context, sbuf, dbuf, 1)
+    for offset in range(0, PAGE_SIZE, CACHELINE_SIZE):
+        session.mc.read_line(sbuf + offset)
+        session.mc.write_line_now(sbuf + offset, b"\xee" * 64)  # mutate after
+    session.mc.cycle += 10_000
+    data = session.mc.read_line(dbuf)
+    assert data == AESGCM(KEY).encrypt(NONCE, payload)[0][:64]
+
+
+def test_wrong_size_payloads_never_partially_register():
+    session = _session()
+    live_before = session.device.translation_table.live_entries
+    with pytest.raises(CompCpyError):
+        session.compcpy.compcpy(64, 0, PAGE_SIZE, None, UlpKind.TLS_ENCRYPT)
+    with pytest.raises(CompCpyError):
+        session.compcpy.compcpy(0, 0, 100, None, UlpKind.TLS_ENCRYPT)
+    assert session.device.translation_table.live_entries == live_before
+
+
+def test_driver_allocator_exhaustion_is_clean():
+    from repro.core.driver import OutOfDeviceMemoryError
+
+    session = _session(memory_bytes=1 * 1024 * 1024)
+    with pytest.raises(OutOfDeviceMemoryError):
+        while True:
+            session.driver.alloc_pages(8)
+    # Allocation failure leaves the device untouched.
+    assert session.device.translation_table.live_entries == 0

@@ -1,0 +1,59 @@
+"""Lossy link: serialisation, drops, reordering."""
+
+import pytest
+
+from repro.net.link import LossyLink
+
+
+def test_serialisation_delay_respects_bandwidth():
+    link = LossyLink(bandwidth_bytes_per_sec=1e9, propagation_delay_s=0.0)
+    arrival = link.transmit(0.0, 1000)
+    assert arrival == pytest.approx(1e-6)
+
+
+def test_back_to_back_segments_queue():
+    link = LossyLink(bandwidth_bytes_per_sec=1e9, propagation_delay_s=0.0)
+    first = link.transmit(0.0, 1000)
+    second = link.transmit(0.0, 1000)
+    assert second == pytest.approx(first + 1e-6)
+
+
+def test_propagation_adds_constant():
+    link = LossyLink(bandwidth_bytes_per_sec=1e9, propagation_delay_s=5e-6)
+    assert link.transmit(0.0, 1000) == pytest.approx(1e-6 + 5e-6)
+
+
+def test_drops_are_seeded_and_counted():
+    link = LossyLink(drop_rate=0.5, seed=42)
+    outcomes = [link.transmit(0.0, 100) is None for _ in range(200)]
+    assert 60 < sum(outcomes) < 140
+    assert link.stats.dropped == sum(outcomes)
+    # Deterministic under the same seed.
+    link2 = LossyLink(drop_rate=0.5, seed=42)
+    outcomes2 = [link2.transmit(0.0, 100) is None for _ in range(200)]
+    assert outcomes == outcomes2
+
+
+def test_acks_never_dropped():
+    link = LossyLink(drop_rate=0.99, seed=1)
+    for _ in range(50):
+        assert link.transmit(0.0, 66, droppable=False) is not None
+
+
+def test_reordering_adds_delay():
+    link = LossyLink(reorder_rate=1.0, reorder_extra_delay_s=1e-3, seed=0)
+    normal = LossyLink(reorder_rate=0.0)
+    assert link.transmit(0.0, 100) > normal.transmit(0.0, 100)
+    assert link.stats.reordered == 1
+
+
+def test_invalid_drop_rate():
+    with pytest.raises(ValueError):
+        LossyLink(drop_rate=1.0)
+
+
+def test_bytes_carried_excludes_drops():
+    link = LossyLink(drop_rate=0.5, seed=7)
+    for _ in range(100):
+        link.transmit(0.0, 10)
+    assert link.stats.bytes_carried == 10 * (100 - link.stats.dropped)

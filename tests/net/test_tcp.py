@@ -1,0 +1,121 @@
+"""TCP simulation: reliability under loss, crypto placement effects."""
+
+import pytest
+
+from repro.net.link import LossyLink
+from repro.net.smartnic import CpuTlsCrypto, NoCrypto, SmartNicTlsCrypto
+from repro.net.tcp import TcpSimulation
+
+
+def _run(crypto, drop=0.0, nbytes=5_000_000, seed=1, **kwargs):
+    link = LossyLink(drop_rate=drop, seed=seed)
+    sim = TcpSimulation(nbytes, crypto, link, initial_rto_s=5e-3, **kwargs)
+    return sim.run()
+
+
+def test_lossless_transfer_completes():
+    result = _run(NoCrypto())
+    assert result.bytes_delivered == 5_000_000
+    assert result.retransmissions == 0
+    assert result.timeouts == 0
+    assert result.goodput_bps > 0
+
+
+def test_goodput_below_link_rate():
+    result = _run(NoCrypto())
+    assert result.goodput_bps < 100e9
+
+
+def test_loss_triggers_recovery_and_still_completes():
+    result = _run(NoCrypto(), drop=0.002)
+    assert result.bytes_delivered == 5_000_000
+    assert result.retransmissions > 0
+    assert result.fast_retransmits + result.timeouts > 0
+
+
+def test_loss_reduces_goodput():
+    clean = _run(NoCrypto())
+    lossy = _run(NoCrypto(), drop=0.005)
+    assert lossy.goodput_bps < clean.goodput_bps * 0.7
+
+
+def test_cpu_crypto_costs_throughput():
+    http = _run(NoCrypto())
+    https = _run(CpuTlsCrypto())
+    assert https.goodput_bps < http.goodput_bps
+
+
+def test_smartnic_parity_at_zero_loss():
+    """Fig. 2 left edge: offload gives 'the same, or even lower' rate."""
+    cpu = _run(CpuTlsCrypto())
+    nic = _run(SmartNicTlsCrypto())
+    assert nic.goodput_bps == pytest.approx(cpu.goodput_bps, rel=0.15)
+
+
+def test_smartnic_falls_behind_under_drops():
+    """Fig. 2 body: resync costs erase the offload under loss."""
+    drop = 0.005
+    cpu = _run(CpuTlsCrypto(), drop=drop, nbytes=20_000_000)
+    nic_model = SmartNicTlsCrypto()
+    nic = _run(nic_model, drop=drop, nbytes=20_000_000)
+    assert nic.goodput_bps < cpu.goodput_bps
+    assert nic_model.stats.resyncs > 0
+    assert nic_model.stats.cpu_encrypted_bytes > 0
+
+
+def test_smartnic_offloads_everything_without_loss():
+    model = SmartNicTlsCrypto()
+    _run(model)
+    assert model.stats.cpu_encrypted_bytes == 0
+    assert model.stats.nic_encrypted_bytes > 0
+
+
+def test_cpu_crypto_skips_reencrypting_retransmissions():
+    model = CpuTlsCrypto()
+    result = _run(model, drop=0.01, nbytes=2_000_000)
+    assert result.retransmissions > 0
+    # Encrypted bytes equal the payload, not payload + retransmits.
+    assert model.stats.cpu_encrypted_bytes == 2_000_000
+
+
+def test_max_time_caps_simulation():
+    result = _run(NoCrypto(), drop=0.3, nbytes=50_000_000, seed=3, max_time_s=0.05)
+    assert result.duration_s <= 0.05 + 1e-9
+    assert result.bytes_delivered < 50_000_000
+
+
+def test_timeout_backoff_recovers_from_burst_loss():
+    result = _run(NoCrypto(), drop=0.05, nbytes=500_000, seed=5)
+    assert result.bytes_delivered == 500_000
+
+
+def test_reordering_triggers_dupacks_and_recovery():
+    """Reordered (not lost) segments still complete; the SmartNIC model
+    pays resyncs for the spurious retransmissions they can trigger."""
+    link = LossyLink(reorder_rate=0.02, reorder_extra_delay_s=400e-6, seed=9)
+    model = SmartNicTlsCrypto()
+    sim = TcpSimulation(5_000_000, model, link, initial_rto_s=5e-3)
+    result = sim.run()
+    assert result.bytes_delivered == 5_000_000
+
+
+def test_cwnd_grows_in_slow_start():
+    sim = TcpSimulation(2_000_000, NoCrypto(), LossyLink(), initial_rto_s=5e-3)
+    initial = sim.cwnd
+    sim.run()
+    assert sim.cwnd > initial
+
+
+def test_loss_halves_cwnd_on_fast_retransmit():
+    link = LossyLink(drop_rate=0.001, seed=2)
+    sim = TcpSimulation(20_000_000, NoCrypto(), link, initial_rto_s=5e-3)
+    result = sim.run()
+    if result.fast_retransmits:
+        assert sim.ssthresh < sim.max_cwnd
+
+
+def test_deterministic_given_seed():
+    a = _run(NoCrypto(), drop=0.003, seed=4)
+    b = _run(NoCrypto(), drop=0.003, seed=4)
+    assert a.goodput_bps == b.goodput_bps
+    assert a.retransmissions == b.retransmissions

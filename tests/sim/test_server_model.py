@@ -1,0 +1,174 @@
+"""Macro server model: the qualitative shapes behind Figs. 3, 11, 12, Table I."""
+
+import pytest
+
+from repro.sim.server import (
+    CoRunnerSpec,
+    Placement,
+    ServerModel,
+    Ulp,
+    WorkloadSpec,
+    corun,
+)
+
+
+def _solve(ulp, placement, msg=4096, **kwargs):
+    return ServerModel(WorkloadSpec(ulp=ulp, placement=placement, message_bytes=msg, **kwargs)).solve()
+
+
+# -- Fig. 11 (TLS) shapes ----------------------------------------------------------------
+
+
+def test_smartdimm_beats_cpu_for_tls():
+    for msg in (4096, 16384):
+        cpu = _solve(Ulp.TLS, Placement.CPU, msg)
+        sdimm = _solve(Ulp.TLS, Placement.SMARTDIMM, msg)
+        assert 1.05 < sdimm.rps / cpu.rps < 1.6
+
+
+def test_smartdimm_tls_gain_grows_with_message_size():
+    gain_4k = _solve(Ulp.TLS, Placement.SMARTDIMM, 4096).rps / _solve(Ulp.TLS, Placement.CPU, 4096).rps
+    gain_16k = _solve(Ulp.TLS, Placement.SMARTDIMM, 16384).rps / _solve(Ulp.TLS, Placement.CPU, 16384).rps
+    assert gain_16k > gain_4k
+
+
+def test_smartnic_no_gain_at_4kb_but_wins_at_16kb():
+    assert _solve(Ulp.TLS, Placement.SMARTNIC, 4096).rps == pytest.approx(
+        _solve(Ulp.TLS, Placement.CPU, 4096).rps, rel=0.08
+    )
+    assert _solve(Ulp.TLS, Placement.SMARTNIC, 16384).rps > _solve(Ulp.TLS, Placement.CPU, 16384).rps * 1.05
+
+
+def test_quickassist_loses_for_fine_grain_tls():
+    for msg in (4096, 16384):
+        assert _solve(Ulp.TLS, Placement.QUICKASSIST, msg).rps < _solve(Ulp.TLS, Placement.CPU, msg).rps * 0.75
+
+
+def test_smartdimm_beats_smartnic_at_64kb():
+    sdimm = _solve(Ulp.TLS, Placement.SMARTDIMM, 65536)
+    nic = _solve(Ulp.TLS, Placement.SMARTNIC, 65536)
+    assert 1.03 < sdimm.rps / nic.rps < 1.35  # paper: +11.9%
+
+
+def test_smartdimm_cuts_memory_traffic_for_tls():
+    for msg in (4096, 16384):
+        cpu = _solve(Ulp.TLS, Placement.CPU, msg)
+        sdimm = _solve(Ulp.TLS, Placement.SMARTDIMM, msg)
+        reduction = 1 - sdimm.membw_bytes_per_request / cpu.membw_bytes_per_request
+        assert 0.35 < reduction < 0.65  # paper: 49.1% at 4KB
+
+
+def test_smartdimm_cuts_cpu_cycles_for_tls():
+    cpu = _solve(Ulp.TLS, Placement.CPU, 4096)
+    sdimm = _solve(Ulp.TLS, Placement.SMARTDIMM, 4096)
+    assert sdimm.cycles_per_request < cpu.cycles_per_request * 0.9
+
+
+# -- Fig. 12 (compression) shapes ----------------------------------------------------------
+
+
+def test_smartdimm_compression_multiples():
+    gain_4k = _solve(Ulp.DEFLATE, Placement.SMARTDIMM, 4096).rps / _solve(Ulp.DEFLATE, Placement.CPU, 4096).rps
+    gain_16k = _solve(Ulp.DEFLATE, Placement.SMARTDIMM, 16384).rps / _solve(Ulp.DEFLATE, Placement.CPU, 16384).rps
+    assert 4.0 < gain_4k < 12.0  # paper: 5.09x
+    assert 8.0 < gain_16k < 13.0  # paper: 10.28x
+
+
+def test_quickassist_compression_no_gain():
+    for msg in (4096, 16384):
+        ratio = _solve(Ulp.DEFLATE, Placement.QUICKASSIST, msg).rps / _solve(Ulp.DEFLATE, Placement.CPU, msg).rps
+        assert 0.7 < ratio < 1.4  # "does not provide RPS improvements"
+
+
+def test_smartdimm_compression_memory_reduction():
+    cpu = _solve(Ulp.DEFLATE, Placement.CPU, 16384)
+    sdimm = _solve(Ulp.DEFLATE, Placement.SMARTDIMM, 16384)
+    reduction = 1 - sdimm.membw_bytes_per_request / cpu.membw_bytes_per_request
+    assert reduction > 0.7  # paper: 88.9%
+
+
+def test_smartnic_cannot_do_compression():
+    with pytest.raises(ValueError):
+        WorkloadSpec(ulp=Ulp.DEFLATE, placement=Placement.SMARTNIC)
+
+
+# -- Fig. 3 shape ------------------------------------------------------------------------------
+
+
+def test_https_membw_ratio_rises_with_connections():
+    ratios = []
+    for connections in (64, 256, 1024):
+        kwargs = dict(msg=8192, connections=connections, background_pressure_bytes=2e6)
+        http = ServerModel(
+            WorkloadSpec(ulp=Ulp.NONE, placement=Placement.CPU, message_bytes=8192,
+                         connections=connections, background_pressure_bytes=2e6),
+            miss_curve_k=0.6,
+        ).solve()
+        https = ServerModel(
+            WorkloadSpec(ulp=Ulp.TLS, placement=Placement.CPU, message_bytes=8192,
+                         connections=connections, background_pressure_bytes=2e6),
+            miss_curve_k=0.6,
+        ).solve()
+        ratios.append(https.membw_bytes_per_request / http.membw_bytes_per_request)
+    assert ratios[0] < ratios[1] < ratios[2]
+    assert 2.0 < ratios[2] < 3.2  # paper: "up to a 2.5x increase"
+
+
+# -- contention feedback -------------------------------------------------------------------------
+
+
+def test_miss_probability_monotone_in_pressure():
+    model = ServerModel(WorkloadSpec(ulp=Ulp.TLS, placement=Placement.CPU))
+    assert model.miss_probability(0) == 0.0
+    assert model.miss_probability(10e6) < model.miss_probability(40e6) < 1.0
+
+
+def test_external_pressure_raises_misses_and_lowers_rps():
+    clean = ServerModel(WorkloadSpec(ulp=Ulp.TLS, placement=Placement.CPU)).solve()
+    pressured = ServerModel(
+        WorkloadSpec(ulp=Ulp.TLS, placement=Placement.CPU), external_pressure_bytes=40e6
+    ).solve()
+    assert pressured.miss_probability > clean.miss_probability
+    assert pressured.rps < clean.rps
+
+
+def test_unsupported_combination_raises():
+    model = ServerModel(WorkloadSpec(ulp=Ulp.NONE, placement=Placement.SMARTDIMM))
+    with pytest.raises(ValueError):
+        model.solve()
+
+
+# -- Table I --------------------------------------------------------------------------------------
+
+
+EVALUATED_PLACEMENTS = [
+    Placement.CPU,
+    Placement.SMARTNIC,
+    Placement.QUICKASSIST,
+    Placement.SMARTDIMM,
+]  # SMARTDIMM_DIRECT is a projection, not part of the paper's evaluation
+
+
+def test_corun_slowdowns_ordering():
+    results = {
+        placement: corun(WorkloadSpec(ulp=Ulp.TLS, placement=placement, message_bytes=4096))
+        for placement in EVALUATED_PLACEMENTS
+    }
+    nginx = {p: r.nginx_slowdown for p, r in results.items()}
+    mcf = {p: r.corunner_slowdown for p, r in results.items()}
+    # SmartDIMM interferes least in both directions; QuickAssist hurts mcf most.
+    assert nginx[Placement.SMARTDIMM] < nginx[Placement.CPU]
+    assert mcf[Placement.SMARTDIMM] < mcf[Placement.CPU]
+    assert mcf[Placement.QUICKASSIST] == max(mcf.values())
+    # Magnitudes in the paper's range (Table I: 6-38%).
+    for value in list(nginx.values()) + list(mcf.values()):
+        assert 0.0 < value < 0.45
+
+
+def test_corun_smartdimm_keeps_highest_absolute_rps():
+    """Paper Sec. VII-C: SmartDIMM's co-run RPS stays highest (569K vs 377K)."""
+    rps = {
+        placement: corun(WorkloadSpec(ulp=Ulp.TLS, placement=placement)).nginx_corun.rps
+        for placement in EVALUATED_PLACEMENTS
+    }
+    assert max(rps, key=rps.get) is Placement.SMARTDIMM

@@ -1,0 +1,130 @@
+"""Directional properties of the macro model's cost functions.
+
+These don't pin absolute numbers; they pin the *physics*: more contention
+means more traffic and more stall cycles, bigger messages cost more, the
+SmartDIMM path keeps less cache pressure than CPU-resident ULPs, and the
+fixed point converges.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.server import Placement, ServerModel, Ulp, WorkloadSpec
+
+
+def _model(ulp=Ulp.TLS, placement=Placement.CPU, **kwargs):
+    return ServerModel(WorkloadSpec(ulp=ulp, placement=placement, **kwargs))
+
+
+ALL_COMBINATIONS = [
+    (Ulp.NONE, Placement.CPU),
+    (Ulp.TLS, Placement.CPU),
+    (Ulp.TLS, Placement.SMARTNIC),
+    (Ulp.TLS, Placement.QUICKASSIST),
+    (Ulp.TLS, Placement.SMARTDIMM),
+    (Ulp.DEFLATE, Placement.CPU),
+    (Ulp.DEFLATE, Placement.QUICKASSIST),
+    (Ulp.DEFLATE, Placement.SMARTDIMM),
+]
+
+
+@pytest.mark.parametrize("ulp,placement", ALL_COMBINATIONS)
+def test_traffic_monotone_in_miss_probability(ulp, placement):
+    model = _model(ulp, placement)
+    low = model.request_costs(0.1)
+    high = model.request_costs(0.9)
+    assert high.ddr_bytes > low.ddr_bytes
+    if placement is Placement.SMARTDIMM:
+        # The design premise dampens the trend here: under contention the
+        # source buffer has already left the cache, so CompCpy's flushes run
+        # at the cheap already-in-DRAM rate (Sec. IV-A).  SmartDIMM's CPU
+        # cost must grow far more slowly with contention than the CPU
+        # placement's (TLS actually shrinks; deflate stays near-flat).
+        cpu_model = _model(ulp, Placement.CPU)
+        cpu_growth = (
+            cpu_model.request_costs(0.9).cpu_cycles
+            / cpu_model.request_costs(0.1).cpu_cycles
+        )
+        smartdimm_growth = high.cpu_cycles / low.cpu_cycles
+        assert smartdimm_growth < cpu_growth
+        assert smartdimm_growth < 1.1
+    else:
+        assert high.cpu_cycles >= low.cpu_cycles
+
+
+@pytest.mark.parametrize("ulp,placement", ALL_COMBINATIONS)
+def test_costs_positive_and_finite(ulp, placement):
+    for p in (0.0, 0.5, 1.0):
+        costs = _model(ulp, placement).request_costs(p)
+        assert costs.ddr_bytes >= 0
+        assert costs.cpu_cycles >= 0
+        assert costs.output_bytes > 0
+        assert costs.pressure_bytes >= 0
+
+
+@pytest.mark.parametrize("ulp,placement", ALL_COMBINATIONS)
+def test_bigger_messages_cost_more(ulp, placement):
+    small = _model(ulp, placement, message_bytes=4096).request_costs(0.7)
+    large = _model(ulp, placement, message_bytes=16384).request_costs(0.7)
+    assert large.cpu_cycles > small.cpu_cycles
+    assert large.ddr_bytes > small.ddr_bytes
+
+
+def test_smartdimm_keeps_least_cache_pressure():
+    for ulp in (Ulp.TLS, Ulp.DEFLATE):
+        pressures = {}
+        for placement in (Placement.CPU, Placement.SMARTDIMM):
+            pressures[placement] = _model(ulp, placement).request_costs(0.7).pressure_bytes
+        assert pressures[Placement.SMARTDIMM] < pressures[Placement.CPU]
+
+
+def test_only_quickassist_uses_pcie():
+    for ulp, placement in ALL_COMBINATIONS:
+        costs = _model(ulp, placement).request_costs(0.5)
+        if placement is Placement.QUICKASSIST:
+            assert costs.pcie_bytes > 0
+            assert costs.accel_block_seconds > 0
+        else:
+            assert costs.pcie_bytes == 0
+            assert costs.accel_block_seconds == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    connections=st.sampled_from([64, 256, 1024, 4096]),
+    message=st.sampled_from([1024, 4096, 16384, 65536]),
+    background=st.sampled_from([0.0, 5e6, 20e6]),
+)
+def test_fixed_point_always_converges(connections, message, background):
+    metrics = _model(
+        Ulp.TLS,
+        Placement.SMARTDIMM,
+        connections=connections,
+        message_bytes=message,
+        background_pressure_bytes=background,
+    ).solve()
+    assert metrics.rps > 0
+    assert 0.0 <= metrics.miss_probability <= 1.0
+    assert 0.0 <= metrics.cpu_utilisation <= 1.0
+    assert metrics.bottleneck in ("cpu", "link", "memory", "pcie", "accelerator")
+
+
+def test_solve_is_deterministic():
+    a = _model().solve()
+    b = _model().solve()
+    assert a.rps == b.rps
+    assert a.miss_probability == b.miss_probability
+
+
+def test_more_threads_more_throughput_when_cpu_bound():
+    few = _model(threads=4).solve()
+    many = _model(threads=16).solve()
+    if few.bottleneck == "cpu":
+        assert many.rps > few.rps
+
+
+def test_link_bound_at_large_messages():
+    metrics = _model(Ulp.TLS, Placement.SMARTDIMM, message_bytes=65536).solve()
+    assert metrics.bottleneck in ("link", "cpu")
+    assert metrics.rps <= 12.5e9 / 65536 * 1.001  # never exceeds the wire

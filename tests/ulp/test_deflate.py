@@ -1,0 +1,198 @@
+"""DEFLATE: round trips, zlib cross-oracle, block types, framing."""
+
+import os
+import random
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ulp.bitstream import BitWriter
+from repro.ulp.deflate import (
+    adler32,
+    deflate_compress,
+    deflate_decompress,
+    write_fixed_block,
+    zlib_frame,
+    zlib_unframe,
+)
+from repro.ulp.lz77 import HashChainMatcher
+from repro.workloads.corpus import CorpusKind, generate_corpus
+
+
+def _corpora():
+    rng = random.Random(4)
+    return {
+        "empty": b"",
+        "single": b"x",
+        "tiny_repeat": b"abcabcabc",
+        "html": generate_corpus(CorpusKind.HTML, 20000),
+        "text": generate_corpus(CorpusKind.TEXT, 15000),
+        "json": generate_corpus(CorpusKind.JSON, 10000),
+        "log": generate_corpus(CorpusKind.LOG, 12000),
+        "random": bytes(rng.getrandbits(8) for _ in range(6000)),
+        "low_entropy": bytes(rng.choice(b"ab") for _ in range(8000)),
+    }
+
+
+@pytest.mark.parametrize("name", list(_corpora()))
+def test_round_trip_default_level(name):
+    data = _corpora()[name]
+    assert deflate_decompress(deflate_compress(data)) == data
+
+
+@pytest.mark.parametrize("level", [1, 4, 6, 9])
+def test_round_trip_all_levels(level):
+    data = _corpora()["html"]
+    assert deflate_decompress(deflate_compress(data, level=level)) == data
+
+
+@pytest.mark.parametrize("name", list(_corpora()))
+def test_zlib_inflates_our_streams(name):
+    """CPython's zlib is the external oracle for our compressor."""
+    data = _corpora()[name]
+    assert zlib.decompress(deflate_compress(data), -15) == data
+
+
+@pytest.mark.parametrize("name", list(_corpora()))
+def test_we_inflate_zlib_streams(name):
+    """...and our decompressor handles zlib's encoder output."""
+    data = _corpora()[name]
+    for level in (1, 6, 9):
+        compressor = zlib.compressobj(level=level, wbits=-15)
+        stream = compressor.compress(data) + compressor.flush()
+        assert deflate_decompress(stream) == data
+
+
+def test_invalid_level_rejected():
+    with pytest.raises(ValueError):
+        deflate_compress(b"x", level=0)
+    with pytest.raises(ValueError):
+        deflate_compress(b"x", level=10)
+
+
+def test_incompressible_data_barely_expands():
+    data = os.urandom(8000)
+    compressed = deflate_compress(data)
+    # Stored blocks cap overhead at 5 bytes per 64KB plus block header.
+    assert len(compressed) <= len(data) + 16
+
+
+def test_compression_ratio_on_structured_data():
+    data = generate_corpus(CorpusKind.HTML, 32768)
+    ratio = len(deflate_compress(data, level=6)) / len(data)
+    assert ratio < 0.35
+
+
+def test_ratio_not_worse_than_zlib_by_much():
+    data = generate_corpus(CorpusKind.TEXT, 32768)
+    ours = len(deflate_compress(data, level=9))
+    theirs = len(zlib.compress(data, 9)) - 6  # strip zlib framing
+    assert ours <= theirs * 1.10
+
+
+def test_stored_block_large_input():
+    """Incompressible inputs >64KB must split into multiple stored blocks."""
+    data = os.urandom(70000)
+    compressed = deflate_compress(data)
+    assert deflate_decompress(compressed) == data
+    assert zlib.decompress(compressed, -15) == data
+
+
+def test_reserved_block_type_rejected():
+    # BFINAL=1, BTYPE=3 (reserved).
+    writer = BitWriter()
+    writer.write_bits(1, 1)
+    writer.write_bits(3, 2)
+    with pytest.raises(ValueError):
+        deflate_decompress(writer.getvalue())
+
+
+def test_stored_block_length_check():
+    writer = BitWriter()
+    writer.write_bits(1, 1)
+    writer.write_bits(0, 2)
+    writer.align_to_byte()
+    writer.write_bits(5, 16)
+    writer.write_bits(5, 16)  # wrong complement
+    writer.write_bytes(b"hello")
+    with pytest.raises(ValueError):
+        deflate_decompress(writer.getvalue())
+
+
+def test_max_output_guard():
+    data = b"a" * 100_000
+    compressed = deflate_compress(data)
+    with pytest.raises(ValueError):
+        deflate_decompress(compressed, max_output=1000)
+
+
+def test_write_fixed_block_is_valid_deflate():
+    data = b"fixed huffman block test " * 40
+    tokens = HashChainMatcher().tokenize(data)
+    writer = BitWriter()
+    write_fixed_block(writer, tokens, final=True)
+    stream = writer.getvalue()
+    assert deflate_decompress(stream) == data
+    assert zlib.decompress(stream, -15) == data
+
+
+def test_multiple_fixed_blocks_concatenate():
+    first = HashChainMatcher().tokenize(b"part one! " * 20)
+    second = HashChainMatcher().tokenize(b"part two? " * 20)
+    writer = BitWriter()
+    write_fixed_block(writer, first, final=False)
+    write_fixed_block(writer, second, final=True)
+    assert deflate_decompress(writer.getvalue()) == b"part one! " * 20 + b"part two? " * 20
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.binary(max_size=4096))
+def test_round_trip_property(data):
+    compressed = deflate_compress(data, level=4)
+    assert deflate_decompress(compressed) == data
+    assert zlib.decompress(compressed, -15) == data
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.text(alphabet="abcdef \n", max_size=6000).map(str.encode))
+def test_round_trip_property_compressible(data):
+    assert deflate_decompress(deflate_compress(data)) == data
+
+
+# -- zlib (RFC 1950) framing ------------------------------------------------------
+
+
+def test_adler32_matches_zlib():
+    for data in (b"", b"a", b"hello world", os.urandom(5000)):
+        assert adler32(data) == zlib.adler32(data)
+
+
+def test_adler32_incremental():
+    data = b"stream me in pieces"
+    running = 1
+    for i in range(len(data)):
+        running = adler32(data[i : i + 1], running)
+    assert running == zlib.adler32(data)
+
+
+def test_zlib_frame_round_trip():
+    data = generate_corpus(CorpusKind.JSON, 5000)
+    framed = zlib_frame(deflate_compress(data), data)
+    assert zlib_unframe(framed) == data
+    # CPython accepts our framed stream directly.
+    assert zlib.decompress(framed) == data
+
+
+def test_zlib_unframe_validates_header_and_checksum():
+    data = b"check me"
+    framed = bytearray(zlib_frame(deflate_compress(data), data))
+    bad_header = bytes([0x79]) + bytes(framed[1:])
+    with pytest.raises(ValueError):
+        zlib_unframe(bad_header)
+    framed[-1] ^= 0xFF
+    with pytest.raises(ValueError):
+        zlib_unframe(bytes(framed))
+    with pytest.raises(ValueError):
+        zlib_unframe(b"\x78\x9c")

@@ -1,0 +1,186 @@
+"""AES-GCM: NIST SP 800-38D vectors, GF(2^128) algebra, incremental access."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ulp.gcm import (
+    AESGCM,
+    GF128Multiplier,
+    _inc32,
+    gf128_mul,
+    ghash,
+)
+
+# NIST GCM test vectors (McGrew/Viega validation set).
+NIST_CASES = [
+    # (key, iv, plaintext, aad, ciphertext, tag)
+    (
+        "00000000000000000000000000000000",
+        "000000000000000000000000",
+        "",
+        "",
+        "",
+        "58e2fccefa7e3061367f1d57a4e7455a",
+    ),
+    (
+        "00000000000000000000000000000000",
+        "000000000000000000000000",
+        "00000000000000000000000000000000",
+        "",
+        "0388dace60b6a392f328c2b971b2fe78",
+        "ab6e47d42cec13bdf53a67b21257bddf",
+    ),
+    (
+        "feffe9928665731c6d6a8f9467308308",
+        "cafebabefacedbaddecaf888",
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39",
+        "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091",
+        "5bc94fbc3221a5db94fae95ae7121a47",
+    ),
+]
+
+
+@pytest.mark.parametrize("key,iv,pt,aad,ct,tag", NIST_CASES)
+def test_nist_encrypt_vectors(key, iv, pt, aad, ct, tag):
+    gcm = AESGCM(bytes.fromhex(key))
+    out_ct, out_tag = gcm.encrypt(bytes.fromhex(iv), bytes.fromhex(pt), bytes.fromhex(aad))
+    assert out_ct == bytes.fromhex(ct)
+    assert out_tag == bytes.fromhex(tag)
+
+
+@pytest.mark.parametrize("key,iv,pt,aad,ct,tag", NIST_CASES)
+def test_nist_decrypt_vectors(key, iv, pt, aad, ct, tag):
+    gcm = AESGCM(bytes.fromhex(key))
+    out = gcm.decrypt(bytes.fromhex(iv), bytes.fromhex(ct), bytes.fromhex(aad), bytes.fromhex(tag))
+    assert out == bytes.fromhex(pt)
+
+
+def test_tag_mismatch_raises():
+    gcm = AESGCM(bytes(16))
+    ct, tag = gcm.encrypt(bytes(12), b"payload", b"")
+    bad = bytes([tag[0] ^ 1]) + tag[1:]
+    with pytest.raises(ValueError):
+        gcm.decrypt(bytes(12), ct, b"", bad)
+
+
+def test_aad_mismatch_raises():
+    gcm = AESGCM(bytes(16))
+    ct, tag = gcm.encrypt(bytes(12), b"payload", b"aad-1")
+    with pytest.raises(ValueError):
+        gcm.decrypt(bytes(12), ct, b"aad-2", tag)
+
+
+# -- GF(2^128) algebra ---------------------------------------------------------
+
+IDENTITY = 1 << 127  # the GCM-bit-order multiplicative identity
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=st.integers(0, (1 << 128) - 1), y=st.integers(0, (1 << 128) - 1))
+def test_gf128_commutative(x, y):
+    assert gf128_mul(x, y) == gf128_mul(y, x)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    x=st.integers(0, (1 << 128) - 1),
+    y=st.integers(0, (1 << 128) - 1),
+    z=st.integers(0, (1 << 128) - 1),
+)
+def test_gf128_distributive(x, y, z):
+    assert gf128_mul(x ^ y, z) == gf128_mul(x, z) ^ gf128_mul(y, z)
+
+
+@settings(max_examples=20, deadline=None)
+@given(x=st.integers(0, (1 << 128) - 1))
+def test_gf128_identity_and_zero(x):
+    assert gf128_mul(x, IDENTITY) == x
+    assert gf128_mul(x, 0) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(x=st.integers(0, (1 << 128) - 1), y=st.integers(1, (1 << 128) - 1))
+def test_multiplier_table_matches_bitwise(x, y):
+    assert GF128Multiplier(y).mul(x) == gf128_mul(x, y)
+
+
+def test_ghash_zero_data_is_zero():
+    assert ghash(b"\x42" * 16, bytes(32)) == bytes(16)
+
+
+def test_ghash_pads_to_block():
+    h = b"\x42" * 16
+    assert ghash(h, b"\x01") == ghash(h, b"\x01" + bytes(15))
+
+
+# -- counter handling -------------------------------------------------------------
+
+
+def test_inc32_increments_tail_only():
+    block = bytes(12) + (5).to_bytes(4, "big")
+    assert _inc32(block) == bytes(12) + (6).to_bytes(4, "big")
+
+
+def test_inc32_wraps_32_bits():
+    block = b"\xaa" * 12 + b"\xff\xff\xff\xff"
+    assert _inc32(block) == b"\xaa" * 12 + bytes(4)
+
+
+def test_j0_for_12_byte_iv():
+    gcm = AESGCM(bytes(16))
+    iv = bytes(range(12))
+    assert gcm.j0(iv) == iv + b"\x00\x00\x00\x01"
+
+
+def test_j0_for_other_iv_lengths_uses_ghash():
+    gcm = AESGCM(bytes(16))
+    j0 = gcm.j0(b"\x01" * 16)
+    assert len(j0) == 16
+    assert j0 != b"\x01" * 16
+
+
+# -- incremental computability (Observation 4) -----------------------------------------
+
+
+def test_keystream_random_access_matches_sequential():
+    gcm = AESGCM(bytes(range(16)))
+    iv = bytes(12)
+    sequential = gcm.keystream(iv, 16 * 10)
+    for index in (0, 3, 7, 9):
+        assert gcm.keystream_block(iv, index) == sequential[16 * index : 16 * index + 16]
+
+
+def test_keystream_offset_slices():
+    gcm = AESGCM(bytes(range(16)))
+    iv = b"\x09" * 12
+    full = gcm.keystream(iv, 160)
+    assert gcm.keystream(iv, 64, start_block=2) == full[32:96]
+
+
+def test_any_byte_range_encryptable_independently():
+    """The Observation-4 property: XOR any range with its keystream slice."""
+    gcm = AESGCM(bytes(range(16)))
+    iv = bytes(12)
+    message = bytes(range(256)) * 3
+    full_ct, _ = gcm.encrypt(iv, message)
+    start_block, block_count = 4, 6
+    lo, hi = 16 * start_block, 16 * (start_block + block_count)
+    stream = gcm.keystream(iv, hi - lo, start_block=start_block)
+    partial = bytes(p ^ s for p, s in zip(message[lo:hi], stream))
+    assert partial == full_ct[lo:hi]
+
+
+def test_tag_composes_from_parts():
+    gcm = AESGCM(bytes(16))
+    iv = bytes(12)
+    msg = b"m" * 100
+    ct, tag = gcm.encrypt(iv, msg, b"aad")
+    assert gcm.tag(iv, ct, b"aad") == tag

@@ -1,0 +1,120 @@
+"""LZ77 match finding: token semantics and matcher correctness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ulp.lz77 import (
+    MAX_DISTANCE,
+    MAX_MATCH,
+    MIN_MATCH,
+    HashChainMatcher,
+    Literal,
+    Match,
+    tokens_to_bytes,
+)
+
+
+def test_match_bounds_enforced():
+    with pytest.raises(ValueError):
+        Match(length=2, distance=1)
+    with pytest.raises(ValueError):
+        Match(length=259, distance=1)
+    with pytest.raises(ValueError):
+        Match(length=3, distance=0)
+    with pytest.raises(ValueError):
+        Match(length=3, distance=MAX_DISTANCE + 1)
+
+
+def test_tokens_to_bytes_literals():
+    assert tokens_to_bytes([Literal(ord("h")), Literal(ord("i"))]) == b"hi"
+
+
+def test_tokens_to_bytes_back_reference():
+    tokens = [Literal(ord("a")), Literal(ord("b")), Literal(ord("c")), Match(3, 3)]
+    assert tokens_to_bytes(tokens) == b"abcabc"
+
+
+def test_tokens_to_bytes_overlapping_copy():
+    """Distance < length replicates — run-length encoding via LZ."""
+    tokens = [Literal(ord("x")), Match(7, 1)]
+    assert tokens_to_bytes(tokens) == b"x" * 8
+
+
+def test_tokens_to_bytes_rejects_bad_distance():
+    with pytest.raises(ValueError):
+        tokens_to_bytes([Literal(1), Match(3, 2)])
+
+
+def test_matcher_finds_obvious_repeat():
+    matcher = HashChainMatcher()
+    tokens = matcher.tokenize(b"hello hello hello")
+    assert any(isinstance(t, Match) for t in tokens)
+    assert tokens_to_bytes(tokens) == b"hello hello hello"
+
+
+def test_matcher_no_match_in_unique_bytes():
+    matcher = HashChainMatcher()
+    data = bytes(range(200))
+    tokens = matcher.tokenize(data)
+    assert all(isinstance(t, Literal) for t in tokens)
+    assert tokens_to_bytes(tokens) == data
+
+
+def test_matcher_window_limits_distance():
+    data = b"abcdeXYZ" + bytes(5000) + b"abcdeXYZ"
+    small_window = HashChainMatcher(window_size=256)
+    for token in small_window.tokenize(data):
+        if isinstance(token, Match):
+            assert token.distance <= 256
+
+
+def test_matcher_window_size_validated():
+    with pytest.raises(ValueError):
+        HashChainMatcher(window_size=MAX_DISTANCE + 1)
+
+
+def test_lazy_matching_improves_or_equals_greedy():
+    data = (b"the quick brown fox jumps over the lazy dog " * 50)[:2000]
+    lazy = HashChainMatcher(lazy=True).tokenize(data)
+    greedy = HashChainMatcher(lazy=False).tokenize(data)
+    assert tokens_to_bytes(lazy) == data
+    assert tokens_to_bytes(greedy) == data
+    assert len(lazy) <= len(greedy) + 2  # lazy should not be meaningfully worse
+
+
+def test_max_match_length_respected():
+    matcher = HashChainMatcher()
+    tokens = matcher.tokenize(b"z" * 1000)
+    for token in tokens:
+        if isinstance(token, Match):
+            assert token.length <= MAX_MATCH
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(max_size=3000))
+def test_tokenize_round_trip_property(data):
+    tokens = HashChainMatcher(max_chain=16).tokenize(data)
+    assert tokens_to_bytes(tokens) == data
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=st.text(alphabet="abcd", max_size=2000).map(str.encode),
+    max_chain=st.sampled_from([1, 4, 64]),
+    lazy=st.booleans(),
+)
+def test_tokenize_round_trip_low_entropy(data, max_chain, lazy):
+    tokens = HashChainMatcher(max_chain=max_chain, lazy=lazy).tokenize(data)
+    assert tokens_to_bytes(tokens) == data
+
+
+def test_empty_input():
+    assert HashChainMatcher().tokenize(b"") == []
+
+
+def test_short_inputs_all_literal():
+    for data in (b"a", b"ab"):
+        tokens = HashChainMatcher().tokenize(data)
+        assert all(isinstance(t, Literal) for t in tokens)
+        assert tokens_to_bytes(tokens) == data

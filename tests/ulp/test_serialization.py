@@ -1,0 +1,149 @@
+"""Serialization ULP: varints, zigzag, wire round trips, flat format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ulp.serialization import (
+    FieldKind,
+    FieldSpec,
+    Schema,
+    deserialize,
+    flatten,
+    read_varint,
+    serialize,
+    unflatten,
+    write_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+SCHEMA = Schema(
+    {
+        1: FieldSpec("id", FieldKind.UINT),
+        2: FieldSpec("name", FieldKind.STRING),
+        3: FieldSpec("delta", FieldKind.SINT),
+        4: FieldSpec("blob", FieldKind.BYTES),
+        9: FieldSpec("count", FieldKind.UINT),
+    }
+)
+
+
+def test_varint_known_encodings():
+    assert write_varint(0) == b"\x00"
+    assert write_varint(127) == b"\x7f"
+    assert write_varint(128) == b"\x80\x01"
+    assert write_varint(300) == b"\xac\x02"
+
+
+def test_varint_rejects_negative():
+    with pytest.raises(ValueError):
+        write_varint(-1)
+
+
+def test_varint_truncation_detected():
+    with pytest.raises(ValueError):
+        read_varint(b"\x80", 0)
+
+
+def test_varint_overlength_detected():
+    with pytest.raises(ValueError):
+        read_varint(b"\xff" * 11, 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.integers(0, 2**63 - 1))
+def test_varint_round_trip(value):
+    decoded, offset = read_varint(write_varint(value), 0)
+    assert decoded == value
+    assert offset == len(write_varint(value))
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.integers(-(2**62), 2**62))
+def test_zigzag_round_trip(value):
+    assert zigzag_decode(zigzag_encode(value)) == value
+
+
+def test_zigzag_known_values():
+    assert zigzag_encode(0) == 0
+    assert zigzag_encode(-1) == 1
+    assert zigzag_encode(1) == 2
+    assert zigzag_encode(-2) == 3
+
+
+def test_wire_round_trip():
+    record = {"id": 42, "name": "smartdimm", "delta": -1000, "blob": b"\x00\xff", "count": 7}
+    assert deserialize(serialize(record, SCHEMA), SCHEMA) == record
+
+
+def test_missing_fields_are_omitted():
+    record = {"id": 1}
+    wire = serialize(record, SCHEMA)
+    assert deserialize(wire, SCHEMA) == record
+
+
+def test_unknown_fields_skipped_on_decode():
+    extended = dict(SCHEMA.fields)
+    extended[12] = FieldSpec("extra", FieldKind.STRING)
+    rich = Schema(extended)
+    wire = serialize({"id": 5, "extra": "future"}, rich)
+    assert deserialize(wire, SCHEMA) == {"id": 5}
+
+
+def test_kind_mismatch_rejected():
+    other = Schema({1: FieldSpec("id", FieldKind.STRING)})
+    wire = serialize({"id": 7}, SCHEMA)
+    with pytest.raises(ValueError):
+        deserialize(wire, other)
+
+
+def test_truncated_payload_rejected():
+    wire = serialize({"name": "hello"}, SCHEMA)
+    with pytest.raises(ValueError):
+        deserialize(wire[:-2], SCHEMA)
+
+
+def test_schema_validation():
+    with pytest.raises(ValueError):
+        Schema({0: FieldSpec("bad", FieldKind.UINT)})
+    with pytest.raises(ValueError):
+        Schema({1: FieldSpec("dup", FieldKind.UINT), 2: FieldSpec("dup", FieldKind.UINT)})
+    with pytest.raises(TypeError):
+        Schema({1: "not a spec"})
+
+
+def test_flat_format_structure():
+    wire = serialize({"id": 300}, SCHEMA)
+    flat = flatten(wire, SCHEMA)
+    assert len(flat) % 8 == 0
+    assert int.from_bytes(flat[0:2], "little") == 1  # field number
+    assert flat[2] == FieldKind.UINT.value
+    assert int.from_bytes(flat[8:16], "little") == 300
+
+
+def test_flatten_unflatten_round_trip():
+    record = {"id": 42, "name": "x" * 100, "delta": -5, "blob": bytes(range(13))}
+    flat = flatten(serialize(record, SCHEMA), SCHEMA)
+    assert unflatten(flat, SCHEMA) == record
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    uid=st.integers(0, 2**62),
+    name=st.text(max_size=60),
+    delta=st.integers(-(2**40), 2**40),
+    blob=st.binary(max_size=120),
+)
+def test_end_to_end_property(uid, name, delta, blob):
+    record = {"id": uid, "name": name, "delta": delta, "blob": blob}
+    wire = serialize(record, SCHEMA)
+    assert deserialize(wire, SCHEMA) == record
+    assert unflatten(flatten(wire, SCHEMA), SCHEMA) == record
+
+
+def test_flatten_rejects_malformed():
+    with pytest.raises(ValueError):
+        flatten(b"\x80", SCHEMA)  # truncated varint
+    with pytest.raises(ValueError):
+        unflatten(b"\x01\x00\x00\x00\x00\x00\x00", SCHEMA)  # short header

@@ -1,0 +1,140 @@
+"""TLS 1.3 record layer: framing, nonces, sequences, fragmentation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ulp.tls import (
+    CONTENT_TYPE_ALERT,
+    CONTENT_TYPE_APPLICATION_DATA,
+    HEADER_SIZE,
+    MAX_PLAINTEXT_SIZE,
+    TLSRecord,
+    TLSRecordLayer,
+    fragment_message,
+    record_aad,
+    record_nonce,
+)
+
+
+def _pair():
+    key, iv = bytes(range(16)), bytes(range(12))
+    return TLSRecordLayer(key, iv), TLSRecordLayer(key, iv)
+
+
+def test_round_trip_simple():
+    tx, rx = _pair()
+    plaintext, content_type = rx.unprotect(tx.protect(b"hello tls"))
+    assert plaintext == b"hello tls"
+    assert content_type == CONTENT_TYPE_APPLICATION_DATA
+
+
+def test_round_trip_empty_fragment():
+    tx, rx = _pair()
+    plaintext, _ = rx.unprotect(tx.protect(b""))
+    assert plaintext == b""
+
+
+def test_content_type_carried_in_inner_plaintext():
+    tx, rx = _pair()
+    _, content_type = rx.unprotect(tx.protect(b"alert!", content_type=CONTENT_TYPE_ALERT))
+    assert content_type == CONTENT_TYPE_ALERT
+
+
+def test_sequence_numbers_advance_and_must_match():
+    tx, rx = _pair()
+    first = tx.protect(b"one")
+    second = tx.protect(b"two")
+    assert rx.unprotect(first)[0] == b"one"
+    assert rx.unprotect(second)[0] == b"two"
+
+
+def test_out_of_order_record_fails_authentication():
+    tx, rx = _pair()
+    tx.protect(b"one")
+    second = tx.protect(b"two")
+    with pytest.raises(ValueError):
+        rx.unprotect(second)  # rx still expects sequence 0
+
+
+def test_record_nonce_xor():
+    iv = bytes(range(12))
+    assert record_nonce(iv, 0) == iv
+    nonce = record_nonce(iv, 1)
+    assert nonce[:4] == iv[:4]
+    assert nonce[-1] == iv[-1] ^ 1
+
+
+def test_record_nonce_requires_12_bytes():
+    with pytest.raises(ValueError):
+        record_nonce(bytes(11), 0)
+
+
+def test_record_aad_is_ciphertext_header():
+    aad = record_aad(100)
+    assert aad[0] == CONTENT_TYPE_APPLICATION_DATA
+    assert int.from_bytes(aad[3:5], "big") == 100
+
+
+def test_oversized_fragment_rejected():
+    tx, _ = _pair()
+    with pytest.raises(ValueError):
+        tx.protect(bytes(MAX_PLAINTEXT_SIZE + 1))
+
+
+def test_wire_format_round_trip():
+    tx, rx = _pair()
+    record = tx.protect(b"serialize me")
+    wire = record.wire_bytes()
+    assert wire[0] == CONTENT_TYPE_APPLICATION_DATA
+    assert int.from_bytes(wire[3:5], "big") == len(record.payload)
+    parsed = TLSRecord.from_wire(wire)
+    assert rx.unprotect(parsed)[0] == b"serialize me"
+
+
+def test_from_wire_rejects_truncated():
+    with pytest.raises(ValueError):
+        TLSRecord.from_wire(b"\x17\x03\x03\x00\x40short")
+    with pytest.raises(ValueError):
+        TLSRecord.from_wire(b"\x17")
+
+
+def test_tampered_ciphertext_detected():
+    tx, rx = _pair()
+    record = tx.protect(b"integrity matters")
+    corrupted = TLSRecord(
+        content_type=record.content_type,
+        ciphertext=bytes([record.ciphertext[0] ^ 0xFF]) + record.ciphertext[1:],
+        tag=record.tag,
+    )
+    with pytest.raises(ValueError):
+        rx.unprotect(corrupted)
+
+
+@settings(max_examples=25, deadline=None)
+@given(message=st.binary(min_size=0, max_size=2048))
+def test_round_trip_property(message):
+    tx, rx = _pair()
+    assert rx.unprotect(tx.protect(message))[0] == message
+
+
+def test_fragment_message_covers_everything():
+    message = bytes(range(256)) * 200  # 51200 bytes
+    fragments = fragment_message(message, 16384)
+    assert b"".join(fragments) == message
+    assert all(len(f) <= 16384 for f in fragments)
+    assert len(fragments) == 4
+
+
+def test_fragment_message_clamps_to_max_record():
+    fragments = fragment_message(bytes(40000), 1 << 20)
+    assert max(len(f) for f in fragments) == MAX_PLAINTEXT_SIZE
+
+
+def test_fragment_message_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        fragment_message(b"x", 0)
+
+
+def test_fragment_empty_message_yields_one_fragment():
+    assert fragment_message(b"", 4096) == [b""]
