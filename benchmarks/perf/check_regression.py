@@ -1,0 +1,109 @@
+"""Perf-regression gate for the datapath fast path.
+
+Re-runs the datapath micro-benchmarks and compares the fresh ``after``-path
+throughput against the committed baseline (``BENCH_datapath.json`` at the
+repo root).  A drop of more than ``--tolerance`` (default 20%) on any
+(section, size) fails the gate with exit code 1 — use it in CI or before
+merging datapath changes::
+
+    PYTHONPATH=src python benchmarks/perf/check_regression.py
+
+Absolute wall times vary across machines; throughput *ratios* between a
+fresh run and a baseline recorded on the same machine are what the gate is
+for.  ``--update`` rewrites the baseline from the fresh run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import datapath_bench
+
+#: Sections whose `after_mbps` is guarded per record size.
+GUARDED_SECTIONS = ("aes_gcm_encrypt", "ghash", "deflate", "compcpy_e2e")
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Returns a list of human-readable regression strings (empty = pass)."""
+    regressions = []
+    for section in GUARDED_SECTIONS:
+        for size, base_entry in baseline.get(section, {}).items():
+            fresh_entry = fresh.get(section, {}).get(size)
+            if fresh_entry is None:
+                regressions.append("%s/%s: missing from fresh run" % (section, size))
+                continue
+            base_mbps = base_entry["after_mbps"]
+            fresh_mbps = fresh_entry["after_mbps"]
+            floor = (1.0 - tolerance) * base_mbps
+            if fresh_mbps < floor:
+                regressions.append(
+                    "%s/%s B: %.2f MB/s < %.2f MB/s (baseline %.2f, -%.0f%%)"
+                    % (
+                        section,
+                        size,
+                        fresh_mbps,
+                        floor,
+                        base_mbps,
+                        100.0 * (1.0 - fresh_mbps / base_mbps),
+                    )
+                )
+    return regressions
+
+
+def main(argv=None) -> int:
+    """CLI entry; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=datapath_bench.RESULTS_PATH,
+        help="baseline JSON (default: committed BENCH_datapath.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional throughput drop (default 0.20)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per point (default 3)"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = datapath_bench.bench_all(repeats=args.repeats)
+    if args.update:
+        path = datapath_bench.write_results(fresh, args.baseline)
+        print("baseline updated:", path)
+        return 0
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print("no baseline at %s; run with --update to create one" % args.baseline)
+        return 2
+
+    regressions = compare(baseline, fresh, args.tolerance)
+    if regressions:
+        print("PERF REGRESSION (tolerance %.0f%%):" % (100 * args.tolerance))
+        for line in regressions:
+            print("  " + line)
+        return 1
+    print(
+        "perf gate passed: %d points within %.0f%% of baseline"
+        % (
+            sum(len(baseline.get(s, {})) for s in GUARDED_SECTIONS),
+            100 * args.tolerance,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

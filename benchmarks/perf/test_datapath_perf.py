@@ -1,0 +1,52 @@
+"""Perf-marked benchmark: regenerate BENCH_datapath.json and gate speedups.
+
+Excluded from tier-1 (``testpaths = ["tests"]`` plus the ``perf`` marker);
+run explicitly with::
+
+    PYTHONPATH=src python -m pytest -m perf benchmarks/perf -q
+
+The assertions are deliberately loose (2x under the recorded ~20x) so the
+gate holds on slow shared runners; ``check_regression.py`` does the tight
+comparison against the committed baseline.
+"""
+
+import pytest
+
+import datapath_bench
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One full sweep shared by every assertion in this module."""
+    return datapath_bench.bench_all()
+
+
+def test_aes_gcm_speedup(results):
+    """The tentpole claim: >=10x full-record encrypt at 64 KB."""
+    entry = results["aes_gcm_encrypt"]["65536"]
+    assert entry["speedup"] >= 10.0, "64 KB AES-GCM speedup %.1fx < 10x" % entry["speedup"]
+    assert results["aes_gcm_encrypt"]["16384"]["speedup"] >= 5.0
+    assert results["aes_gcm_encrypt"]["4096"]["speedup"] >= 2.5
+
+
+def test_ghash_speedup(results):
+    """Lane-parallel GHASH beats the nibble-serial reference at 64 KB."""
+    assert results["ghash"]["65536"]["speedup"] >= 4.0
+
+
+def test_deflate_not_slower(results):
+    """The chunked-compare matcher never loses to the seed inner loop."""
+    for entry in results["deflate"].values():
+        assert entry["speedup"] >= 0.9
+
+
+def test_write_baseline(results, tmp_path):
+    """The sweep serialises cleanly and lands at the repo root on demand."""
+    path = datapath_bench.write_results(results, str(tmp_path / "BENCH_datapath.json"))
+    import json
+
+    with open(path) as handle:
+        loaded = json.load(handle)
+    assert loaded["aes_gcm_encrypt"]["65536"]["speedup"] == results["aes_gcm_encrypt"]["65536"]["speedup"]

@@ -18,14 +18,14 @@ def _cmd_demo(_args) -> int:
     import zlib
 
     from repro import SmartDIMMSession
-    from repro.ulp.gcm import AESGCM
+    from repro.ulp.ctx_cache import cached_aesgcm
     from repro.workloads.corpus import CorpusKind, generate_corpus
 
     session = SmartDIMMSession()
     key, nonce = bytes(range(16)), bytes(12)
     payload = generate_corpus(CorpusKind.TEXT, 6000)
     out = session.tls_encrypt(key, nonce, payload)
-    ct, tag = AESGCM(key).encrypt(nonce, payload)
+    ct, tag = cached_aesgcm(key).encrypt(nonce, payload)
     assert out == ct + tag
     print("TLS offload: %d bytes encrypted, bit-exact vs software" % len(payload))
     page = generate_corpus(CorpusKind.HTML, 4096)

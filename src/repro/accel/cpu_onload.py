@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cpu.costs import CostModel, DEFAULT_COSTS
+from repro.ulp.ctx_cache import cached_aesgcm
 from repro.ulp.deflate import deflate_compress, deflate_decompress
 from repro.ulp.gcm import AESGCM
 
@@ -26,14 +27,12 @@ class CpuOnload:
     def __init__(self, costs: CostModel = DEFAULT_COSTS):
         self.costs = costs
         self.total_cycles = 0.0
-        self._gcm_cache = {}
 
     def _gcm(self, key: bytes) -> AESGCM:
-        gcm = self._gcm_cache.get(key)
-        if gcm is None:
-            gcm = AESGCM(key)
-            self._gcm_cache[key] = gcm
-        return gcm
+        # Shared session-keyed context cache: the key schedule, GF tables,
+        # and H powers are built once per key process-wide, not per onload
+        # instance (mirrors OpenSSL's per-connection cipher context).
+        return cached_aesgcm(key)
 
     def tls_encrypt(self, key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> OnloadResult:
         """AES-GCM encrypt; returns ciphertext || tag."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.cpu.costs import CostModel, DEFAULT_COSTS
 from repro.accel.pcie import PcieLink
+from repro.ulp.ctx_cache import cached_aesgcm
 from repro.ulp.deflate import deflate_compress
 from repro.ulp.gcm import AESGCM
 
@@ -34,14 +35,11 @@ class QuickAssist:
         self.costs = costs
         self.link = link or PcieLink(bandwidth_bytes_per_sec=costs.pcie_bytes_per_sec)
         self.offloads = 0
-        self._gcm_cache = {}
 
     def _gcm(self, key: bytes) -> AESGCM:
-        gcm = self._gcm_cache.get(key)
-        if gcm is None:
-            gcm = AESGCM(key)
-            self._gcm_cache[key] = gcm
-        return gcm
+        # The card keeps per-session cipher state on-device; model that with
+        # the process-wide session-keyed context cache.
+        return cached_aesgcm(key)
 
     def _management_cycles(self, nbytes: int) -> float:
         cycles = self.costs.qat_setup_cycles + self.costs.qat_completion_cycles

@@ -86,9 +86,9 @@ class QuickAssistBackend(UlpBackend):
         """See :meth:`UlpBackend.tls_decrypt`."""
         # The card computes the tag alongside decryption; comparison is host
         # work either way — reuse the software path for the check.
-        from repro.ulp.gcm import AESGCM
+        from repro.ulp.ctx_cache import cached_aesgcm
 
-        return AESGCM(key).decrypt(nonce, ciphertext, aad, tag)
+        return cached_aesgcm(key).decrypt(nonce, ciphertext, aad, tag)
 
     def compress(self, data):
         """See :meth:`UlpBackend.compress`."""

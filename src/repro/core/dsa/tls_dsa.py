@@ -31,10 +31,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dram.commands import CACHELINE_SIZE
-from repro.ulp.gcm import AESGCM, GF128Multiplier, gf128_mul
+from repro.ulp.ctx_cache import cached_aesgcm
+from repro.ulp.gcm import AESGCM, gf128_mul, xor_bytes
 from repro.core.dsa.base import DSA, Offload, ScratchpadWriter
 
 BLOCKS_PER_LINE = CACHELINE_SIZE // 16  # 4: hence the paper's stride-4 H powers
+
+#: Keystream generation granularity: one batched CTR call covers this many
+#: cachelines (4 KB -> 256 AES blocks), amortising per-call overhead while a
+#: record's rdCAS commands drain line by line.
+KEYSTREAM_CHUNK_LINES = 64
 
 
 def gf128_pow(h: int, exponent: int) -> int:
@@ -96,11 +102,13 @@ class TLSOffloadContext:
     eiv: bytes = field(init=False, repr=False)
 
     def __post_init__(self):
-        self.gcm = AESGCM(self.key)
+        # One cipher context per traffic key, shared across every record of
+        # the session (the paper registers it once via MMIO config writes).
+        self.gcm = cached_aesgcm(self.key)
         self.eiv = self.gcm.encrypted_iv(self.nonce)
         self.ct_blocks = (self.record_length + 15) // 16
         self._h_int = int.from_bytes(self.gcm.h, "big")
-        self._pow_cache = {}
+        self._keystream_chunks = {}
         self._positional_sum = 0
         self._folded_blocks = set()
         # GHASH accumulator, primed with the AAD prefix on the CPU (serial
@@ -116,11 +124,35 @@ class TLSOffloadContext:
         self._pending_blocks = {}
 
     def _h_pow(self, exponent: int) -> int:
-        value = self._pow_cache.get(exponent)
-        if value is None:
-            value = gf128_pow(self._h_int, exponent)
-            self._pow_cache[exponent] = value
-        return value
+        # Memoised in the shared context, so the H-power ladder is built
+        # once per key rather than once per record.
+        return self.gcm.h_power(exponent)
+
+    def keystream_line(self, global_line: int) -> bytes:
+        """The 64 keystream bytes covering cacheline `global_line`.
+
+        Keystream is generated in :data:`KEYSTREAM_CHUNK_LINES`-line batches
+        through the batched CTR path and sliced per line, so out-of-order and
+        strided line arrival still hits the wide path.
+        """
+        chunk_index, line_in_chunk = divmod(global_line, KEYSTREAM_CHUNK_LINES)
+        chunk = self._keystream_chunks.get(chunk_index)
+        if chunk is None:
+            first_line = chunk_index * KEYSTREAM_CHUNK_LINES
+            covered = min(
+                KEYSTREAM_CHUNK_LINES * CACHELINE_SIZE,
+                max(self.record_length - first_line * CACHELINE_SIZE, 0),
+            )
+            chunk = self.gcm.keystream(
+                self.nonce,
+                # Round up to whole cachelines: partial tail lines still XOR
+                # a full line of staged sbuf data.
+                -(-covered // CACHELINE_SIZE) * CACHELINE_SIZE,
+                start_block=first_line * BLOCKS_PER_LINE,
+            )
+            self._keystream_chunks[chunk_index] = chunk
+        start = line_in_chunk * CACHELINE_SIZE
+        return chunk[start : start + CACHELINE_SIZE]
 
     def fold_ciphertext_block(self, block_index: int, block: bytes) -> None:
         """Fold ciphertext block `block_index` (0-based) into the tag.
@@ -162,7 +194,7 @@ class TLSOffloadContext:
             8 * self.record_length
         ).to_bytes(8, "big")
         s = self.gcm.mul_h.mul(self._tag_accumulator ^ int.from_bytes(lengths, "big"))
-        return bytes(a ^ b for a, b in zip(s.to_bytes(16, "big"), self.eiv))
+        return xor_bytes(s.to_bytes(16, "big"), self.eiv)
 
 
 def combine_partial_tags(
@@ -175,8 +207,7 @@ def combine_partial_tags(
     data it already holds) and masks with EIV — a handful of GF multiplies,
     independent of the record size.
     """
-    gcm = AESGCM(key)
-    h = int.from_bytes(gcm.h, "big")
+    gcm = cached_aesgcm(key)
     ct_blocks = (record_length + 15) // 16
     aad_blocks = (len(aad) + 15) // 16
     total = aad_blocks + ct_blocks + 1
@@ -186,11 +217,11 @@ def combine_partial_tags(
     padded_aad = aad + bytes((16 - len(aad) % 16) % 16)
     for j in range(aad_blocks):
         block = int.from_bytes(padded_aad[16 * j : 16 * j + 16], "big")
-        accumulator ^= gf128_mul(block, gf128_pow(h, total - j))
+        accumulator ^= gf128_mul(block, gcm.h_power(total - j))
     lengths = (8 * len(aad)).to_bytes(8, "big") + (8 * record_length).to_bytes(8, "big")
-    accumulator ^= gf128_mul(int.from_bytes(lengths, "big"), h)
+    accumulator ^= gf128_mul(int.from_bytes(lengths, "big"), gcm.h_power(1))
     eiv = gcm.encrypted_iv(nonce)
-    return bytes(a ^ b for a, b in zip(accumulator.to_bytes(16, "big"), eiv))
+    return xor_bytes(accumulator.to_bytes(16, "big"), eiv)
 
 
 class TLSDSA(DSA):
@@ -207,11 +238,10 @@ class TLSDSA(DSA):
         if byte_offset >= n:
             # Line fully in the zero-padded tail; nothing to compute.
             return
-        # Counter-mode XOR: blocks 4L .. 4L+3 of the record keystream.
-        keystream = context.gcm.keystream(
-            context.nonce, CACHELINE_SIZE, start_block=global_line * BLOCKS_PER_LINE
-        )
-        output = bytes(p ^ s for p, s in zip(data, keystream))
+        # Counter-mode XOR: blocks 4L .. 4L+3 of the record keystream,
+        # sliced from a batch-generated chunk.
+        keystream = context.keystream_line(global_line)
+        output = xor_bytes(data, keystream)
         usable = min(CACHELINE_SIZE, n - byte_offset)
         # GHASH folds over *ciphertext*: what we just produced when
         # encrypting, what arrived on the wire when decrypting.

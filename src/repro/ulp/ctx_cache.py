@@ -1,0 +1,81 @@
+"""Session-keyed cipher-context cache shared by every datapath placement.
+
+The paper ships a per-connection TLS context to the DIMM **once** via MMIO
+config writes — key schedule, hash subkey H, EIV, stride-4 H powers — and
+then reuses it for every record of the session (Sec. V-A, Fig. 7).  The
+software analogue is this module: one :class:`~repro.ulp.gcm.AESGCM`
+instance per traffic key, holding the AES round keys, the byte-windowed
+GF(2^128) multiplier tables, and the memoised H-power list, built on first
+use and shared by every consumer (CPU onload, QuickAssist model, TLS record
+layer, TLS DSA contexts, multi-channel tag combine).
+
+The seed rebuilt all of that per record in several places — e.g.
+``TLSOffloadContext`` constructed a fresh ``AESGCM`` per offloaded record —
+which dominated the functional datapath's runtime.  TLS sessions reuse a
+small number of traffic keys, so a bounded LRU keyed by the raw key bytes
+captures effectively every access.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.ulp.gcm import AESGCM
+
+#: Upper bound on cached per-key contexts; each holds the AES key schedule,
+#: ~180 KB of GF multiplier tables, and the grown-on-demand H-power list.
+MAX_CACHED_KEYS = 64
+
+_lock = threading.Lock()
+_cache = {}  # key bytes -> AESGCM, insertion-ordered for LRU eviction
+_hits = 0
+_misses = 0
+
+
+def cached_aesgcm(key: bytes) -> AESGCM:
+    """The shared :class:`AESGCM` context for `key`, built at most once.
+
+    Thread-safe; least-recently-used contexts are evicted beyond
+    :data:`MAX_CACHED_KEYS`.
+    """
+    global _hits, _misses
+    key = bytes(key)
+    with _lock:
+        gcm = _cache.get(key)
+        if gcm is not None:
+            _hits += 1
+            # Refresh LRU position (dicts preserve insertion order).
+            del _cache[key]
+            _cache[key] = gcm
+            return gcm
+    # Build outside the lock: key-schedule + table construction is the
+    # expensive part and must not serialise unrelated keys.
+    gcm = AESGCM(key)
+    with _lock:
+        existing = _cache.pop(key, None)
+        if existing is not None:
+            # Another thread won the race; keep its context (it may already
+            # have grown H powers / vector tables).
+            gcm = existing
+            _hits += 1
+        else:
+            _misses += 1
+        _cache[key] = gcm
+        while len(_cache) > MAX_CACHED_KEYS:
+            _cache.pop(next(iter(_cache)))
+    return gcm
+
+
+def cache_info() -> dict:
+    """Cache statistics: ``{"hits", "misses", "size"}`` (for tests/telemetry)."""
+    with _lock:
+        return {"hits": _hits, "misses": _misses, "size": len(_cache)}
+
+
+def clear_cache() -> None:
+    """Drop every cached context and reset statistics (test isolation)."""
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0

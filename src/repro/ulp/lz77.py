@@ -71,14 +71,37 @@ class HashChainMatcher:
       yields a strictly longer match (zlib levels >= 4).
     * ``window_size`` — history window; DEFLATE allows up to 32 KB, the
       SmartDIMM DSA restricts itself to 4 KB (Sec. V-B).
+    * ``lazy_cutoff`` — zlib's ``max_lazy_match``: a match at least this
+      long is emitted immediately without probing ``pos + 1``.  The default
+      (:data:`MAX_MATCH`) cannot change the token stream — no match can be
+      strictly longer than 258 — so it is purely an upper bound until a
+      caller dials it down.
+    * ``nice_length`` — stop walking the chain once a match this long is
+      found (zlib's ``nice_match``).  Defaults to :data:`MAX_MATCH`, which
+      matches the pre-existing "stop at the longest possible match" break.
     """
 
-    def __init__(self, max_chain: int = 128, lazy: bool = True, window_size: int = MAX_DISTANCE):
+    def __init__(
+        self,
+        max_chain: int = 128,
+        lazy: bool = True,
+        window_size: int = MAX_DISTANCE,
+        lazy_cutoff: int = MAX_MATCH,
+        nice_length: int = MAX_MATCH,
+    ):
         if window_size > MAX_DISTANCE:
             raise ValueError("window_size exceeds DEFLATE maximum")
+        if max_chain < 1:
+            raise ValueError("max_chain must be at least 1")
+        if not MIN_MATCH <= lazy_cutoff <= MAX_MATCH:
+            raise ValueError("lazy_cutoff must lie in [%d, %d]" % (MIN_MATCH, MAX_MATCH))
+        if not MIN_MATCH <= nice_length <= MAX_MATCH:
+            raise ValueError("nice_length must lie in [%d, %d]" % (MIN_MATCH, MAX_MATCH))
         self.max_chain = max_chain
         self.lazy = lazy
         self.window_size = window_size
+        self.lazy_cutoff = lazy_cutoff
+        self.nice_length = nice_length
 
     @staticmethod
     def _hash(data: bytes, pos: int) -> int:
@@ -96,16 +119,36 @@ class HashChainMatcher:
         max_length = min(MAX_MATCH, len(data) - pos)
         while candidate >= limit and chain_budget > 0:
             chain_budget -= 1
-            length = 0
-            while (
-                length < max_length
-                and data[candidate + length] == data[pos + length]
+            # A candidate can only beat the current best if it agrees at the
+            # byte the best match would have to extend past (zlib's quick
+            # reject) — skipping it cannot change which match wins.
+            if (
+                best_length >= MIN_MATCH
+                and data[candidate + best_length] != data[pos + best_length]
             ):
-                length += 1
+                candidate = prev.get(candidate, -1)
+                continue
+            # Common-prefix scan in 32-byte slabs, dropping to bytes only in
+            # the slab containing the first mismatch.
+            length = 0
+            while length < max_length:
+                span = min(32, max_length - length)
+                if (
+                    data[candidate + length : candidate + length + span]
+                    == data[pos + length : pos + length + span]
+                ):
+                    length += span
+                    continue
+                while (
+                    length < max_length
+                    and data[candidate + length] == data[pos + length]
+                ):
+                    length += 1
+                break
             if length > best_length:
                 best_length = length
                 best_distance = pos - candidate
-                if length >= max_length:
+                if length >= max_length or length >= self.nice_length:
                     break
             candidate = prev.get(candidate, -1)
         if best_length >= MIN_MATCH:
@@ -130,7 +173,12 @@ class HashChainMatcher:
 
         while pos < n:
             match = self._longest_match(data, pos, head, prev)
-            if match is not None and self.lazy and pos + 1 < n:
+            if (
+                match is not None
+                and self.lazy
+                and match.length < self.lazy_cutoff
+                and pos + 1 < n
+            ):
                 insert(pos)
                 next_match = self._longest_match(data, pos + 1, head, prev)
                 if next_match is not None and next_match.length > match.length:

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.ulp.gcm import AESGCM
+from repro.ulp.ctx_cache import cached_aesgcm
+from repro.ulp.gcm import AESGCM, xor_bytes
 
 CONTENT_TYPE_APPLICATION_DATA = 23
 CONTENT_TYPE_ALERT = 21
@@ -69,8 +70,7 @@ def record_nonce(static_iv: bytes, sequence: int) -> bytes:
     if len(static_iv) != 12:
         raise ValueError("TLS 1.3 static IV must be 12 bytes")
     seq_bytes = sequence.to_bytes(8, "big")
-    padded = bytes(4) + seq_bytes
-    return bytes(a ^ b for a, b in zip(static_iv, padded))
+    return xor_bytes(static_iv, bytes(4) + seq_bytes)
 
 
 def record_aad(inner_length: int) -> bytes:
@@ -92,7 +92,9 @@ class TLSRecordLayer:
     """
 
     def __init__(self, key: bytes, static_iv: bytes):
-        self.gcm = AESGCM(key)
+        # Shared per-key context: key schedule + GF tables built once
+        # process-wide, exactly once per traffic key.
+        self.gcm = cached_aesgcm(key)
         self.static_iv = bytes(static_iv)
         self.sequence = 0
 
@@ -115,7 +117,11 @@ class TLSRecordLayer:
         inner = plaintext + bytes([content_type])
         nonce = self.next_nonce()
         aad = record_aad(len(inner) + AESGCM.TAG_SIZE)
-        ciphertext, tag = self.gcm.encrypt(nonce, inner, aad)
+        # Cached-EIV path: the record layer holds the cipher context, so EIV
+        # is derived once here and handed down — tag() must not rebuild
+        # J0/EIV a second time.
+        eiv = self.gcm.encrypted_iv(nonce)
+        ciphertext, tag = self.gcm.encrypt(nonce, inner, aad, eiv=eiv)
         self.sequence += 1
         return TLSRecord(content_type=content_type, ciphertext=ciphertext, tag=tag)
 
@@ -123,7 +129,8 @@ class TLSRecordLayer:
         """Decrypt and authenticate a record; returns (plaintext, content_type)."""
         nonce = self.next_nonce()
         aad = record_aad(len(record.payload))
-        inner = self.gcm.decrypt(nonce, record.ciphertext, aad, record.tag)
+        eiv = self.gcm.encrypted_iv(nonce)
+        inner = self.gcm.decrypt(nonce, record.ciphertext, aad, record.tag, eiv=eiv)
         self.sequence += 1
         if not inner:
             raise ValueError("empty inner plaintext")
