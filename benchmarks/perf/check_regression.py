@@ -1,16 +1,23 @@
-"""Perf-regression gate for the datapath fast path.
+"""Perf-regression gate for the datapath fast path and the cluster DES.
 
-Re-runs the datapath micro-benchmarks and compares the fresh ``after``-path
-throughput against the committed baseline (``BENCH_datapath.json`` at the
-repo root).  A drop of more than ``--tolerance`` (default 20%) on any
-(section, size) fails the gate with exit code 1 — use it in CI or before
-merging datapath changes::
+Re-runs the micro-benchmarks and compares fresh results against the
+committed baselines at the repo root:
+
+* ``BENCH_datapath.json`` — datapath throughput (``datapath_bench``): the
+  ``after``-path MB/s per (section, size) must not drop more than
+  ``--tolerance`` (default 20%).
+* ``BENCH_cluster.json`` — cluster-simulator speed (``cluster_bench``):
+  kernel events/sec must not drop, and end-to-end scenario wall time must
+  not grow, by more than the same tolerance.
+
+Any regression fails the gate with exit code 1 — use it in CI or before
+merging changes to either layer::
 
     PYTHONPATH=src python benchmarks/perf/check_regression.py
 
 Absolute wall times vary across machines; throughput *ratios* between a
 fresh run and a baseline recorded on the same machine are what the gate is
-for.  ``--update`` rewrites the baseline from the fresh run.
+for.  ``--update`` rewrites both baselines from the fresh run.
 """
 
 from __future__ import annotations
@@ -19,14 +26,24 @@ import argparse
 import json
 import sys
 
+import cluster_bench
 import datapath_bench
 
-#: Sections whose `after_mbps` is guarded per record size.
+#: Datapath sections whose `after_mbps` is guarded per record size.
 GUARDED_SECTIONS = ("aes_gcm_encrypt", "ghash", "deflate", "compcpy_e2e")
+
+#: Cluster sections -> (metric, direction); "min" guards a floor
+#: (throughput must not drop), "max" a ceiling (wall time must not grow).
+CLUSTER_GUARDS = {
+    "kernel_timeout": ("events_per_sec", "min"),
+    "kernel_process": ("events_per_sec", "min"),
+    "scenario_closed_tls": ("wall_s", "max"),
+    "scenario_open_spill": ("wall_s", "max"),
+}
 
 
 def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
-    """Returns a list of human-readable regression strings (empty = pass)."""
+    """Datapath regressions as human-readable strings (empty = pass)."""
     regressions = []
     for section in GUARDED_SECTIONS:
         for size, base_entry in baseline.get(section, {}).items():
@@ -52,44 +69,109 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
     return regressions
 
 
+def compare_cluster(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Cluster-simulator regressions (empty = pass)."""
+    regressions = []
+    for section, (metric, direction) in sorted(CLUSTER_GUARDS.items()):
+        base_entry = baseline.get(section)
+        if base_entry is None:
+            continue  # baseline predates this section; nothing to gate
+        fresh_entry = fresh.get(section)
+        if fresh_entry is None:
+            regressions.append("%s: missing from fresh run" % section)
+            continue
+        base_value = base_entry[metric]
+        fresh_value = fresh_entry[metric]
+        if direction == "min" and fresh_value < (1.0 - tolerance) * base_value:
+            regressions.append(
+                "%s: %s %.0f < floor %.0f (baseline %.0f, -%.0f%%)"
+                % (section, metric, fresh_value,
+                   (1.0 - tolerance) * base_value, base_value,
+                   100.0 * (1.0 - fresh_value / base_value))
+            )
+        elif direction == "max" and fresh_value > (1.0 + tolerance) * base_value:
+            regressions.append(
+                "%s: %s %.3f > ceiling %.3f (baseline %.3f, +%.0f%%)"
+                % (section, metric, fresh_value,
+                   (1.0 + tolerance) * base_value, base_value,
+                   100.0 * (fresh_value / base_value - 1.0))
+            )
+    return regressions
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
 def main(argv=None) -> int:
     """CLI entry; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline",
         default=datapath_bench.RESULTS_PATH,
-        help="baseline JSON (default: committed BENCH_datapath.json)",
+        help="datapath baseline JSON (default: committed BENCH_datapath.json)",
+    )
+    parser.add_argument(
+        "--cluster-baseline",
+        default=cluster_bench.RESULTS_PATH,
+        help="cluster baseline JSON (default: committed BENCH_cluster.json)",
     )
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.20,
-        help="allowed fractional throughput drop (default 0.20)",
+        help="allowed fractional regression (default 0.20)",
     )
     parser.add_argument(
         "--repeats", type=int, default=3, help="timing repeats per point (default 3)"
     )
     parser.add_argument(
+        "--skip-datapath", action="store_true", help="gate only the cluster DES"
+    )
+    parser.add_argument(
+        "--skip-cluster", action="store_true", help="gate only the datapath"
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
-        help="rewrite the baseline from this run instead of gating",
+        help="rewrite the baselines from this run instead of gating",
     )
     args = parser.parse_args(argv)
 
-    fresh = datapath_bench.bench_all(repeats=args.repeats)
+    regressions, gated_points = [], 0
+    if not args.skip_datapath:
+        fresh = datapath_bench.bench_all(repeats=args.repeats)
+        if args.update:
+            print("baseline updated:", datapath_bench.write_results(fresh, args.baseline))
+        else:
+            try:
+                baseline = _load(args.baseline)
+            except FileNotFoundError:
+                print("no baseline at %s; run with --update to create one"
+                      % args.baseline)
+                return 2
+            regressions += compare(baseline, fresh, args.tolerance)
+            gated_points += sum(len(baseline.get(s, {})) for s in GUARDED_SECTIONS)
+    if not args.skip_cluster:
+        fresh_cluster = cluster_bench.bench_all(repeats=args.repeats)
+        if args.update:
+            print("cluster baseline updated:",
+                  cluster_bench.write_results(fresh_cluster, args.cluster_baseline))
+        else:
+            try:
+                cluster_baseline = _load(args.cluster_baseline)
+            except FileNotFoundError:
+                print("no cluster baseline at %s; run with --update to create one"
+                      % args.cluster_baseline)
+                return 2
+            regressions += compare_cluster(cluster_baseline, fresh_cluster,
+                                           args.tolerance)
+            gated_points += sum(
+                1 for s in CLUSTER_GUARDS if s in cluster_baseline)
     if args.update:
-        path = datapath_bench.write_results(fresh, args.baseline)
-        print("baseline updated:", path)
         return 0
 
-    try:
-        with open(args.baseline) as handle:
-            baseline = json.load(handle)
-    except FileNotFoundError:
-        print("no baseline at %s; run with --update to create one" % args.baseline)
-        return 2
-
-    regressions = compare(baseline, fresh, args.tolerance)
     if regressions:
         print("PERF REGRESSION (tolerance %.0f%%):" % (100 * args.tolerance))
         for line in regressions:
@@ -97,10 +179,7 @@ def main(argv=None) -> int:
         return 1
     print(
         "perf gate passed: %d points within %.0f%% of baseline"
-        % (
-            sum(len(baseline.get(s, {})) for s in GUARDED_SECTIONS),
-            100 * args.tolerance,
-        )
+        % (gated_points, 100 * args.tolerance)
     )
     return 0
 

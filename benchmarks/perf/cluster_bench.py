@@ -1,0 +1,138 @@
+"""Cluster-simulator performance benchmarks.
+
+Times the DES layer itself — the thing later scaling PRs will lean on —
+and emits ``BENCH_cluster.json`` at the repo root so
+``check_regression.py`` can gate kernel slowdowns the same way it gates
+datapath throughput:
+
+* ``kernel_timeout`` — raw event-loop throughput: a self-rescheduling
+  callback chain (one heap push + pop + dispatch per event).
+* ``kernel_process`` — process-machinery throughput: coroutines yielding
+  timeouts (timeout event + resume post per iteration).
+* ``scenario_closed_tls`` — end-to-end wall time of a closed-loop TLS
+  scenario (the CLI's default shape, scaled down).
+* ``scenario_open_spill`` — end-to-end wall time of the saturated-DSA
+  bursty scenario with the adaptive-spill scheduler (the telemetry-heavy
+  path: histograms, backlog accounting, spill decisions).
+
+Scenario event counts are deterministic (seeded DES), so events/sec and
+wall time move together; both are recorded, wall time is what the gate
+reads.  Timing is best-of-N: the gate guards >20% regressions, not a
+statistical claim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.cluster import ClusterScenario, run_scenario
+from repro.cluster.kernel import Simulator
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+RESULTS_PATH = os.path.join(_REPO_ROOT, "BENCH_cluster.json")
+
+KERNEL_EVENTS = 120_000
+
+
+def _best_of(repeats, fn):
+    best = None
+    for _ in range(repeats):
+        value = fn()
+        if best is None or value["wall_s"] < best["wall_s"]:
+            best = value
+    return best
+
+
+def bench_kernel_timeout(events: int = KERNEL_EVENTS) -> dict:
+    """Pure heap throughput: one event per scheduled callback."""
+    sim = Simulator(seed=0)
+    remaining = {"n": events}
+
+    def tick(_):
+        remaining["n"] -= 1
+        if remaining["n"] > 0:
+            sim.schedule(1e-6, tick)
+
+    sim.schedule(1e-6, tick)
+    start = time.perf_counter()
+    processed = sim.run()
+    wall = time.perf_counter() - start
+    return {"events": processed, "wall_s": wall, "events_per_sec": processed / wall}
+
+
+def bench_kernel_process(iterations: int = KERNEL_EVENTS // 2) -> dict:
+    """Coroutine machinery: each loop is a timeout fire + process resume."""
+    sim = Simulator(seed=0)
+
+    def worker(count):
+        for _ in range(count):
+            yield 1e-6
+
+    sim.spawn(worker(iterations))
+    start = time.perf_counter()
+    processed = sim.run()
+    wall = time.perf_counter() - start
+    return {"events": processed, "wall_s": wall, "events_per_sec": processed / wall}
+
+
+def _scenario_entry(scenario: ClusterScenario) -> dict:
+    start = time.perf_counter()
+    report = run_scenario(scenario)
+    wall = time.perf_counter() - start
+    return {
+        "events": report.events_processed,
+        "completed": report.completed,
+        "wall_s": wall,
+        "events_per_sec": report.events_processed / wall,
+    }
+
+
+def bench_scenario_closed_tls() -> dict:
+    return _scenario_entry(ClusterScenario(
+        servers=2, channels=6, connections=256, ulp="tls",
+        message_bytes=16384, scheduler="least-loaded",
+        duration_s=0.006, warmup_s=0.001, seed=1,
+    ))
+
+
+def bench_scenario_open_spill() -> dict:
+    return _scenario_entry(ClusterScenario(
+        servers=2, channels=4, ulp="deflate", placement="smartdimm",
+        message_bytes=16384, mode="open", arrival="bursty",
+        rate_rps=100e3, burst_rps=160e3, base_s=0.008, burst_s=0.014,
+        dsa_bytes_per_sec=300e6, scheduler="adaptive-spill",
+        duration_s=0.03, warmup_s=0.004, seed=7,
+    ))
+
+
+def bench_all(repeats: int = 3) -> dict:
+    return {
+        "kernel_timeout": _best_of(repeats, bench_kernel_timeout),
+        "kernel_process": _best_of(repeats, bench_kernel_process),
+        "scenario_closed_tls": _best_of(repeats, bench_scenario_closed_tls),
+        "scenario_open_spill": _best_of(repeats, bench_scenario_open_spill),
+    }
+
+
+def write_results(results: dict, path: str = RESULTS_PATH) -> str:
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def main() -> int:
+    results = bench_all()
+    for section, entry in sorted(results.items()):
+        print("%-22s %8.0fk events/s  (%.3fs wall, %d events)"
+              % (section, entry["events_per_sec"] / 1e3, entry["wall_s"],
+                 entry["events"]))
+    path = write_results(results)
+    print("wrote", path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

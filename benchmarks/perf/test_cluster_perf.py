@@ -1,0 +1,57 @@
+"""Perf-marked benchmark: regenerate BENCH_cluster.json and sanity-gate it.
+
+Excluded from tier-1 (``testpaths = ["tests"]`` plus the ``perf`` marker);
+run explicitly with::
+
+    PYTHONPATH=src python -m pytest -m perf benchmarks/perf -q
+
+The floors are deliberately loose — a pure-Python DES on a busy shared
+runner — while ``check_regression.py`` does the tight same-machine
+comparison against the committed baseline.
+"""
+
+import json
+
+import pytest
+
+import cluster_bench
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One full sweep shared by every assertion in this module."""
+    return cluster_bench.bench_all()
+
+
+def test_kernel_event_throughput(results):
+    """The event loop must stay fast enough for rack-scale runs."""
+    assert results["kernel_timeout"]["events_per_sec"] > 50_000
+    assert results["kernel_process"]["events_per_sec"] > 30_000
+
+
+def test_scenarios_complete_and_count_events(results):
+    for section in ("scenario_closed_tls", "scenario_open_spill"):
+        entry = results[section]
+        assert entry["completed"] > 0
+        assert entry["events"] > entry["completed"]  # multiple events/request
+        assert entry["wall_s"] < 60.0
+
+
+def test_scenario_event_counts_are_deterministic(results):
+    """The DES is seeded: a re-run must process exactly the same events."""
+    fresh = cluster_bench.bench_scenario_closed_tls()
+    assert fresh["events"] == results["scenario_closed_tls"]["events"]
+    assert fresh["completed"] == results["scenario_closed_tls"]["completed"]
+
+
+def test_write_baseline(results, tmp_path):
+    """The sweep serialises cleanly where check_regression expects it."""
+    path = cluster_bench.write_results(results, str(tmp_path / "BENCH_cluster.json"))
+    with open(path) as handle:
+        decoded = json.load(handle)
+    assert set(decoded) >= {"kernel_timeout", "kernel_process",
+                            "scenario_closed_tls", "scenario_open_spill"}
+    for entry in decoded.values():
+        assert entry["wall_s"] > 0

@@ -1,0 +1,71 @@
+"""Tail latency under a load burst: adaptive DSA->CPU spill vs static placement.
+
+The paper's Observation 2 says offload pays only while the accelerator is
+the cheaper queue.  Steady-state results (Figs. 11/12) bake that decision
+in at deployment time; this scenario shows why a *fleet* cannot: a bursty
+open-loop workload pushes the rack's deflate DSAs past saturation for
+~14 ms at a time, and what happens next depends entirely on the scheduler.
+
+Setup: 2 servers x 4 channels, each channel fronting a deflate DSA slowed
+to 300 MB/s (a contended, power-capped DIMM), 16 KB responses.  Arrivals
+alternate 100k req/s (under DSA capacity) with 160k req/s bursts (over DSA
+capacity, but under DSA + CPU capacity).
+
+* **static** — requests hash to a fixed channel, ULP always on the DSA.
+  During each burst the DSA queues absorb the entire overload: backlogs
+  grow for the full burst, and p99/p999 balloon.
+* **adaptive-spill** — least-loaded placement plus a marginal-cost rule
+  that onloads a request's ULP to the CPU whenever the DSA queue's wait
+  exceeds what the spill itself would cost.  The overload drains through
+  spare worker cycles and the tail stays bounded.
+
+Run:  PYTHONPATH=src python examples/cluster_tail_latency.py
+"""
+
+from repro.cluster import ClusterScenario, run_scenario
+
+
+def scenario(scheduler: str) -> ClusterScenario:
+    return ClusterScenario(
+        servers=2, channels=4, threads=10,
+        ulp="deflate", placement="smartdimm", message_bytes=16384,
+        mode="open", arrival="bursty",
+        rate_rps=100e3, burst_rps=160e3, base_s=0.008, burst_s=0.014,
+        dsa_bytes_per_sec=300e6,  # saturated-DSA regime
+        scheduler=scheduler,
+        duration_s=0.06, warmup_s=0.005, seed=7,
+    )
+
+
+def main() -> int:
+    reports = {name: run_scenario(scenario(name))
+               for name in ("static", "adaptive-spill")}
+
+    print("deflate 16KB, 2x4 DSA channels @300MB/s, bursts 100k<->160k req/s\n")
+    print(f"{'scheduler':>15} | {'rps':>8} {'p50':>8} {'p99':>9} {'p999':>9} | "
+          f"{'spilled':>7} {'max DSA util':>12}")
+    for name, report in reports.items():
+        lat = report.latency
+        peak_util = max(max(ch) for ch in report.channel_utilisation)
+        print(
+            f"{name:>15} | {report.rps:>8,.0f} {lat['p50'] * 1e6:>6.0f}us "
+            f"{lat['p99'] * 1e6:>7.0f}us {lat['p999'] * 1e6:>7.0f}us | "
+            f"{report.spilled:>7d} {peak_util:>11.0%}"
+        )
+
+    static_p99 = reports["static"].latency["p99"]
+    adaptive_p99 = reports["adaptive-spill"].latency["p99"]
+    assert adaptive_p99 < static_p99, (
+        "adaptive spill should beat static placement at p99 under saturation"
+    )
+    print(
+        "\nadaptive spill cuts p99 by %.1fx: during each burst it onloads the"
+        % (static_p99 / adaptive_p99)
+    )
+    print("overflow to spare worker cores instead of letting DSA queues grow —")
+    print("the paper's Observation-2 tradeoff, made per-request and dynamic.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,9 @@ Public entry points:
   implementations.
 * :class:`repro.apps.nginx.NginxServer` — the functional web server with
   pluggable ULP placement.
+* :mod:`repro.cluster` — the rack-scale discrete-event simulator: load
+  generation, placement scheduling, and tail-latency telemetry layered on
+  the calibrated per-request cost vectors.
 """
 
 from repro.core.offload_api import SmartDIMMSession, SessionConfig
@@ -22,6 +25,7 @@ from repro.core.compcpy import CompCpy, CompCpyError
 from repro.core.smartdimm import SmartDIMM, SmartDIMMConfig
 from repro.core.engine import AdaptiveOffloadEngine, OffloadDecision
 from repro.sim.server import Placement, ServerModel, Ulp, WorkloadSpec
+from repro.cluster import ClusterScenario, ClusterReport, run_scenario
 
 __version__ = "1.0.0"
 
@@ -38,5 +42,8 @@ __all__ = [
     "ServerModel",
     "Ulp",
     "WorkloadSpec",
+    "ClusterScenario",
+    "ClusterReport",
+    "run_scenario",
     "__version__",
 ]

@@ -6,6 +6,8 @@ Commands:
 * ``compare [sizes...]`` — the Figs. 11/12 placement comparison tables.
 * ``report [-o FILE]`` — aggregate benchmarks/results into one document.
 * ``power [utilisation]`` — the Sec. VII-D power/area estimate.
+* ``cluster`` — rack-scale discrete-event simulation: RPS, p50/p99/p999
+  tail latency, and per-channel DSA utilisation under a chosen scheduler.
 """
 
 from __future__ import annotations
@@ -107,6 +109,38 @@ def _cmd_power(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    from repro.cluster import ClusterScenario, run_scenario
+
+    scenario = ClusterScenario(
+        servers=args.servers,
+        channels=args.channels,
+        threads=args.threads,
+        ulp=args.ulp,
+        placement=args.placement,
+        message_bytes=args.message_bytes,
+        mode=args.mode,
+        connections=args.connections,
+        arrival=args.arrival,
+        rate_rps=args.rate,
+        scheduler=args.sched,
+        dsa_bytes_per_sec=args.dsa_rate,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        seed=args.seed,
+        trace_path=args.trace_out,
+    )
+    report = run_scenario(scenario)
+    print(report.table())
+    if args.trace_out:
+        print("chrome trace written to %s (open in about:tracing)" % args.trace_out)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print("metrics JSON written to %s" % args.json_out)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -120,12 +154,45 @@ def main(argv=None) -> int:
     report.add_argument("-o", "--output", help="write to a file")
     power = sub.add_parser("power", help="power/area estimate")
     power.add_argument("utilisation", nargs="?", type=float, default=0.3)
+    cluster = sub.add_parser(
+        "cluster",
+        help="rack-scale DES: tail latency + per-channel DSA utilisation",
+    )
+    cluster.add_argument("--servers", type=int, default=4)
+    cluster.add_argument("--channels", type=int, default=6,
+                         help="memory channels (DSA queues) per server")
+    cluster.add_argument("--threads", type=int, default=10)
+    cluster.add_argument("--connections", type=int, default=512)
+    cluster.add_argument("--ulp", choices=["tls", "deflate", "none"],
+                         default="tls")
+    cluster.add_argument("--placement", default="smartdimm",
+                         help="smartdimm | cpu | quickassist | smartnic | "
+                              "smartdimm_direct")
+    cluster.add_argument("--message-bytes", type=int, default=16384)
+    cluster.add_argument("--mode", choices=["closed", "open"], default="closed")
+    cluster.add_argument("--arrival", choices=["poisson", "bursty"],
+                         default="poisson", help="open-loop arrival process")
+    cluster.add_argument("--rate", type=float, default=None,
+                         help="open-loop arrival rate in req/s")
+    cluster.add_argument("--sched", default="adaptive-spill",
+                         choices=["static", "least-loaded", "adaptive-spill"])
+    cluster.add_argument("--dsa-rate", type=float, default=None,
+                         help="per-channel DSA bytes/sec (default: channel bw)")
+    cluster.add_argument("--duration", type=float, default=0.02,
+                         help="simulated seconds (default 0.02)")
+    cluster.add_argument("--warmup", type=float, default=0.005)
+    cluster.add_argument("--seed", type=int, default=1)
+    cluster.add_argument("--trace-out", default=None,
+                         help="write a Chrome-trace JSON here")
+    cluster.add_argument("--json-out", default=None,
+                         help="write the metrics report JSON here")
     args = parser.parse_args(argv)
     return {
         "demo": _cmd_demo,
         "compare": _cmd_compare,
         "report": _cmd_report,
         "power": _cmd_power,
+        "cluster": _cmd_cluster,
     }[args.command](args)
 
 

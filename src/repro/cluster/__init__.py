@@ -1,0 +1,89 @@
+"""repro.cluster: deterministic rack-scale discrete-event simulation.
+
+Layers SmartDIMM's per-request resource vectors (from
+:mod:`repro.sim.server` / :mod:`repro.cpu.costs`) under a discrete-event
+simulator so fleet-level questions — bursty arrivals, p99/p999 tails, DSA
+queue saturation, offload-vs-onload scheduling — become measurable, not
+just the single-server steady state the analytic model answers.
+
+Quickstart::
+
+    from repro.cluster import ClusterScenario, run_scenario
+
+    report = run_scenario(ClusterScenario(servers=4, connections=512,
+                                          ulp="tls", seed=1))
+    print(report.table())
+
+Or from the shell: ``python -m repro cluster --servers 4 --connections 512
+--ulp tls --seed 1``.
+
+Modules:
+
+* :mod:`repro.cluster.kernel` — event heap, simulated clock, seeded RNG,
+  process-style coroutines, FIFO resources.
+* :mod:`repro.cluster.loadgen` — open-loop (Poisson/bursty/trace-replay)
+  and closed-loop load with corpus-derived request mixes.
+* :mod:`repro.cluster.fleet` — N servers x M channels, each channel
+  fronting a SmartDIMM DSA queue priced by the analytic model.
+* :mod:`repro.cluster.sched` — static, least-loaded, and adaptive
+  CPU-spill placement schedulers (the paper's Observation 2, dynamic).
+* :mod:`repro.cluster.metrics` — counters, gauges, log-bucketed latency
+  histograms (p50/p99/p999), utilisation timelines, Chrome-trace export.
+* :mod:`repro.cluster.scenario` — scenario config, runner, and report.
+"""
+
+from repro.cluster.fleet import (
+    Assignment,
+    Channel,
+    Fleet,
+    RouteCosts,
+    ServerSim,
+    ServiceProfile,
+)
+from repro.cluster.kernel import Event, Process, Resource, Simulator
+from repro.cluster.loadgen import (
+    BurstyArrivals,
+    ClosedLoopLoad,
+    MixEntry,
+    OpenLoopLoad,
+    PoissonArrivals,
+    Request,
+    RequestMix,
+    TraceArrivals,
+    measured_deflate_ratio,
+)
+from repro.cluster.metrics import (
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+    Timeline,
+    TraceRecorder,
+)
+from repro.cluster.scenario import ClusterReport, ClusterScenario, run_scenario
+from repro.cluster.sched import (
+    SCHEDULERS,
+    AdaptiveSpillScheduler,
+    LeastLoadedScheduler,
+    Scheduler,
+    StaticScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    # kernel
+    "Simulator", "Event", "Process", "Resource",
+    # load generation
+    "RequestMix", "MixEntry", "Request", "PoissonArrivals", "BurstyArrivals",
+    "TraceArrivals", "OpenLoopLoad", "ClosedLoopLoad", "measured_deflate_ratio",
+    # fleet
+    "Fleet", "ServerSim", "Channel", "ServiceProfile", "RouteCosts", "Assignment",
+    # scheduling
+    "Scheduler", "StaticScheduler", "LeastLoadedScheduler",
+    "AdaptiveSpillScheduler", "SCHEDULERS", "make_scheduler",
+    # telemetry
+    "Counter", "Gauge", "LogHistogram", "Timeline", "TraceRecorder",
+    "MetricsRegistry",
+    # scenarios
+    "ClusterScenario", "ClusterReport", "run_scenario",
+]

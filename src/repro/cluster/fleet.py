@@ -1,0 +1,348 @@
+"""The rack: N servers x M channels, each channel fronting a SmartDIMM DSA.
+
+Each server is modelled as four queueing stations a request traverses in
+order, with service times derived from the *same* per-request resource
+vectors the analytic model computes (:meth:`repro.sim.server.ServerModel.
+request_costs`), evaluated at the analytic model's own fixed-point miss
+probability:
+
+* **cpu** — `threads` workers; service = cycles / core-Hz (plus the
+  synchronous offload blocking time for lookaside placements, which is why
+  QuickAssist tails balloon here exactly as Observation 2 predicts);
+* **membus** — the server's DDR channels in aggregate; service =
+  ddr_bytes / peak bandwidth.  Memory traffic interleaves across channels
+  regardless of where the ULP runs, so this is one shared station;
+* **channel DSA** — one FIFO per memory channel, used only by requests
+  whose route actually runs the ULP on the DIMM; service = payload /
+  DSA rate.  By default the DSA keeps up with its channel's share of
+  bandwidth (the paper's design point); scenarios override
+  ``dsa_bytes_per_sec`` downward to study saturation;
+* **link** — the NIC; service = output bytes / link rate.
+
+With the default calibration, each station's capacity equals the analytic
+model's corresponding bound (cpu, memory, link), so a saturated closed
+loop converges to the fixed-point RPS — the cross-check in
+``tests/cluster/test_crosscheck.py``.  What the DES adds is everything the
+fixed point can't express: queueing delay distributions, transient bursts,
+and the DSA-saturation regime where the adaptive scheduler spills work
+back to the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.costs import DEFAULT_COSTS, CostModel
+from repro.sim.server import Placement, ServerModel, Ulp, WorkloadSpec
+
+from repro.cluster.loadgen import DSA_RATIO_PENALTY, Request, measured_deflate_ratio
+from repro.cluster.metrics import MetricsRegistry, TraceRecorder
+
+#: Placements whose ULP executes on the DIMM-side DSA (and therefore queue
+#: on a memory channel's DSA station).
+DSA_PLACEMENTS = (Placement.SMARTDIMM, Placement.SMARTDIMM_DIRECT)
+
+#: Chrome-trace tid layout inside one server (pid): workers, NIC, channels.
+TRACE_TID_CPU = 0
+TRACE_TID_LINK = 1
+TRACE_TID_CHANNEL0 = 2
+
+
+@dataclass(frozen=True)
+class RouteCosts:
+    """Station service times for one request class on one route."""
+
+    cpu_seconds: float
+    mem_seconds: float
+    dsa_seconds: float
+    link_seconds: float
+    output_bytes: int
+    ddr_bytes: float
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A scheduling decision: where a request runs and on which route."""
+
+    server: int
+    channel: int
+    spill: bool = False  # True: ULP on the CPU (onload), DSA queue skipped
+
+
+class ServiceProfile:
+    """Maps (size, corpus kind, route) -> :class:`RouteCosts`.
+
+    Built once per scenario: solves the analytic model at the mix's mean
+    size to obtain the fixed-point miss probability, then prices every
+    request class at that operating point.  The analytic model stays
+    authoritative for *per-request costs and cache contention*; the DES is
+    authoritative for *queueing* (see DESIGN.md).
+    """
+
+    def __init__(self, ulp: Ulp, placement: Placement, mean_message_bytes: float,
+                 threads: int = 10, connections: int = 512,
+                 channels_per_server: int = 6,
+                 costs: CostModel = DEFAULT_COSTS,
+                 dsa_bytes_per_sec: float = None):
+        if ulp is Ulp.NONE:
+            placement = Placement.CPU
+        self.ulp = ulp
+        self.placement = placement
+        self.threads = threads
+        self.connections = connections
+        self.channels_per_server = channels_per_server
+        self.costs = costs
+        self.membw_bytes_per_sec = costs.ddr_peak_bytes_per_sec
+        self.dsa_bytes_per_sec = (
+            dsa_bytes_per_sec or self.membw_bytes_per_sec / channels_per_server
+        )
+        calibration = self.reference_model(int(round(mean_message_bytes)), kind=None)
+        self.model_metrics = calibration.solve()
+        self.p_miss = self.model_metrics.miss_probability
+        self._routes = {}
+
+    # -- analytic-model plumbing ----------------------------------------------------
+
+    def _spec(self, size: int, kind, placement: Placement) -> WorkloadSpec:
+        kwargs = {}
+        if self.ulp is Ulp.DEFLATE and kind is not None:
+            ratio = measured_deflate_ratio(kind)
+            kwargs = {
+                "compression_ratio_cpu": ratio,
+                "compression_ratio_dsa": min(1.0, ratio * DSA_RATIO_PENALTY),
+            }
+        return WorkloadSpec(
+            ulp=self.ulp,
+            placement=placement,
+            message_bytes=size,
+            connections=self.connections,
+            threads=self.threads,
+            **kwargs,
+        )
+
+    def reference_model(self, size: int, kind=None,
+                        placement: Placement = None) -> ServerModel:
+        """The analytic model this profile prices requests with — the
+        cross-check reference."""
+        return ServerModel(self._spec(size, kind, placement or self.placement),
+                           self.costs)
+
+    def route(self, size: int, kind=None, spill: bool = False) -> RouteCosts:
+        """Service times for a `size`-byte request of corpus `kind`.
+
+        `spill=True` prices the CPU-onload route (the ULP computed by a
+        worker core instead of the DSA) at the *same* contention point —
+        the paper's Observation-2 alternative the adaptive scheduler falls
+        back to when a DSA queue saturates.
+        """
+        key = (size, kind, spill)
+        cached = self._routes.get(key)
+        if cached is not None:
+            return cached
+        placement = Placement.CPU if spill else self.placement
+        model = self.reference_model(size, kind, placement)
+        request = model.request_costs(self.p_miss)
+        cpu_seconds = self.costs.cycles_to_seconds(request.cpu_cycles)
+        # Synchronous lookaside APIs block the worker for the round trip
+        # (ServerModel bounds this separately; serialising it onto the
+        # worker is the conservative composition).
+        cpu_seconds += request.accel_block_seconds
+        dsa_seconds = 0.0
+        if not spill and placement in DSA_PLACEMENTS:
+            dsa_seconds = size / self.dsa_bytes_per_sec
+        costs = RouteCosts(
+            cpu_seconds=cpu_seconds,
+            mem_seconds=request.ddr_bytes / self.membw_bytes_per_sec,
+            dsa_seconds=dsa_seconds,
+            link_seconds=request.output_bytes / self.costs.link_bytes_per_sec,
+            output_bytes=request.output_bytes,
+            ddr_bytes=request.ddr_bytes,
+        )
+        self._routes[key] = costs
+        return costs
+
+    @property
+    def can_spill(self) -> bool:
+        """Whether a CPU-onload alternative exists for this workload."""
+        return self.placement is not Placement.CPU
+
+
+class Channel:
+    """One memory channel's DSA queue plus its backlog estimate."""
+
+    __slots__ = ("index", "resource", "backlog_seconds", "served")
+
+    def __init__(self, sim, server_index: int, index: int, timeline):
+        self.index = index
+        self.resource = sim.resource(
+            1, "server%d.ch%d" % (server_index, index), timeline)
+        self.backlog_seconds = 0.0
+        self.served = 0
+
+
+class ServerSim:
+    """One server's stations: worker pool, memory bus, DSA channels, NIC."""
+
+    def __init__(self, sim, index: int, threads: int, channels: int,
+                 registry: MetricsRegistry):
+        self.index = index
+        self.threads = threads
+        self.cpu = sim.resource(threads, "server%d.cpu" % index)
+        self.membus = sim.resource(1, "server%d.membus" % index)
+        self.link = sim.resource(1, "server%d.link" % index)
+        self.cpu_backlog_seconds = 0.0
+        self.channels = [
+            Channel(sim, index, c,
+                    registry.timeline("server%d.ch%d.util" % (index, c)))
+            for c in range(channels)
+        ]
+
+    @property
+    def backlog_seconds(self) -> float:
+        return self.cpu_backlog_seconds + sum(
+            channel.backlog_seconds for channel in self.channels)
+
+
+class Fleet:
+    """The full rack plus telemetry; `submit()` is the loadgen entry point."""
+
+    def __init__(self, sim, profile: ServiceProfile, scheduler,
+                 servers: int = 4, channels: int = None,
+                 registry: MetricsRegistry = None,
+                 trace: TraceRecorder = None):
+        channels = channels or profile.channels_per_server
+        self.sim = sim
+        self.profile = profile
+        self.scheduler = scheduler
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace
+        self.servers = [
+            ServerSim(sim, index, profile.threads, channels, self.registry)
+            for index in range(servers)
+        ]
+        self.measuring = True
+        self.latency = self.registry.histogram("latency_s")
+        self.spill_latency = self.registry.histogram("latency_spilled_s")
+        self.wait_cpu = self.registry.histogram("wait_cpu_s")
+        self.wait_dsa = self.registry.histogram("wait_dsa_s")
+        self.completed = self.registry.counter("completed")
+        self.submitted = self.registry.counter("submitted")
+        self.spilled = self.registry.counter("spilled")
+        self.dsa_served = self.registry.counter("dsa_served")
+        self.bytes_out = self.registry.counter("bytes_out")
+        if trace is not None:
+            for server in self.servers:
+                trace.metadata("process_name", server.index, 0,
+                               "server%d" % server.index)
+                trace.metadata("thread_name", server.index, TRACE_TID_CPU, "cpu")
+                trace.metadata("thread_name", server.index, TRACE_TID_LINK, "nic")
+                for channel in server.channels:
+                    trace.metadata("thread_name", server.index,
+                                   TRACE_TID_CHANNEL0 + channel.index,
+                                   "dsa-ch%d" % channel.index)
+
+    # -- measurement window ----------------------------------------------------------
+
+    def begin_measurement(self) -> None:
+        """Zero utilisation integrals and counters at the end of warmup."""
+        self.measuring = True
+        for server in self.servers:
+            server.cpu.reset_utilisation()
+            server.membus.reset_utilisation()
+            server.link.reset_utilisation()
+            for channel in server.channels:
+                channel.resource.reset_utilisation()
+
+    # -- request path ---------------------------------------------------------------
+
+    def submit(self, request: Request):
+        """Schedule and serve one request; returns its completion event."""
+        assignment = self.scheduler.assign(self, request)
+        spill = assignment.spill and self.profile.can_spill
+        route = self.profile.route(request.size, request.kind, spill=spill)
+        server = self.servers[assignment.server]
+        channel = server.channels[assignment.channel]
+        request.server = assignment.server
+        request.channel = assignment.channel
+        request.route = "cpu-spill" if spill else self.profile.placement.value
+        server.cpu_backlog_seconds += route.cpu_seconds
+        if route.dsa_seconds > 0.0:
+            channel.backlog_seconds += route.dsa_seconds
+        if self.measuring:
+            self.submitted.inc()
+            if spill:
+                self.spilled.inc()
+        return self.sim.spawn(self._serve(request, server, channel, route))
+
+    def _serve(self, request: Request, server: ServerSim, channel: Channel,
+               route: RouteCosts):
+        sim = self.sim
+        # CPU stage: protocol stack + ULP management (or the whole ULP when
+        # spilled) on one of the worker cores.
+        enqueued = sim.now
+        yield server.cpu.acquire()
+        request.waits["cpu"] = sim.now - enqueued
+        started = sim.now
+        yield route.cpu_seconds
+        server.cpu.release()
+        server.cpu_backlog_seconds -= route.cpu_seconds
+        self._trace(request, "cpu", started, route.cpu_seconds, TRACE_TID_CPU)
+        # Memory-bus stage: the request's DDR traffic at aggregate bandwidth.
+        yield server.membus.acquire()
+        started = sim.now
+        yield route.mem_seconds
+        server.membus.release()
+        # DSA stage: only routes that run the ULP on the DIMM queue here.
+        if route.dsa_seconds > 0.0:
+            enqueued = sim.now
+            yield channel.resource.acquire()
+            request.waits["dsa"] = sim.now - enqueued
+            started = sim.now
+            yield route.dsa_seconds
+            channel.resource.release()
+            channel.backlog_seconds -= route.dsa_seconds
+            channel.served += 1
+            if self.measuring:
+                self.dsa_served.inc()
+            self._trace(request, "dsa", started, route.dsa_seconds,
+                        TRACE_TID_CHANNEL0 + channel.index)
+        # Link stage: the response leaves through the NIC.
+        yield server.link.acquire()
+        started = sim.now
+        yield route.link_seconds
+        server.link.release()
+        self._trace(request, "tx", started, route.link_seconds, TRACE_TID_LINK)
+        request.complete_s = sim.now
+        if self.measuring:
+            self.completed.inc()
+            self.bytes_out.inc(route.output_bytes)
+            self.latency.record(request.latency_s)
+            if request.route == "cpu-spill":
+                self.spill_latency.record(request.latency_s)
+            self.wait_cpu.record(request.waits.get("cpu", 0.0))
+            if "dsa" in request.waits:
+                self.wait_dsa.record(request.waits["dsa"])
+        return request
+
+    def _trace(self, request: Request, stage: str, started: float,
+               duration: float, tid: int) -> None:
+        if self.trace is not None:
+            self.trace.complete(
+                "%s/%s" % (self.profile.ulp.value, stage), "request",
+                started, duration, request.server, tid,
+                args={"req": request.id, "route": request.route,
+                      "bytes": request.size},
+            )
+
+    # -- reporting ------------------------------------------------------------------
+
+    def channel_utilisations(self, since: float) -> list:
+        """Per-server lists of per-channel DSA busy fractions since warmup."""
+        return [
+            [channel.resource.utilisation(since) for channel in server.channels]
+            for server in self.servers
+        ]
+
+    def cpu_utilisations(self, since: float) -> list:
+        """Per-server CPU worker-pool utilisation over [since, now]."""
+        return [server.cpu.utilisation(since) for server in self.servers]

@@ -1,0 +1,243 @@
+"""Deterministic discrete-event simulation kernel.
+
+A minimal process-style DES engine in the simpy idiom, purpose-built for
+the cluster layer: an event heap keyed by ``(time, sequence)``, a simulated
+clock, one seeded :class:`random.Random`, and coroutine processes that
+``yield`` timeouts, events, or resource grants.
+
+Determinism is the design constraint, not an afterthought:
+
+* every callback runs through the same heap, tie-broken by a monotonically
+  increasing sequence number, so simultaneous events fire in the order they
+  were scheduled;
+* all randomness flows through ``Simulator.rng`` (or children derived from
+  it via :meth:`Simulator.fork_rng`) — no module-level ``random`` anywhere
+  in the cluster layer;
+* nothing reads wall-clock time, object ids, or hash-randomised iteration
+  order.
+
+Two runs with the same seed therefore produce byte-identical event
+sequences and, downstream, byte-identical metrics (see
+``tests/cluster/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Starts untriggered; :meth:`succeed` fires it with an optional value.
+    Callbacks added after the trigger still run (immediately, in schedule
+    order), so there is no lost-wakeup race.
+    """
+
+    __slots__ = ("sim", "value", "triggered", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.value = None
+        self.triggered = False
+        self._callbacks = []
+
+    def succeed(self, value=None) -> "Event":
+        """Trigger the event with `value`, waking every waiter (once only)."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, None
+        for callback in callbacks:
+            self.sim._post(callback, self)
+        return self
+
+    def wait(self, callback) -> None:
+        """Run `callback(event)` once the event has triggered."""
+        if self.triggered:
+            self.sim._post(callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Process(Event):
+    """A coroutine driven by the kernel; doubles as its completion event.
+
+    The wrapped generator may ``yield``:
+
+    * a number — sleep that many simulated seconds;
+    * an :class:`Event` (including another process or a resource grant) —
+      resume when it triggers, receiving the event's value.
+
+    The generator's ``return`` value becomes the process's event value.
+    """
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, sim: "Simulator", generator):
+        super().__init__(sim)
+        self._generator = generator
+        sim._post(self._step, None)
+
+    def _step(self, fired: Event) -> None:
+        value = fired.value if fired is not None else None
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        if isinstance(target, (int, float)):
+            target = self.sim.timeout(target)
+        elif not isinstance(target, Event):
+            raise TypeError(
+                "process yielded %r; expected a delay or an Event" % (target,)
+            )
+        target.wait(self._step)
+
+
+class Resource:
+    """A FIFO multi-server resource (`capacity` concurrent holders).
+
+    `acquire()` returns an :class:`Event` that triggers when a slot is
+    granted; `release()` hands the slot to the longest-waiting requester.
+    Busy time is integrated continuously so utilisation over any window is
+    exact, not sampled.
+    """
+
+    __slots__ = ("sim", "name", "capacity", "busy", "_waiters",
+                 "_busy_integral", "_last_change", "timeline")
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "",
+                 timeline=None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.busy = 0
+        self._waiters = deque()
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+        self.timeline = timeline
+
+    def _account(self) -> None:
+        self._busy_integral += self.busy * (self.sim.now - self._last_change)
+        self._last_change = self.sim.now
+        if self.timeline is not None:
+            self.timeline.add(self.sim.now, self.busy / self.capacity)
+
+    def acquire(self) -> Event:
+        """Request a slot; the returned event triggers when it is granted."""
+        grant = Event(self.sim)
+        if self.busy < self.capacity:
+            self._account()
+            self.busy += 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Free a held slot, handing it to the longest-waiting requester."""
+        if self._waiters:
+            # Slot changes hands; occupancy is unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self._account()
+            self.busy -= 1
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    def reset_utilisation(self) -> None:
+        """Restart busy-time integration (e.g. at the end of warmup)."""
+        self._busy_integral = 0.0
+        self._last_change = self.sim.now
+
+    def utilisation(self, since: float = 0.0) -> float:
+        """Mean busy fraction from the last reset (at `since`) to now."""
+        window = self.sim.now - since
+        if window <= 0.0:
+            return 0.0
+        integral = self._busy_integral + self.busy * (self.sim.now - self._last_change)
+        return integral / (window * self.capacity)
+
+
+class Simulator:
+    """The event loop: heap, clock, seeded RNG, process spawner."""
+
+    def __init__(self, seed: int = 0):
+        self.now = 0.0
+        self.rng = random.Random(seed)
+        self._heap = []
+        self._sequence = 0
+        self.events_processed = 0
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _push(self, time: float, callback, argument) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, self._sequence, callback, argument))
+
+    def _post(self, callback, argument) -> None:
+        """Schedule `callback(argument)` at the current instant (FIFO)."""
+        self._push(self.now, callback, argument)
+
+    def schedule(self, delay: float, callback, argument=None) -> None:
+        """Run `callback(argument)` after `delay` simulated seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        self._push(self.now + delay, callback, argument)
+
+    def timeout(self, delay: float, value=None) -> Event:
+        """An event that triggers `delay` seconds from now."""
+        if delay < 0:
+            raise ValueError("negative timeout")
+        event = Event(self)
+        self._push(self.now + delay, self._fire, (event, value))
+        return event
+
+    @staticmethod
+    def _fire(pair) -> None:
+        event, value = pair
+        event.succeed(value)
+
+    def spawn(self, generator) -> Process:
+        """Start a coroutine process; returns its completion event."""
+        return Process(self, generator)
+
+    def fork_rng(self, label: str) -> random.Random:
+        """A child RNG derived deterministically from the master seed."""
+        return random.Random((self.rng.getrandbits(48) << 16) ^ len(label))
+
+    def resource(self, capacity: int = 1, name: str = "", timeline=None) -> Resource:
+        """Create a FIFO :class:`Resource` bound to this simulator's clock."""
+        return Resource(self, capacity, name, timeline)
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self, until: float = None) -> int:
+        """Process events until the heap drains or the clock passes `until`.
+
+        Returns the number of events processed by this call.  With `until`
+        given, the clock is left exactly at `until` even if the last event
+        fired earlier (so back-to-back windows tile perfectly).
+        """
+        processed = 0
+        heap = self._heap
+        while heap:
+            time, _, callback, argument = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            self.now = time
+            callback(argument)
+            processed += 1
+        if until is not None and self.now < until:
+            self.now = until
+        self.events_processed += processed
+        return processed

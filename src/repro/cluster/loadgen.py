@@ -1,0 +1,253 @@
+"""Load generation: request mixes, arrival processes, open/closed loops.
+
+Two driving disciplines, matching how the paper's testbed and the ROADMAP's
+fleet questions differ:
+
+* **Closed loop** (`ClosedLoopLoad`) — the paper's wrk harness: a fixed
+  population of persistent connections, each cycling request -> response ->
+  think.  Steady-state throughput converges to the bottleneck resource's
+  capacity, which is what lets ``tests/cluster/test_crosscheck.py`` pin the
+  DES against :class:`repro.sim.server.ServerModel`'s fixed point.
+* **Open loop** (`OpenLoopLoad`) — arrivals don't wait for completions, so
+  queues can *grow*; this is the discipline under which tail latency and
+  DSA saturation are even observable.  Arrival processes: Poisson, a
+  two-phase bursty modulation (base rate / burst rate alternating), and
+  trace replay from explicit timestamps.
+
+Request payloads are described, not materialised: a :class:`RequestMix`
+draws (corpus kind, size) pairs, and per-kind DEFLATE ratios are *measured*
+once from :func:`repro.workloads.corpus.generate_corpus` (via zlib level 6,
+the paper's CPU baseline setting) rather than hard-coded.
+
+All randomness flows through the :class:`random.Random` instances handed in
+by the scenario runner — never through module-level ``random`` — which is
+what makes identical seeds produce byte-identical runs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.workloads.corpus import CorpusKind, generate_corpus
+
+#: Ratio of the DSA's fixed-Huffman banked matcher to zlib -6 output size
+#: (the seed's calibration: 0.42 vs 0.32 on web corpora).
+DSA_RATIO_PENALTY = 0.42 / 0.32
+
+_ratio_cache = {}
+
+
+def measured_deflate_ratio(kind: CorpusKind, sample_bytes: int = 16384) -> float:
+    """zlib level-6 compressed/original ratio of the synthetic corpus.
+
+    Deterministic (the corpus generators are seeded) and cached, so the
+    cluster layer's compression ratios track the corpus generators instead
+    of drifting constants.
+    """
+    key = (kind, sample_bytes)
+    if key not in _ratio_cache:
+        payload = generate_corpus(kind, sample_bytes)
+        compressed = zlib.compress(payload, 6)
+        _ratio_cache[key] = min(1.0, len(compressed) / len(payload))
+    return _ratio_cache[key]
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    """One component of a request mix."""
+
+    size: int
+    weight: float = 1.0
+    kind: CorpusKind = CorpusKind.HTML
+
+
+class RequestMix:
+    """A weighted mixture of (size, corpus kind) request classes."""
+
+    def __init__(self, entries):
+        entries = list(entries)
+        if not entries:
+            raise ValueError("request mix needs at least one entry")
+        total = sum(entry.weight for entry in entries)
+        if total <= 0:
+            raise ValueError("mix weights must sum to a positive value")
+        self.entries = entries
+        self._cumulative = []
+        running = 0.0
+        for entry in entries:
+            running += entry.weight / total
+            self._cumulative.append(running)
+
+    @classmethod
+    def fixed(cls, size: int, kind: CorpusKind = CorpusKind.HTML) -> "RequestMix":
+        return cls([MixEntry(size=size, kind=kind)])
+
+    @property
+    def mean_size(self) -> float:
+        total = sum(entry.weight for entry in self.entries)
+        return sum(entry.size * entry.weight for entry in self.entries) / total
+
+    def sample(self, rng) -> MixEntry:
+        """Draw one entry, weighted, from the supplied seeded RNG."""
+        point = rng.random()
+        for entry, cumulative in zip(self.entries, self._cumulative):
+            if point <= cumulative:
+                return entry
+        return self.entries[-1]
+
+
+@dataclass
+class Request:
+    """One in-flight request and its measured stage timings."""
+
+    id: int
+    connection: int
+    size: int
+    kind: CorpusKind
+    arrive_s: float
+    route: str = ""
+    server: int = -1
+    channel: int = -1
+    complete_s: float = -1.0
+    waits: dict = field(default_factory=dict)
+
+    @property
+    def latency_s(self) -> float:
+        return self.complete_s - self.arrive_s
+
+
+# -- arrival processes -------------------------------------------------------------
+
+
+class PoissonArrivals:
+    """Memoryless arrivals at `rate_rps` requests/second."""
+
+    def __init__(self, rate_rps: float):
+        if rate_rps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_rps = rate_rps
+
+    def next_gap(self, now: float, rng) -> float:
+        """Exponential inter-arrival gap at the fixed rate."""
+        return rng.expovariate(self.rate_rps)
+
+
+class BurstyArrivals:
+    """Two-phase modulated Poisson: `base_rps` for `base_s`, then
+    `burst_rps` for `burst_s`, repeating.  The canonical way to push a DSA
+    queue past saturation for a bounded interval."""
+
+    def __init__(self, base_rps: float, burst_rps: float,
+                 base_s: float, burst_s: float):
+        if min(base_rps, burst_rps) <= 0 or min(base_s, burst_s) <= 0:
+            raise ValueError("rates and phase lengths must be positive")
+        self.base_rps = base_rps
+        self.burst_rps = burst_rps
+        self.base_s = base_s
+        self.burst_s = burst_s
+
+    def rate_at(self, now: float) -> float:
+        """The instantaneous arrival rate for the phase containing `now`."""
+        phase = now % (self.base_s + self.burst_s)
+        return self.base_rps if phase < self.base_s else self.burst_rps
+
+    def next_gap(self, now: float, rng) -> float:
+        """Exponential gap at the current phase's rate."""
+        return rng.expovariate(self.rate_at(now))
+
+
+class TraceArrivals:
+    """Replay explicit arrival timestamps (seconds, sorted ascending)."""
+
+    def __init__(self, times):
+        self.times = sorted(times)
+        self._index = 0
+
+    def next_gap(self, now: float, rng) -> float:
+        """Gap to the next trace timestamp, or None once exhausted."""
+        if self._index >= len(self.times):
+            return None
+        gap = max(0.0, self.times[self._index] - now)
+        self._index += 1
+        return gap
+
+
+# -- load drivers -----------------------------------------------------------------
+
+
+class _LoadBase:
+    """Shared bookkeeping: request numbering and a completion hook."""
+
+    def __init__(self, sim, fleet, mix: RequestMix):
+        self.sim = sim
+        self.fleet = fleet
+        self.mix = mix
+        self.rng = sim.fork_rng("loadgen")
+        self._next_id = 0
+
+    def _make_request(self, connection: int) -> Request:
+        entry = self.mix.sample(self.rng)
+        request = Request(
+            id=self._next_id,
+            connection=connection,
+            size=entry.size,
+            kind=entry.kind,
+            arrive_s=self.sim.now,
+        )
+        self._next_id += 1
+        return request
+
+
+class OpenLoopLoad(_LoadBase):
+    """Arrivals fire on the arrival process's clock, never waiting for
+    responses — the generator that can actually overload the fleet."""
+
+    def __init__(self, sim, fleet, mix: RequestMix, arrivals):
+        super().__init__(sim, fleet, mix)
+        self.arrivals = arrivals
+
+    def start(self) -> None:
+        """Begin generating arrivals (call once, before Simulator.run)."""
+        self.sim.spawn(self._arrival_loop())
+
+    def _arrival_loop(self):
+        while True:
+            gap = self.arrivals.next_gap(self.sim.now, self.rng)
+            if gap is None:
+                return
+            yield gap
+            self.fleet.submit(self._make_request(connection=-1))
+
+
+class ClosedLoopLoad(_LoadBase):
+    """A fixed population of connections, each request->response->think.
+
+    Connections start staggered over `stagger_s` (deterministically, by
+    connection index) so the opening instant doesn't imprint a lockstep
+    pattern on the whole run.
+    """
+
+    def __init__(self, sim, fleet, mix: RequestMix, connections: int,
+                 think_s: float = 0.0, stagger_s: float = 1e-4):
+        super().__init__(sim, fleet, mix)
+        if connections < 1:
+            raise ValueError("need at least one connection")
+        self.connections = connections
+        self.think_s = think_s
+        self.stagger_s = stagger_s
+
+    def start(self) -> None:
+        """Spawn every connection's request loop (call before Simulator.run)."""
+        for connection in range(self.connections):
+            self.sim.spawn(self._connection_loop(connection))
+
+    def _connection_loop(self, connection: int):
+        if self.stagger_s > 0:
+            yield self.stagger_s * connection / self.connections
+        while True:
+            request = self._make_request(connection)
+            done = self.fleet.submit(request)
+            yield done
+            if self.think_s > 0:
+                yield self.rng.expovariate(1.0 / self.think_s)

@@ -1,0 +1,298 @@
+"""Scenario configuration, the run loop, and the cluster report.
+
+A :class:`ClusterScenario` bundles everything one rack-scale experiment
+needs — fleet shape, workload, load discipline, scheduler, seed — and
+:func:`run_scenario` turns it into a :class:`ClusterReport`: throughput,
+p50/p99/p999 latency, per-channel DSA utilisation, spill counts, and
+(optionally) a Chrome-trace file for ``about:tracing``.
+
+Reports are rendered deterministically: no wall-clock values, floats
+formatted from the same arithmetic every run, JSON serialised with sorted
+keys.  Identical seeds ⇒ byte-identical ``to_json()`` output (enforced by
+``tests/cluster/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.server import Placement, Ulp
+
+from repro.cluster.fleet import Fleet, ServiceProfile
+from repro.cluster.kernel import Simulator
+from repro.cluster.loadgen import (
+    BurstyArrivals,
+    ClosedLoopLoad,
+    OpenLoopLoad,
+    PoissonArrivals,
+    RequestMix,
+    TraceArrivals,
+)
+from repro.cluster.metrics import MetricsRegistry, TraceRecorder
+from repro.cluster.sched import AdaptiveSpillScheduler, make_scheduler
+
+
+@dataclass
+class ClusterScenario:
+    """One rack-scale experiment, fully specified (and fully seeded)."""
+
+    # fleet shape
+    servers: int = 4
+    channels: int = 6
+    threads: int = 10
+    # workload
+    ulp: str = "tls"
+    placement: str = "smartdimm"
+    message_bytes: int = 16384
+    mix: RequestMix = None  # overrides message_bytes when given
+    # load discipline
+    mode: str = "closed"  # "closed" | "open"
+    connections: int = 512
+    think_s: float = 0.0
+    arrival: str = "poisson"  # open loop: "poisson" | "bursty" | "trace"
+    rate_rps: float = None  # None -> 70% of the fixed-point capacity
+    burst_rps: float = None  # None -> 1.4x capacity
+    base_s: float = 0.01
+    burst_s: float = 0.005
+    trace_times: list = field(default_factory=list)
+    # schedule & device
+    scheduler: str = AdaptiveSpillScheduler.name
+    spill_factor: float = 1.0
+    dsa_bytes_per_sec: float = None  # None -> channel-bandwidth DSA (paper)
+    # run control
+    duration_s: float = 0.02
+    warmup_s: float = 0.005
+    seed: int = 1
+    timeline_windows: int = 10
+    trace_path: str = None
+
+    def resolved_mix(self) -> RequestMix:
+        """The explicit mix, or a single-size mix of `message_bytes`."""
+        return self.mix if self.mix is not None else RequestMix.fixed(self.message_bytes)
+
+    def build_profile(self) -> ServiceProfile:
+        """Price this scenario's routes via the analytic server model."""
+        return ServiceProfile(
+            Ulp(self.ulp),
+            Placement(self.placement),
+            mean_message_bytes=self.resolved_mix().mean_size,
+            threads=self.threads,
+            connections=self.connections,
+            channels_per_server=self.channels,
+            dsa_bytes_per_sec=self.dsa_bytes_per_sec,
+        )
+
+
+@dataclass
+class ClusterReport:
+    """What a scenario run measured (deterministic; no wall-clock values)."""
+
+    scenario: dict
+    rps: float
+    completed: int
+    submitted: int
+    spilled: int
+    dsa_served: int
+    bytes_out: int
+    latency: dict  # LogHistogram.summary(), seconds
+    wait_cpu: dict
+    wait_dsa: dict
+    channel_utilisation: list  # [server][channel] busy fraction
+    cpu_utilisation: list  # [server]
+    channel_util_timeline: list  # [server][channel][window]
+    model_rps_per_server: float
+    model_bottleneck: str
+    events_processed: int
+
+    @property
+    def spill_fraction(self) -> float:
+        return self.spilled / self.submitted if self.submitted else 0.0
+
+    def to_dict(self) -> dict:
+        """The full report as plain JSON-serialisable types."""
+        return {
+            "scenario": self.scenario,
+            "rps": self.rps,
+            "completed": self.completed,
+            "submitted": self.submitted,
+            "spilled": self.spilled,
+            "dsa_served": self.dsa_served,
+            "bytes_out": self.bytes_out,
+            "latency_s": self.latency,
+            "wait_cpu_s": self.wait_cpu,
+            "wait_dsa_s": self.wait_dsa,
+            "channel_utilisation": self.channel_utilisation,
+            "cpu_utilisation": self.cpu_utilisation,
+            "channel_util_timeline": self.channel_util_timeline,
+            "model_rps_per_server": self.model_rps_per_server,
+            "model_bottleneck": self.model_bottleneck,
+            "events_processed": self.events_processed,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic (sorted-keys) JSON rendering of the report."""
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    # -- rendering ------------------------------------------------------------------
+
+    @staticmethod
+    def _us(seconds) -> str:
+        return "n/a" if seconds is None else "%.1fus" % (seconds * 1e6)
+
+    def table(self) -> str:
+        """Human-readable multi-line summary for the CLI."""
+        s = self.scenario
+        lines = []
+        lines.append(
+            "cluster: %d servers x %d channels (%d threads/server), "
+            "ulp=%s placement=%s sched=%s seed=%d"
+            % (s["servers"], s["channels"], s["threads"], s["ulp"],
+               s["placement"], s["scheduler"], s["seed"])
+        )
+        if s["mode"] == "closed":
+            lines.append(
+                "load: closed loop, %d connections, think %s"
+                % (s["connections"], self._us(s["think_s"]))
+            )
+        else:
+            lines.append("load: open loop, %s arrivals" % s["arrival"])
+        window_ms = (s["duration_s"] - s["warmup_s"]) * 1e3
+        lines.append(
+            "window: %.1fms measured after %.1fms warmup, %d events"
+            % (window_ms, s["warmup_s"] * 1e3, self.events_processed)
+        )
+        fleet_model = self.model_rps_per_server * s["servers"]
+        deviation = (
+            100.0 * (self.rps - fleet_model) / fleet_model if fleet_model else 0.0
+        )
+        lines.append(
+            "throughput: %s req/s (analytic fixed point: %s, %+.1f%%; "
+            "model bottleneck: %s)"
+            % (_si(self.rps), _si(fleet_model), deviation, self.model_bottleneck)
+        )
+        lat = self.latency
+        lines.append(
+            "latency: p50=%s p99=%s p999=%s mean=%s max=%s (%d requests)"
+            % (self._us(lat["p50"]), self._us(lat["p99"]), self._us(lat["p999"]),
+               self._us(lat["mean"]), self._us(lat["max"]), lat["count"])
+        )
+        lines.append(
+            "spill: %d of %d requests (%.1f%%) onloaded to CPU; "
+            "%d served by DSAs"
+            % (self.spilled, self.submitted, 100.0 * self.spill_fraction,
+               self.dsa_served)
+        )
+        lines.append("per-channel DSA utilisation:")
+        for index, channels in enumerate(self.channel_utilisation):
+            lines.append(
+                "  server%d: %s   (cpu %.0f%%)"
+                % (index, " ".join("%.2f" % u for u in channels),
+                   100.0 * self.cpu_utilisation[index])
+            )
+        return "\n".join(lines)
+
+
+def _si(value: float) -> str:
+    """1234567 -> '1.23M' (deterministic float formatting)."""
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if value >= threshold:
+            return "%.2f%s" % (value / threshold, suffix)
+    return "%.0f" % value
+
+
+def _build_arrivals(scenario: ClusterScenario, capacity_rps: float):
+    if scenario.arrival == "poisson":
+        rate = scenario.rate_rps or 0.7 * capacity_rps
+        return PoissonArrivals(rate)
+    if scenario.arrival == "bursty":
+        base = scenario.rate_rps or 0.5 * capacity_rps
+        burst = scenario.burst_rps or 1.4 * capacity_rps
+        return BurstyArrivals(base, burst, scenario.base_s, scenario.burst_s)
+    if scenario.arrival == "trace":
+        return TraceArrivals(scenario.trace_times)
+    raise ValueError("unknown arrival process %r" % scenario.arrival)
+
+
+def run_scenario(scenario: ClusterScenario) -> ClusterReport:
+    """Simulate one scenario and report its telemetry."""
+    if min(scenario.servers, scenario.channels, scenario.threads) < 1:
+        raise ValueError("servers, channels, and threads must all be >= 1")
+    if scenario.warmup_s >= scenario.duration_s:
+        raise ValueError("warmup must be shorter than the run")
+    sim = Simulator(scenario.seed)
+    profile = scenario.build_profile()
+    registry = MetricsRegistry()
+    recorder = TraceRecorder() if scenario.trace_path else None
+    kwargs = (
+        {"spill_factor": scenario.spill_factor}
+        if scenario.scheduler == AdaptiveSpillScheduler.name
+        else {}
+    )
+    policy = make_scheduler(scenario.scheduler, rng=sim.fork_rng("sched"), **kwargs)
+    fleet = Fleet(
+        sim, profile, policy,
+        servers=scenario.servers, channels=scenario.channels,
+        registry=registry, trace=recorder,
+    )
+    mix = scenario.resolved_mix()
+    if scenario.mode == "closed":
+        load = ClosedLoopLoad(
+            sim, fleet, mix, scenario.connections, think_s=scenario.think_s)
+    elif scenario.mode == "open":
+        capacity = profile.model_metrics.rps * scenario.servers
+        load = OpenLoopLoad(sim, fleet, mix, _build_arrivals(scenario, capacity))
+    else:
+        raise ValueError("mode must be 'closed' or 'open'")
+
+    fleet.measuring = scenario.warmup_s <= 0.0
+    if scenario.warmup_s > 0.0:
+        sim.schedule(scenario.warmup_s, lambda _: fleet.begin_measurement())
+    load.start()
+    sim.run(until=scenario.duration_s)
+
+    window = scenario.duration_s - scenario.warmup_s
+    timelines = [
+        [
+            registry.timeline("server%d.ch%d.util" % (s, c)).window_averages(
+                scenario.warmup_s, scenario.duration_s, scenario.timeline_windows)
+            for c in range(scenario.channels)
+        ]
+        for s in range(scenario.servers)
+    ]
+    report = ClusterReport(
+        scenario={
+            "servers": scenario.servers,
+            "channels": scenario.channels,
+            "threads": scenario.threads,
+            "ulp": scenario.ulp,
+            "placement": profile.placement.value,
+            "mode": scenario.mode,
+            "arrival": scenario.arrival,
+            "connections": scenario.connections,
+            "think_s": scenario.think_s,
+            "scheduler": scenario.scheduler,
+            "duration_s": scenario.duration_s,
+            "warmup_s": scenario.warmup_s,
+            "seed": scenario.seed,
+        },
+        rps=fleet.completed.value / window,
+        completed=fleet.completed.value,
+        submitted=fleet.submitted.value,
+        spilled=fleet.spilled.value,
+        dsa_served=fleet.dsa_served.value,
+        bytes_out=fleet.bytes_out.value,
+        latency=fleet.latency.summary(),
+        wait_cpu=fleet.wait_cpu.summary(),
+        wait_dsa=fleet.wait_dsa.summary(),
+        channel_utilisation=fleet.channel_utilisations(scenario.warmup_s),
+        cpu_utilisation=fleet.cpu_utilisations(scenario.warmup_s),
+        channel_util_timeline=timelines,
+        model_rps_per_server=profile.model_metrics.rps,
+        model_bottleneck=profile.model_metrics.bottleneck,
+        events_processed=sim.events_processed,
+    )
+    if recorder is not None:
+        recorder.write(scenario.trace_path)
+    return report

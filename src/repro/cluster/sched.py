@@ -1,0 +1,142 @@
+"""Placement schedulers: static, least-loaded, and adaptive CPU spill.
+
+The scheduler answers two questions per request: *which* (server, channel)
+pair serves it, and — for ULPs with a CPU-onload alternative — *where the
+ULP itself runs*.  The third policy makes the paper's Observation 2
+("offload pays only while the accelerator is the cheaper queue") a dynamic,
+per-request decision instead of a deployment-time constant:
+
+* :class:`StaticScheduler` — requests hash to a fixed (server, channel) by
+  connection (or request id for open-loop traffic).  No load awareness:
+  the baseline whose p99 collapses when a burst saturates the DSAs.
+* :class:`LeastLoadedScheduler` — joins the server with the smallest
+  outstanding backlog, then that server's shortest DSA queue (JSQ).
+* :class:`AdaptiveSpillScheduler` — least-loaded placement, plus a
+  marginal-cost spill rule: if the chosen DSA queue's backlog exceeds the
+  CPU pool's backlog by more than the extra CPU time onloading would cost,
+  the request runs its ULP on the CPU and skips the DSA queue entirely.
+
+All policies are deterministic given the same request stream; any future
+randomised policy must draw from the :class:`random.Random` handed to the
+constructor (never module-level ``random``), preserving the seed ⇒
+byte-identical-output guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.fleet import Assignment, Fleet
+from repro.cluster.loadgen import Request
+
+
+class Scheduler:
+    """Base policy: subclasses implement :meth:`assign`."""
+
+    name = "base"
+
+    def __init__(self, rng=None):
+        self.rng = rng  # reserved for randomised policies; seeded upstream
+
+    def assign(self, fleet: Fleet, request: Request) -> Assignment:
+        """Pick the (server, channel) pair and spill decision for `request`."""
+        raise NotImplementedError
+
+
+class StaticScheduler(Scheduler):
+    """Connection-hashed fixed placement, never spills.
+
+    Closed-loop connections pin to one (server, channel) for their
+    lifetime — the classic flow-hash NIC/LB behaviour; open-loop requests
+    (no connection) stripe by request id, which is uniform but still
+    load-blind.
+    """
+
+    name = "static"
+
+    def assign(self, fleet: Fleet, request: Request) -> Assignment:
+        """Hash the connection (or request id) to a fixed (server, channel)."""
+        key = request.connection if request.connection >= 0 else request.id
+        channels = len(fleet.servers[0].channels)
+        slot = key % (len(fleet.servers) * channels)
+        return Assignment(server=slot // channels, channel=slot % channels)
+
+
+class LeastLoadedScheduler(Scheduler):
+    """Join-the-shortest-queue over backlog *seconds*, not queue lengths,
+    so heterogeneous request sizes balance correctly.  Ties break to the
+    lowest index — deterministic by construction."""
+
+    name = "least-loaded"
+
+    def select(self, fleet: Fleet) -> tuple:
+        """Return the least-backlogged server and its shortest DSA channel."""
+        server = min(fleet.servers, key=lambda s: (s.backlog_seconds, s.index))
+        channel = min(server.channels,
+                      key=lambda c: (c.backlog_seconds, c.index))
+        return server, channel
+
+    def assign(self, fleet: Fleet, request: Request) -> Assignment:
+        """Place `request` on the currently least-loaded server and channel."""
+        server, channel = self.select(fleet)
+        return Assignment(server=server.index, channel=channel.index)
+
+
+class AdaptiveSpillScheduler(LeastLoadedScheduler):
+    """Least-loaded placement with Observation-2 spill to CPU onload.
+
+    Spill rule: let ``dsa_wait`` be the chosen channel's backlog and
+    ``cpu_wait`` the per-worker CPU backlog.  Onloading trades the DSA
+    queue for extra worker time ``delta = cpu(spill) - cpu(offload)``.
+    Spill when::
+
+        dsa_wait > cpu_wait + spill_factor * delta
+
+    i.e. when the queueing delay the DSA would add exceeds what the spill
+    itself costs, with `spill_factor` (default 1.0) biasing toward (<1) or
+    away from (>1) the accelerator.  Under light load ``dsa_wait ~ 0`` and
+    nothing spills — offload remains strictly better, as the paper's
+    steady-state results require; under saturation the rule caps the DSA
+    queue at the point where both paths cost the same at the margin.
+    """
+
+    name = "adaptive-spill"
+
+    def __init__(self, rng=None, spill_factor: float = 1.0):
+        super().__init__(rng)
+        if spill_factor <= 0:
+            raise ValueError("spill_factor must be positive")
+        self.spill_factor = spill_factor
+
+    def assign(self, fleet: Fleet, request: Request) -> Assignment:
+        """Least-loaded placement, spilling to CPU when the rule fires."""
+        server, channel = self.select(fleet)
+        spill = False
+        profile = fleet.profile
+        if profile.can_spill:
+            offload = profile.route(request.size, request.kind, spill=False)
+            if offload.dsa_seconds > 0.0:
+                onload = profile.route(request.size, request.kind, spill=True)
+                delta = max(onload.cpu_seconds - offload.cpu_seconds, 0.0)
+                cpu_wait = server.cpu_backlog_seconds / server.threads
+                spill = channel.backlog_seconds > (
+                    cpu_wait + self.spill_factor * delta)
+        return Assignment(server=server.index, channel=channel.index, spill=spill)
+
+
+#: CLI/scenario name -> factory.
+SCHEDULERS = {
+    StaticScheduler.name: StaticScheduler,
+    LeastLoadedScheduler.name: LeastLoadedScheduler,
+    AdaptiveSpillScheduler.name: AdaptiveSpillScheduler,
+}
+
+
+def make_scheduler(name: str, rng=None, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by its CLI name."""
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown scheduler %r (choose from %s)"
+            % (name, ", ".join(sorted(SCHEDULERS)))
+        ) from None
+    return factory(rng=rng, **kwargs)

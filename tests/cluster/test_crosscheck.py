@@ -1,0 +1,65 @@
+"""Cross-validation: the DES converges to the analytic model's fixed point.
+
+A saturated closed loop on a single simulated server must reproduce
+:class:`repro.sim.server.ServerModel`'s fixed-point RPS to within 10% —
+the regression bound the cluster layer's pricing contract is held to.
+The stations' capacities are constructed from the same per-request
+resource vectors the analytic model uses, so a deviation here means the
+queueing network and the fixed point have drifted apart.
+"""
+
+import pytest
+
+from repro.cluster import ClusterScenario, MixEntry, RequestMix, run_scenario
+
+CONNECTIONS = 256
+THREADS = 10
+TARGET_REQUESTS = 2500  # per run; enough for the closed loop to settle
+
+
+def _closed_loop_vs_model(ulp, placement, message_bytes):
+    """Returns (measured RPS, analytic fixed-point RPS)."""
+    # kind=None prices requests with WorkloadSpec's default calibration —
+    # exactly the spec the reference model solves.
+    mix = RequestMix([MixEntry(size=message_bytes, weight=1.0, kind=None)])
+    probe = ClusterScenario(
+        servers=1, channels=6, threads=THREADS, connections=CONNECTIONS,
+        ulp=ulp, placement=placement, mix=mix, scheduler="least-loaded",
+        duration_s=1.0, warmup_s=0.0, seed=3,
+    )
+    model_rps = probe.build_profile().model_metrics.rps
+    warmup = max(4 * CONNECTIONS / model_rps, 1e-4)
+    probe.warmup_s = warmup
+    probe.duration_s = warmup + TARGET_REQUESTS / model_rps
+    report = run_scenario(probe)
+    return report.rps, model_rps
+
+
+@pytest.mark.parametrize("message_bytes", [4096, 16384])
+@pytest.mark.parametrize("ulp", ["tls", "deflate"])
+def test_smartdimm_closed_loop_matches_fixed_point(ulp, message_bytes):
+    measured, model = _closed_loop_vs_model(ulp, "smartdimm", message_bytes)
+    assert measured == pytest.approx(model, rel=0.10), (
+        "%s/smartdimm %dB: DES %.0f vs model %.0f RPS"
+        % (ulp, message_bytes, measured, model)
+    )
+
+
+@pytest.mark.parametrize("message_bytes", [4096, 16384])
+@pytest.mark.parametrize("ulp", ["tls", "deflate"])
+def test_cpu_placement_closed_loop_matches_fixed_point(ulp, message_bytes):
+    measured, model = _closed_loop_vs_model(ulp, "cpu", message_bytes)
+    assert measured == pytest.approx(model, rel=0.10)
+
+
+def test_report_carries_model_reference():
+    mix = RequestMix([MixEntry(size=4096, weight=1.0, kind=None)])
+    scenario = ClusterScenario(
+        servers=2, channels=4, connections=64, ulp="tls", mix=mix,
+        duration_s=0.002, warmup_s=0.0005, seed=3,
+    )
+    report = run_scenario(scenario)
+    assert report.model_rps_per_server > 0
+    assert report.model_bottleneck in {"cpu", "link", "memory", "pcie", "accelerator"}
+    # Two servers: fleet throughput must exceed one server's fixed point.
+    assert report.rps > report.model_rps_per_server

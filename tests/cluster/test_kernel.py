@@ -1,0 +1,180 @@
+"""DES kernel unit tests: ordering, processes, resources, determinism."""
+
+import pytest
+
+from repro.cluster.kernel import Event, Resource, Simulator
+
+
+# -- clock & ordering --------------------------------------------------------------
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(0.3, lambda _: log.append("c"))
+    sim.schedule(0.1, lambda _: log.append("a"))
+    sim.schedule(0.2, lambda _: log.append("b"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == pytest.approx(0.3)
+
+
+def test_simultaneous_events_fire_fifo():
+    sim = Simulator()
+    log = []
+    for tag in range(5):
+        sim.schedule(1.0, lambda t=None, tag=tag: log.append(tag))
+    sim.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_run_until_clips_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda _: fired.append(True))
+    processed = sim.run(until=2.0)
+    assert processed == 0 and not fired
+    assert sim.now == pytest.approx(2.0)
+    sim.run(until=10.0)
+    assert fired and sim.now == pytest.approx(10.0)
+
+
+def test_cannot_schedule_into_the_past():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda _: None)
+
+
+# -- processes ---------------------------------------------------------------------
+
+
+def test_process_yields_delays_and_returns_value():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+        yield 0.5
+        return "done"
+
+    process = sim.spawn(worker())
+    sim.run()
+    assert process.triggered and process.value == "done"
+    assert sim.now == pytest.approx(1.5)
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield 2.0
+        return 42
+
+    def parent():
+        value = yield sim.spawn(child())
+        log.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert log == [(2.0, 42)]
+
+
+def test_event_wait_after_trigger_still_fires():
+    sim = Simulator()
+    event = Event(sim)
+    event.succeed("early")
+    seen = []
+    event.wait(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["early"]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = Event(sim)
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+
+
+# -- resources ---------------------------------------------------------------------
+
+
+def test_resource_fifo_grant_order():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag, hold):
+        yield resource.acquire()
+        order.append(tag)
+        yield hold
+        resource.release()
+
+    for tag in range(3):
+        sim.spawn(worker(tag, 1.0))
+    sim.run()
+    assert order == [0, 1, 2]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_resource_capacity_allows_parallelism():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+
+    def worker():
+        yield resource.acquire()
+        yield 1.0
+        resource.release()
+
+    for _ in range(4):
+        sim.spawn(worker())
+    sim.run()
+    # Two at a time: 4 unit-length jobs finish at t=2, not t=4.
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_resource_utilisation_integral():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+
+    def worker():
+        yield resource.acquire()
+        yield 1.0
+        resource.release()
+
+    sim.spawn(worker())
+    sim.run(until=4.0)
+    # Busy 1s of a 4s window.
+    assert resource.utilisation(0.0) == pytest.approx(0.25)
+    resource.reset_utilisation()
+    assert resource.utilisation(4.0) == pytest.approx(0.0)
+
+
+def test_queue_depth_tracks_waiters():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    resource.acquire()
+    resource.acquire()
+    resource.acquire()
+    assert resource.queue_depth == 2
+    resource.release()
+    assert resource.queue_depth == 1
+
+
+# -- determinism -------------------------------------------------------------------
+
+
+def test_identical_seeds_identical_rng_streams():
+    a, b = Simulator(seed=9), Simulator(seed=9)
+    assert [a.rng.random() for _ in range(5)] == [b.rng.random() for _ in range(5)]
+    fork_a, fork_b = a.fork_rng("x"), b.fork_rng("x")
+    assert [fork_a.random() for _ in range(5)] == [fork_b.random() for _ in range(5)]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(0.1, lambda _: None)
+    sim.run()
+    assert sim.events_processed == 7

@@ -1,0 +1,207 @@
+"""Telemetry-layer tests: histogram buckets, percentile edge cases,
+timelines, and Chrome-trace JSON schema validity."""
+
+import json
+import math
+
+import pytest
+
+from repro.cluster.metrics import (
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+    Timeline,
+    TraceRecorder,
+)
+
+
+# -- bucket boundaries -------------------------------------------------------------
+
+
+def test_bucket_zero_catches_base_and_below():
+    hist = LogHistogram(base=1e-6, growth=2.0)
+    assert hist.bucket_index(0.0) == 0
+    assert hist.bucket_index(1e-9) == 0
+    assert hist.bucket_index(1e-6) == 0  # boundary is inclusive on the left bucket
+
+
+def test_bucket_boundaries_are_half_open_intervals():
+    hist = LogHistogram(base=1.0, growth=2.0)
+    # Bucket i covers (2**(i-1), 2**i].
+    assert hist.bucket_index(1.0) == 0
+    assert hist.bucket_index(1.5) == 1
+    assert hist.bucket_index(2.0) == 1
+    assert hist.bucket_index(2.0000001) == 2
+    assert hist.bucket_index(4.0) == 2
+    assert hist.bucket_index(1024.0) == 10
+
+
+def test_bucket_bounds_contain_their_samples():
+    hist = LogHistogram(base=1e-6, growth=2 ** 0.25)
+    for value in (1e-6, 3e-6, 4.7e-5, 1e-3, 0.25, 17.0):
+        index = hist.bucket_index(value)
+        lower, upper = hist.bucket_bounds(index)
+        assert lower < value <= upper or (index == 0 and value <= upper)
+
+
+def test_bucket_bounds_tile_the_axis():
+    hist = LogHistogram(base=1e-6, growth=2 ** 0.25)
+    previous_upper = None
+    for index in range(0, 40):
+        lower, upper = hist.bucket_bounds(index)
+        assert upper > lower
+        if previous_upper is not None:
+            assert lower == pytest.approx(previous_upper)
+        previous_upper = upper
+
+
+# -- percentile edge cases ---------------------------------------------------------
+
+
+def test_percentile_of_empty_histogram_is_nan():
+    hist = LogHistogram()
+    assert math.isnan(hist.percentile(0.5))
+    assert math.isnan(hist.mean)
+    summary = hist.summary()
+    assert summary["count"] == 0 and summary["p99"] is None
+
+
+def test_percentile_single_sample_is_exact():
+    hist = LogHistogram()
+    hist.record(3.7e-4)
+    for q in (0.0, 0.25, 0.5, 0.99, 0.999, 1.0):
+        assert hist.percentile(q) == pytest.approx(3.7e-4)
+
+
+def test_percentile_all_equal_samples_is_exact():
+    hist = LogHistogram()
+    for _ in range(1000):
+        hist.record(0.002)
+    for q in (0.01, 0.5, 0.99, 0.999):
+        assert hist.percentile(q) == pytest.approx(0.002)
+
+
+def test_percentile_bounds_and_monotonicity():
+    hist = LogHistogram()
+    values = [1e-5 * (1.13 ** i) for i in range(200)]
+    for value in values:
+        hist.record(value)
+    assert hist.percentile(0.0) == pytest.approx(min(values))
+    assert hist.percentile(1.0) == pytest.approx(max(values))
+    quantiles = [hist.percentile(q) for q in (0.1, 0.5, 0.9, 0.99, 0.999)]
+    assert quantiles == sorted(quantiles)
+    # Interpolated p50 lands within one bucket-width of the true median.
+    true_median = values[len(values) // 2]
+    assert quantiles[1] == pytest.approx(true_median, rel=0.25)
+
+
+def test_percentile_interpolation_within_bucket():
+    hist = LogHistogram(base=1.0, growth=2.0)
+    for _ in range(100):
+        hist.record(3.0)  # bucket (2, 4]
+    # All mass in one bucket: interpolation sweeps lower->upper but clamps
+    # to the observed min/max, so every quantile reports exactly 3.0.
+    assert hist.percentile(0.01) == pytest.approx(3.0)
+    assert hist.percentile(0.99) == pytest.approx(3.0)
+
+
+def test_mean_min_max_are_exact():
+    hist = LogHistogram()
+    for value in (0.001, 0.002, 0.009):
+        hist.record(value)
+    assert hist.mean == pytest.approx(0.004)
+    assert hist.min == pytest.approx(0.001)
+    assert hist.max == pytest.approx(0.009)
+    assert hist.count == 3
+
+
+# -- counters / gauges / registry ---------------------------------------------------
+
+
+def test_counter_and_gauge():
+    counter, gauge = Counter("c"), Gauge("g")
+    counter.inc()
+    counter.inc(4)
+    gauge.set(2.5)
+    assert counter.value == 5 and gauge.value == 2.5
+
+
+def test_registry_renders_deterministic_json():
+    registry = MetricsRegistry()
+    registry.counter("zeta").inc(3)
+    registry.counter("alpha").inc(1)
+    registry.histogram("lat").record(1e-3)
+    first = registry.to_json()
+    # Same content built in a different insertion order serialises identically.
+    other = MetricsRegistry()
+    other.histogram("lat").record(1e-3)
+    other.counter("alpha").inc(1)
+    other.counter("zeta").inc(3)
+    assert first == other.to_json()
+    assert json.loads(first)["counters"] == {"alpha": 1, "zeta": 3}
+
+
+# -- timelines ---------------------------------------------------------------------
+
+
+def test_timeline_window_averages_integrate_steps():
+    timeline = Timeline(initial=0.0)
+    timeline.add(1.0, 1.0)
+    timeline.add(3.0, 0.0)
+    # [0,2): half busy; [2,4): half busy.
+    assert timeline.window_averages(0.0, 4.0, 2) == pytest.approx([0.5, 0.5])
+    # Finer windows: [0,1)=0, [1,2)=1, [2,3)=1, [3,4)=0.
+    assert timeline.window_averages(0.0, 4.0, 4) == pytest.approx([0, 1, 1, 0])
+
+
+def test_timeline_rejects_time_travel():
+    timeline = Timeline()
+    timeline.add(2.0, 1.0)
+    with pytest.raises(ValueError):
+        timeline.add(1.0, 0.5)
+
+
+def test_timeline_value_at():
+    timeline = Timeline(initial=0.25)
+    timeline.add(5.0, 0.75)
+    assert timeline.value_at(1.0) == 0.25
+    assert timeline.value_at(5.0) == 0.75
+    assert timeline.value_at(9.0) == 0.75
+
+
+# -- Chrome-trace schema -----------------------------------------------------------
+
+
+def test_trace_recorder_emits_valid_chrome_trace():
+    recorder = TraceRecorder()
+    recorder.metadata("process_name", pid=0, tid=0, label="server0")
+    recorder.complete("tls/dsa", "request", start_s=1e-3, duration_s=5e-6,
+                      pid=0, tid=2, args={"req": 7})
+    recorder.counter("qdepth", time_s=2e-3, pid=0, series={"ch0": 3})
+    document = json.loads(recorder.to_json())
+    assert isinstance(document["traceEvents"], list)
+    assert document["displayTimeUnit"] == "ms"
+    for event in document["traceEvents"]:
+        assert isinstance(event["name"], str)
+        assert event["ph"] in {"M", "X", "C"}
+        assert isinstance(event["pid"], int)
+        if event["ph"] == "X":
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["cat"], str)
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+    complete = [e for e in document["traceEvents"] if e["ph"] == "X"][0]
+    # Complete events: microsecond timestamps and non-negative duration.
+    assert complete["ts"] == pytest.approx(1e3)
+    assert complete["dur"] == pytest.approx(5.0)
+    assert complete["dur"] >= 0
+    assert complete["args"]["req"] == 7
+
+
+def test_trace_recorder_writes_file(tmp_path):
+    recorder = TraceRecorder()
+    recorder.complete("x", "c", 0.0, 1e-6, 0, 0)
+    path = tmp_path / "trace.json"
+    recorder.write(str(path))
+    assert json.loads(path.read_text())["traceEvents"]

@@ -77,6 +77,14 @@ class ArbiterMachine(RuleBasedStateMachine):
     def writeback_destination_line(self, line):
         """wrCAS to dbuf with garbage: either replaced (recycle), ignored
         (S7), or a plain write to an already-recycled line."""
+        # Coherence: a direct memory write cannot race a dirty LLC copy of
+        # the same line (the cache owns it); evict first, as hardware would.
+        # Otherwise a later flush replays the stale copy over a line this
+        # wrCAS already recycled — a double writeback no coherent memory
+        # system produces.
+        self.session.llc.flush_range(self.dbuf + line * CACHELINE_SIZE,
+                                     CACHELINE_SIZE)
+        self.session.mc.fence()
         state_before = self.session.device.scratchpad.line_state(self.index, line)
         self.session.mc.write_line_now(
             self.dbuf + line * CACHELINE_SIZE, b"\xba" * CACHELINE_SIZE
