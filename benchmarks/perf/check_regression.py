@@ -9,6 +9,10 @@ committed baselines at the repo root:
 * ``BENCH_cluster.json`` — cluster-simulator speed (``cluster_bench``):
   kernel events/sec must not drop, and end-to-end scenario wall time must
   not grow, by more than the same tolerance.
+* fault hooks (``faults_bench``, no baseline needed): the measured cost of
+  the ``plan is not None`` guards on a plan-less session must stay under
+  ``--faults-tolerance`` (default 2%) of one offload — the disabled fault
+  path is required to be essentially free.
 
 Any regression fails the gate with exit code 1 — use it in CI or before
 merging changes to either layer::
@@ -28,6 +32,7 @@ import sys
 
 import cluster_bench
 import datapath_bench
+import faults_bench
 
 #: Datapath sections whose `after_mbps` is guarded per record size.
 GUARDED_SECTIONS = ("aes_gcm_encrypt", "ghash", "deflate", "compcpy_e2e")
@@ -133,6 +138,15 @@ def main(argv=None) -> int:
         "--skip-cluster", action="store_true", help="gate only the datapath"
     )
     parser.add_argument(
+        "--skip-faults", action="store_true", help="skip the fault-hook gate"
+    )
+    parser.add_argument(
+        "--faults-tolerance",
+        type=float,
+        default=0.02,
+        help="allowed disabled-hook overhead fraction (default 0.02)",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="rewrite the baselines from this run instead of gating",
@@ -169,6 +183,19 @@ def main(argv=None) -> int:
                                            args.tolerance)
             gated_points += sum(
                 1 for s in CLUSTER_GUARDS if s in cluster_baseline)
+    if not args.skip_faults:
+        # Machine-relative (no committed baseline): the guard-branch cost
+        # is measured and multiplied out on this machine, in this run.
+        overhead = faults_bench.bench_disabled_overhead(repeats=args.repeats)
+        gated_points += 1
+        if overhead["overhead_fraction"] > args.faults_tolerance:
+            regressions.append(
+                "fault hooks: %.2f%% disabled overhead > %.2f%% "
+                "(%d guards/op x %.1f ns)"
+                % (100 * overhead["overhead_fraction"],
+                   100 * args.faults_tolerance,
+                   overhead["hooks_per_op"], overhead["branch_ns"])
+            )
     if args.update:
         return 0
 

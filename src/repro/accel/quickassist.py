@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 from repro.cpu.costs import CostModel, DEFAULT_COSTS
 from repro.accel.pcie import PcieLink
+from repro.faults.errors import CompletionLostError
+from repro.faults.plan import FaultSite
 from repro.ulp.ctx_cache import cached_aesgcm
 from repro.ulp.deflate import deflate_compress
 from repro.ulp.gcm import AESGCM
@@ -35,6 +37,15 @@ class QuickAssist:
         self.costs = costs
         self.link = link or PcieLink(bandwidth_bytes_per_sec=costs.pcie_bytes_per_sec)
         self.offloads = 0
+        self._fault_plan = None
+        self.completions_lost = 0
+        self.completion_retries = 0
+
+    def attach_fault_plan(self, plan) -> None:
+        """Enable ``accel.completion_drop`` injection: a fired fault loses
+        the completion notification, so the host burns a polling timeout and
+        re-submits the request (bounded by the spec's ``max_retries``)."""
+        self._fault_plan = plan
 
     def _gcm(self, key: bytes) -> AESGCM:
         # The card keeps per-session cipher state on-device; model that with
@@ -49,12 +60,41 @@ class QuickAssist:
 
     def _offload(self, in_bytes: int, out_bytes: int, engine_rate: float) -> tuple:
         self.offloads += 1
-        latency = (
+        base = (
             self.link.transfer_time(in_bytes)
             + in_bytes / engine_rate
             + self.link.transfer_time(out_bytes)
         )
-        return self._management_cycles(in_bytes), latency, in_bytes + out_bytes
+        cycles = self._management_cycles(in_bytes)
+        attempts = 0
+        wasted = 0.0
+        plan = self._fault_plan
+        if plan is not None:
+            max_retries = int(
+                plan.param(FaultSite.ACCEL_COMPLETION_DROP, "max_retries", 2)
+            )
+            timeout = float(
+                plan.param(FaultSite.ACCEL_COMPLETION_DROP, "timeout_s", 100e-6)
+            )
+            while plan.fires(FaultSite.ACCEL_COMPLETION_DROP):
+                # The request completed on-card but its notification never
+                # arrived: the host polls until `timeout`, then re-submits,
+                # paying the DMA and management tax again.
+                attempts += 1
+                self.completions_lost += 1
+                wasted += base + timeout
+                cycles += self._management_cycles(in_bytes)
+                if attempts > max_retries:
+                    raise CompletionLostError(
+                        "accelerator completion lost %d times; retry budget (%d) "
+                        "exhausted" % (attempts, max_retries),
+                        attempts=attempts,
+                        wasted_seconds=wasted,
+                    )
+            self.completion_retries += attempts
+        latency = wasted + base
+        pcie = (attempts + 1) * (in_bytes + out_bytes)
+        return cycles, latency, pcie
 
     def tls_encrypt(self, key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> QatResult:
         """Offload AES-GCM to the card; returns ciphertext||tag + costs."""

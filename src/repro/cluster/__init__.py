@@ -30,8 +30,11 @@ Modules:
 * :mod:`repro.cluster.metrics` — counters, gauges, log-bucketed latency
   histograms (p50/p99/p999), utilisation timelines, Chrome-trace export.
 * :mod:`repro.cluster.scenario` — scenario config, runner, and report.
+* :mod:`repro.cluster.chaos` — scheduled node/channel fault windows,
+  per-channel circuit breakers, MTTR/availability/goodput accounting.
 """
 
+from repro.cluster.chaos import ChaosCounters, FaultWindow, FleetFaultInjector
 from repro.cluster.fleet import (
     Assignment,
     Channel,
@@ -86,4 +89,6 @@ __all__ = [
     "MetricsRegistry",
     # scenarios
     "ClusterScenario", "ClusterReport", "run_scenario",
+    # chaos
+    "FaultWindow", "FleetFaultInjector", "ChaosCounters",
 ]

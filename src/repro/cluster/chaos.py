@@ -1,0 +1,311 @@
+"""Fleet-level chaos: scheduled fault windows and recovery accounting.
+
+The micro model injects faults *inside* one SmartDIMM; this module injects
+them at rack scale, where the unit of failure is a whole node or one memory
+channel's DSA:
+
+* ``node_down`` — a server drops out for a window; the injector reroutes
+  its assignments to the next live server (deterministically), modelling
+  the load balancer's health-check failover.  In-flight requests drain.
+* ``channel_wedge`` — one channel's DSA slows by ``dsa_slowdown``x (a
+  wedged accelerator that still trickles); a per-channel
+  :class:`~repro.faults.health.CircuitBreaker`, fed by measured
+  DSA-stage latency ratios, trips OPEN and spills that channel's requests
+  to CPU onload until a probation probe sees normal service again.
+
+Every decision is driven by the simulation clock and scheduled windows, so
+identically-seeded scenarios produce byte-identical chaos reports.  The
+report carries the paper-adjacent resilience metrics: per-fault detection
+time and MTTR, fleet availability (capacity-weighted), and goodput inside
+vs outside fault windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.fleet import Assignment
+from repro.faults.health import BreakerState, CircuitBreaker, DsaHealthMonitor
+
+
+@dataclass
+class FaultWindow:
+    """One scheduled fleet fault: what breaks, where, when, for how long."""
+
+    kind: str  # "node_down" | "channel_wedge"
+    server: int
+    start_s: float
+    duration_s: float
+    channel: int = None  # channel_wedge only
+    dsa_slowdown: float = 50.0  # channel_wedge only
+    # Observed outcomes, filled in during the run.
+    detected_s: float = None  # first reroute / breaker-open inside the fault
+    restored_s: float = None  # service restored (breaker re-close or window end)
+
+    def __post_init__(self):
+        if self.kind not in ("node_down", "channel_wedge"):
+            raise ValueError("unknown fault kind %r" % self.kind)
+        if self.kind == "channel_wedge" and self.channel is None:
+            raise ValueError("channel_wedge needs a channel index")
+        if self.duration_s <= 0:
+            raise ValueError("fault duration must be positive")
+
+    @property
+    def end_s(self) -> float:
+        """When the underlying fault clears (repair completes)."""
+        return self.start_s + self.duration_s
+
+    @property
+    def mttr_s(self):
+        """Time from fault onset to restored service (None if never)."""
+        if self.restored_s is None:
+            return None
+        return self.restored_s - self.start_s
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-ready record of the window and its outcome."""
+        return {
+            "kind": self.kind,
+            "server": self.server,
+            "channel": self.channel,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "dsa_slowdown": self.dsa_slowdown if self.kind == "channel_wedge" else None,
+            "detected_s": self.detected_s,
+            "restored_s": self.restored_s,
+            "mttr_s": self.mttr_s,
+        }
+
+
+@dataclass
+class ChaosCounters:
+    """Aggregate injector activity over one run."""
+
+    rerouted: int = 0  # assignments moved off a down node
+    breaker_spills: int = 0  # requests onloaded because a breaker was OPEN
+    degraded_served: int = 0  # DSA ops served at a wedged channel's rate
+    completed_in_fault: int = 0
+    completed_outside: int = 0
+
+
+class FleetFaultInjector:
+    """Schedules fault windows against a Fleet and accounts the recovery.
+
+    Attach with :meth:`attach` (done by ``run_scenario`` when a
+    `fault_injector` is passed); the Fleet consults the injector on every
+    assignment (:meth:`filter_assignment`) and reports every DSA service
+    (:meth:`observe_dsa`) and completion (:meth:`note_completion`).
+    """
+
+    def __init__(self, windows, breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 1e-3,
+                 degraded_ratio: float = 4.0):
+        self.windows = sorted(
+            windows, key=lambda w: (w.start_s, w.kind, w.server, w.channel or 0))
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.degraded_ratio = degraded_ratio
+        self.counters = ChaosCounters()
+        self.sim = None
+        self.fleet = None
+        self._down = set()  # server indices currently failed
+        self._wedged = {}  # (server, channel) -> slowdown factor
+        self._breakers = {}  # (server, channel) -> CircuitBreaker
+        self._monitors = {}  # (server, channel) -> DsaHealthMonitor
+        self._active = []  # currently-active FaultWindows
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def attach(self, sim, fleet) -> None:
+        """Bind to a simulator + fleet and schedule every fault window."""
+        self.sim = sim
+        self.fleet = fleet
+        fleet.fault_injector = self
+        for window in self.windows:
+            if window.server >= len(fleet.servers):
+                raise ValueError("fault window names server %d of %d"
+                                 % (window.server, len(fleet.servers)))
+            sim.schedule(window.start_s, self._start, window)
+            sim.schedule(window.end_s, self._end, window)
+
+    def _breaker(self, server: int, channel: int) -> CircuitBreaker:
+        key = (server, channel)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown_s,
+            )
+            self._breakers[key] = breaker
+            self._monitors[key] = DsaHealthMonitor(
+                window=8, latency_threshold=self.degraded_ratio)
+        return breaker
+
+    def _start(self, window: FaultWindow) -> None:
+        self._active.append(window)
+        if window.kind == "node_down":
+            self._down.add(window.server)
+        else:
+            self._wedged[(window.server, window.channel)] = window.dsa_slowdown
+
+    def _end(self, window: FaultWindow) -> None:
+        self._active.remove(window)
+        if window.kind == "node_down":
+            self._down.discard(window.server)
+            # The node rejoining *is* the restoration for a failed server.
+            if window.restored_s is None:
+                window.restored_s = self.sim.now
+        else:
+            self._wedged.pop((window.server, window.channel), None)
+            # A wedge's restoration is observed later, when the channel's
+            # breaker re-closes on a healthy probation probe.
+
+    # -- assignment path -------------------------------------------------------------
+
+    def filter_assignment(self, fleet, assignment: Assignment) -> Assignment:
+        """Apply failover and breaker spill to one scheduling decision."""
+        server = assignment.server
+        spill = assignment.spill
+        if server in self._down:
+            server = self._reroute(server, len(fleet.servers))
+            self.counters.rerouted += 1
+            self._mark_detected("node_down", assignment.server, None)
+        breaker = self._breakers.get((server, assignment.channel))
+        if (not spill and breaker is not None
+                and not breaker.allow(self.sim.now)):
+            # Channel quarantined: run the ULP on the CPU instead.
+            spill = True
+            self.counters.breaker_spills += 1
+        if server == assignment.server and spill == assignment.spill:
+            return assignment
+        return Assignment(server=server, channel=assignment.channel, spill=spill)
+
+    def _reroute(self, server: int, nservers: int) -> int:
+        for step in range(1, nservers):
+            candidate = (server + step) % nservers
+            if candidate not in self._down:
+                return candidate
+        return server  # every node down: nowhere better to go
+
+    # -- DSA service path -----------------------------------------------------------
+
+    def dsa_multiplier(self, server: int, channel: int) -> float:
+        """Service-time multiplier for one DSA op (1.0 when healthy)."""
+        factor = self._wedged.get((server, channel), 1.0)
+        if factor != 1.0:
+            self.counters.degraded_served += 1
+        return factor
+
+    def observe_dsa(self, server: int, channel: int,
+                    observed_seconds: float, nominal_seconds: float) -> None:
+        """Feed one measured DSA stage (wait + service) into the channel's
+        health monitor and breaker.  The signal is the ratio to the nominal
+        service time — queueing behind a wedge inflates it even for
+        requests served after the wedge clears, which is exactly the
+        backlog the breaker should wait out before re-admitting."""
+        if nominal_seconds <= 0.0:
+            return
+        ratio = observed_seconds / nominal_seconds
+        breaker = self._breaker(server, channel)
+        self._monitors[(server, channel)].observe(latency=ratio)
+        was_open = breaker.state is not BreakerState.CLOSED
+        if ratio > self.degraded_ratio:
+            breaker.record_failure(self.sim.now)
+            if breaker.state is BreakerState.OPEN and not was_open:
+                self._mark_detected("channel_wedge", server, channel)
+        else:
+            breaker.record_success(self.sim.now)
+            if was_open and breaker.state is BreakerState.CLOSED:
+                self._mark_restored(server, channel)
+
+    def _mark_detected(self, kind: str, server: int, channel) -> None:
+        for window in self.windows:
+            if (window.kind == kind and window.server == server
+                    and (channel is None or window.channel == channel)
+                    and window.detected_s is None
+                    and window.start_s <= self.sim.now):
+                window.detected_s = self.sim.now
+                return
+
+    def _mark_restored(self, server: int, channel: int) -> None:
+        for window in self.windows:
+            if (window.kind == "channel_wedge" and window.server == server
+                    and window.channel == channel
+                    and window.restored_s is None
+                    and self.sim.now >= window.end_s):
+                window.restored_s = self.sim.now
+                return
+
+    # -- completion path -------------------------------------------------------------
+
+    def note_completion(self, now: float) -> None:
+        """Classify one completed request as inside/outside a fault window."""
+        if self._active:
+            self.counters.completed_in_fault += 1
+        else:
+            self.counters.completed_outside += 1
+
+    # -- reporting -------------------------------------------------------------------
+
+    @staticmethod
+    def _union_seconds(intervals, lo: float, hi: float) -> float:
+        """Total measure of the union of `intervals` clipped to [lo, hi]."""
+        clipped = sorted(
+            (max(start, lo), min(end, hi))
+            for start, end in intervals
+            if min(end, hi) > max(start, lo)
+        )
+        total = 0.0
+        cursor = None
+        for start, end in clipped:
+            if cursor is None or start > cursor:
+                total += end - start
+                cursor = end
+            elif end > cursor:
+                total += end - cursor
+                cursor = end
+        return total
+
+    def report(self, window_start: float, window_end: float,
+               servers: int, channels: int) -> dict:
+        """Deterministic chaos summary: windows, MTTR, availability, goodput.
+
+        Availability is capacity-weighted downtime: a down node removes
+        ``1/servers`` of fleet capacity, a wedged channel removes
+        ``1/(servers*channels)``, integrated over the measurement window.
+        """
+        measured = max(window_end - window_start, 0.0)
+        lost_capacity_s = 0.0
+        for window in self.windows:
+            overlap = self._union_seconds(
+                [(window.start_s, window.end_s)], window_start, window_end)
+            weight = (1.0 / servers if window.kind == "node_down"
+                      else 1.0 / (servers * channels))
+            lost_capacity_s += weight * overlap
+        availability = (
+            1.0 - lost_capacity_s / measured if measured > 0 else 1.0)
+        fault_seconds = self._union_seconds(
+            [(w.start_s, w.end_s) for w in self.windows],
+            window_start, window_end)
+        clear_seconds = measured - fault_seconds
+        counters = self.counters
+        mttrs = [w.mttr_s for w in self.windows if w.mttr_s is not None]
+        return {
+            "windows": [w.to_dict() for w in self.windows],
+            "mttr_mean_s": sum(mttrs) / len(mttrs) if mttrs else None,
+            "availability": availability,
+            "fault_seconds": fault_seconds,
+            "rerouted": counters.rerouted,
+            "breaker_spills": counters.breaker_spills,
+            "degraded_served": counters.degraded_served,
+            "goodput_in_fault_rps": (
+                counters.completed_in_fault / fault_seconds
+                if fault_seconds > 0 else None),
+            "goodput_clear_rps": (
+                counters.completed_outside / clear_seconds
+                if clear_seconds > 0 else None),
+            "breakers": {
+                "server%d.ch%d" % key: self._breakers[key].summary()
+                for key in sorted(self._breakers)
+            },
+        }

@@ -216,6 +216,7 @@ class Fleet:
         self.scheduler = scheduler
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = trace
+        self.fault_injector = None  # set by FleetFaultInjector.attach()
         self.servers = [
             ServerSim(sim, index, profile.threads, channels, self.registry)
             for index in range(servers)
@@ -258,6 +259,10 @@ class Fleet:
     def submit(self, request: Request):
         """Schedule and serve one request; returns its completion event."""
         assignment = self.scheduler.assign(self, request)
+        if self.fault_injector is not None:
+            # Chaos layer: fail over assignments to down nodes and spill
+            # around channels whose circuit breaker is OPEN.
+            assignment = self.fault_injector.filter_assignment(self, assignment)
         spill = assignment.spill and self.profile.can_spill
         route = self.profile.route(request.size, request.kind, spill=spill)
         server = self.servers[assignment.server]
@@ -298,13 +303,23 @@ class Fleet:
             yield channel.resource.acquire()
             request.waits["dsa"] = sim.now - enqueued
             started = sim.now
-            yield route.dsa_seconds
+            dsa_seconds = route.dsa_seconds
+            if self.fault_injector is not None:
+                # A wedged channel still serves, just slower; the health
+                # monitor sees the inflated stage time and trips the breaker.
+                dsa_seconds *= self.fault_injector.dsa_multiplier(
+                    server.index, channel.index)
+            yield dsa_seconds
             channel.resource.release()
             channel.backlog_seconds -= route.dsa_seconds
             channel.served += 1
             if self.measuring:
                 self.dsa_served.inc()
-            self._trace(request, "dsa", started, route.dsa_seconds,
+            if self.fault_injector is not None:
+                self.fault_injector.observe_dsa(
+                    server.index, channel.index,
+                    request.waits["dsa"] + dsa_seconds, route.dsa_seconds)
+            self._trace(request, "dsa", started, dsa_seconds,
                         TRACE_TID_CHANNEL0 + channel.index)
         # Link stage: the response leaves through the NIC.
         yield server.link.acquire()
@@ -313,6 +328,8 @@ class Fleet:
         server.link.release()
         self._trace(request, "tx", started, route.link_seconds, TRACE_TID_LINK)
         request.complete_s = sim.now
+        if self.fault_injector is not None and self.measuring:
+            self.fault_injector.note_completion(sim.now)
         if self.measuring:
             self.completed.inc()
             self.bytes_out.inc(route.output_bytes)

@@ -103,6 +103,7 @@ class ClusterReport:
     model_rps_per_server: float
     model_bottleneck: str
     events_processed: int
+    chaos: dict = None  # FleetFaultInjector.report() when chaos was injected
 
     @property
     def spill_fraction(self) -> float:
@@ -110,7 +111,7 @@ class ClusterReport:
 
     def to_dict(self) -> dict:
         """The full report as plain JSON-serialisable types."""
-        return {
+        out = {
             "scenario": self.scenario,
             "rps": self.rps,
             "completed": self.completed,
@@ -128,6 +129,9 @@ class ClusterReport:
             "model_bottleneck": self.model_bottleneck,
             "events_processed": self.events_processed,
         }
+        if self.chaos is not None:
+            out["chaos"] = self.chaos
+        return out
 
     def to_json(self) -> str:
         """Deterministic (sorted-keys) JSON rendering of the report."""
@@ -215,8 +219,14 @@ def _build_arrivals(scenario: ClusterScenario, capacity_rps: float):
     raise ValueError("unknown arrival process %r" % scenario.arrival)
 
 
-def run_scenario(scenario: ClusterScenario) -> ClusterReport:
-    """Simulate one scenario and report its telemetry."""
+def run_scenario(scenario: ClusterScenario, fault_injector=None) -> ClusterReport:
+    """Simulate one scenario and report its telemetry.
+
+    `fault_injector` (a :class:`repro.cluster.chaos.FleetFaultInjector`)
+    layers scheduled node failures and channel wedges onto the run; the
+    resulting MTTR/availability/goodput accounting lands in
+    :attr:`ClusterReport.chaos`.
+    """
     if min(scenario.servers, scenario.channels, scenario.threads) < 1:
         raise ValueError("servers, channels, and threads must all be >= 1")
     if scenario.warmup_s >= scenario.duration_s:
@@ -236,6 +246,8 @@ def run_scenario(scenario: ClusterScenario) -> ClusterReport:
         servers=scenario.servers, channels=scenario.channels,
         registry=registry, trace=recorder,
     )
+    if fault_injector is not None:
+        fault_injector.attach(sim, fleet)
     mix = scenario.resolved_mix()
     if scenario.mode == "closed":
         load = ClosedLoopLoad(
@@ -292,6 +304,12 @@ def run_scenario(scenario: ClusterScenario) -> ClusterReport:
         model_rps_per_server=profile.model_metrics.rps,
         model_bottleneck=profile.model_metrics.bottleneck,
         events_processed=sim.events_processed,
+        chaos=(
+            fault_injector.report(
+                scenario.warmup_s, scenario.duration_s,
+                scenario.servers, scenario.channels)
+            if fault_injector is not None else None
+        ),
     )
     if recorder is not None:
         recorder.write(scenario.trace_path)

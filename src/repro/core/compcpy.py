@@ -26,7 +26,9 @@ from dataclasses import dataclass, field
 from repro.dram.commands import CACHELINE_SIZE, PAGE_SIZE
 from repro.core.driver import SmartDIMMDriver
 from repro.core.scratchpad import ScratchpadFullError
+from repro.core.translation_table import CuckooInsertError
 from repro.core.dsa.base import Offload, UlpKind
+from repro.faults.checksum import verify_checksum
 
 
 class CompCpyError(Exception):
@@ -42,6 +44,8 @@ class CompCpyStats:
     free_page_refreshes: int = 0
     flushed_dirty_lines: int = 0
     ordered_copies: int = 0
+    registrations_retried: int = 0  # recoveries from full scratchpad/table
+    checksums_verified: int = 0  # end-to-end read-back CRC comparisons
 
 
 class CompCpy:
@@ -103,9 +107,12 @@ class CompCpy:
 
         try:
             offload = self.driver.register_offload(kind, context, sbuf, dbuf, pages)
-        except ScratchpadFullError:
-            # Lost a race with another context despite the reservation —
-            # recover exactly as Algorithm 2 would.
+        except (ScratchpadFullError, CuckooInsertError):
+            # Scratchpad raced away despite the reservation, or the cuckoo
+            # table had no path — either way the failed registration rolled
+            # itself back; force-recycle (freeing pages *and* their
+            # translations) and retry once, exactly as Algorithm 2 would.
+            self.stats.registrations_retried += 1
             self.force_recycle(pages)
             offload = self.driver.register_offload(kind, context, sbuf, dbuf, pages)
 
@@ -160,6 +167,26 @@ class CompCpy:
         recycled_now = scratchpad.self_recycled_lines + scratchpad.force_recycled_lines
         self.stats.force_recycled_lines += recycled_now - recycled_before
         return freed
+
+    # -- end-to-end integrity ---------------------------------------------------------------
+
+    def verify_destination(self, offload: Offload, dbuf: int, size: int):
+        """Compare the host's read-back of `dbuf` against the device-side
+        CRC snapshotted at finalisation.
+
+        Raises :class:`~repro.faults.errors.CorruptionDetectedError` on a
+        mismatch and returns the checksum on success.  Returns None when
+        the device took no snapshot (no fault plan attached, or
+        multi-channel interleaving where no single device sees the whole
+        output).
+        """
+        if offload.device_checksum is None:
+            return None
+        data = self.read_buffer(dbuf, size)
+        self.stats.checksums_verified += 1
+        return verify_checksum(
+            data, offload.device_checksum, site="compcpy.verify", address=dbuf
+        )
 
     # -- buffer helpers ---------------------------------------------------------------------
 

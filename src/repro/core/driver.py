@@ -133,15 +133,31 @@ class SmartDIMMDriver:
         if sbuf % PAGE_SIZE or dbuf % PAGE_SIZE:
             raise ValueError("offload buffers must be page aligned")
         offload = self.device.create_offload(kind, context)
-        for position in range(pages):
-            record = pack_register_record(
-                offload_id=offload.offload_id,
-                sbuf_page=(sbuf // PAGE_SIZE) + position,
-                dbuf_page=(dbuf // PAGE_SIZE) + position,
-                position=position,
-                total_pages=pages,
-                trigger=trigger,
-            )
-            # MMIO is uncached: the write bypasses the LLC and the write queue.
-            self.mc.write_line_now(self.device.mmio_register_address, record)
+        try:
+            for position in range(pages):
+                record = pack_register_record(
+                    offload_id=offload.offload_id,
+                    sbuf_page=(sbuf // PAGE_SIZE) + position,
+                    dbuf_page=(dbuf // PAGE_SIZE) + position,
+                    position=position,
+                    total_pages=pages,
+                    trigger=trigger,
+                )
+                # MMIO is uncached: the write bypasses the LLC and the write queue.
+                self.mc.write_line_now(self.device.mmio_register_address, record)
+        except Exception:
+            # A failed pair registration rolled itself back, but earlier
+            # positions of this offload are live on the device — abort them
+            # so the caller can retry (or onload) from a clean slate.
+            self.device.abort_offload(offload.offload_id)
+            raise
         return offload
+
+    def abort_offload(self, offload: Offload) -> int:
+        """Tear down a live offload on the device (wedged-DSA recovery).
+
+        Must run *before* :meth:`free_pages`: once aborted, the pages have
+        no scratchpad bindings left, so reclaim does not spin waiting on a
+        DSA that will never finish.  Returns scratchpad pages freed.
+        """
+        return self.device.abort_offload(offload.offload_id)

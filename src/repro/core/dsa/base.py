@@ -31,6 +31,7 @@ class OffloadState(enum.Enum):
     REGISTERED = "registered"
     IN_PROGRESS = "in_progress"
     FINALIZED = "finalized"
+    ABORTED = "aborted"  # torn down by wedged-DSA recovery, never finalized
 
 
 class OffloadTrigger(enum.Enum):
@@ -61,6 +62,10 @@ class Offload:
     # ever sees the cachelines routed to its channel; `owned_lines` is that
     # subset (None means the device owns every line — single-channel mode).
     owned_lines: set = None
+    # CRC-32 of the full output image, snapshotted at finalisation when a
+    # fault plan is attached (single-channel only); the host verifies its
+    # read-back against this for end-to-end integrity.
+    device_checksum: int = None
 
     @property
     def total_lines(self) -> int:

@@ -27,6 +27,10 @@ from repro.dram.memory_controller import MemoryController, TimingParams
 from repro.dram.physical_memory import PhysicalMemory
 from repro.cache.llc import LLC
 from repro.core.compcpy import CompCpy, CompCpyError
+from repro.core.scratchpad import ScratchpadFullError
+from repro.core.translation_table import CuckooInsertError
+from repro.faults.errors import FaultError
+from repro.faults.health import CircuitBreaker, DsaHealthMonitor
 from repro.core.compute_dma import ComputeDMA
 from repro.core.direct_offload import DirectOffloadEngine
 from repro.core.driver import SmartDIMMDriver
@@ -40,12 +44,38 @@ from repro.core.dsa.deflate_dsa import (
     parse_compressed_page,
 )
 from repro.core.dsa.serde_dsa import SerdeOffloadContext
+from repro.ulp.deflate import deflate_compress, deflate_decompress
+from repro.ulp.gcm import AESGCM, xor_bytes
 
 TAG_SIZE = 16
 
 
 def _pages_for(length: int) -> int:
     return max(1, (length + PAGE_SIZE - 1) // PAGE_SIZE)
+
+
+@dataclass
+class ResilienceConfig:
+    """Policy knobs for the session's health monitor + circuit breaker.
+
+    The breaker's clock is the session *operation counter* (not cycles or
+    wall time), so identically-seeded runs make identical spill decisions.
+    """
+
+    window: int = 8  # sliding-window size (operations)
+    alert_rate_threshold: float = 64.0  # mean ALERT_N retries/op before "unhealthy"
+    latency_threshold: float = float("inf")  # mean cycles/op before "unhealthy"
+    failure_threshold: int = 2  # consecutive failures that trip the breaker
+    cooldown_ops: int = 4  # operations spilled to CPU before a probe
+
+
+@dataclass
+class ResilienceStats:
+    """Session-level offload-vs-onload accounting."""
+
+    offloaded_ops: int = 0  # completed on the DSA
+    onloaded_ops: int = 0  # completed on the CPU (spill or recovery)
+    hw_failures: int = 0  # typed faults recovered by onloading
 
 
 @dataclass
@@ -59,10 +89,18 @@ class SessionConfig:
     columns_per_row: int = 128
     smartdimm: SmartDIMMConfig = None
     trace: bool = False
+    # Fault-injection plan threaded through the device (None = no injection,
+    # zero overhead) and the SEC-DED model toggle for injected DRAM flips.
+    fault_plan: object = None
+    ecc: bool = True
+    # Resilience guard; defaults on whenever a fault plan is attached.
+    resilience: ResilienceConfig = None
 
     def __post_init__(self):
         if self.smartdimm is None:
             self.smartdimm = SmartDIMMConfig()
+        if self.resilience is None and self.fault_plan is not None:
+            self.resilience = ResilienceConfig()
 
 
 class SmartDIMMSession:
@@ -89,6 +127,74 @@ class SmartDIMMSession:
         self.compcpy = CompCpy(self.llc, self.mc, self.driver)
         self.compute_dma = ComputeDMA(self.llc, self.mc, self.driver)
         self.direct_offload = DirectOffloadEngine(self.llc, self.mc, self.driver)
+        if self.config.fault_plan is not None:
+            self.device.attach_fault_plan(self.config.fault_plan, ecc=self.config.ecc)
+        resilience = self.config.resilience
+        if resilience is not None:
+            self.health = DsaHealthMonitor(
+                window=resilience.window,
+                alert_rate_threshold=resilience.alert_rate_threshold,
+                latency_threshold=resilience.latency_threshold,
+            )
+            self.breaker = CircuitBreaker(
+                failure_threshold=resilience.failure_threshold,
+                cooldown=resilience.cooldown_ops,
+            )
+        else:
+            self.health = None
+            self.breaker = None
+        self.resilience_stats = ResilienceStats()
+        self._ops = 0  # the breaker's deterministic clock
+
+    # -- resilience guard -------------------------------------------------------------
+
+    def _run_resilient(self, hardware, onload):
+        """Run one offload under the health monitor + circuit breaker.
+
+        `hardware` performs the DSA path and must clean up after itself on a
+        typed fault (abort the offload, free pages); `onload` is the
+        bit-identical CPU implementation.  With no resilience configured the
+        hardware path runs unguarded — faults propagate to the caller.
+        """
+        if self.breaker is None:
+            return hardware()
+        self._ops += 1
+        now = self._ops
+        if not self.breaker.allow(now):
+            # Breaker OPEN: the DSA is quarantined, spill to the CPU.
+            self.resilience_stats.onloaded_ops += 1
+            return onload()
+        alerts_before = self.mc.stats.alerts
+        cycle_before = self.mc.cycle
+        try:
+            result = hardware()
+        except (FaultError, ScratchpadFullError, CuckooInsertError, CompCpyError):
+            self.health.observe(
+                alerts=self.mc.stats.alerts - alerts_before,
+                latency=float(self.mc.cycle - cycle_before),
+                ok=False,
+            )
+            self.breaker.record_failure(now)
+            self.resilience_stats.hw_failures += 1
+            self.resilience_stats.onloaded_ops += 1
+            return onload()
+        self.health.observe(
+            alerts=self.mc.stats.alerts - alerts_before,
+            latency=float(self.mc.cycle - cycle_before),
+            ok=True,
+        )
+        if (self.health.alert_rate() > self.health.alert_rate_threshold
+                or self.health.mean_latency() > self.health.latency_threshold):
+            # Degradation without a hard failure (an ALERT_N storm): count
+            # it against the breaker so sustained storms also trip it.  Past
+            # hard failures are deliberately *not* re-counted here — they
+            # already hit record_failure — so a clean probe re-closes the
+            # breaker instead of re-tripping on window history.
+            self.breaker.record_failure(now)
+        else:
+            self.breaker.record_success(now)
+        self.resilience_stats.offloaded_ops += 1
+        return result
 
     # -- buffer management ------------------------------------------------------------
 
@@ -126,10 +232,17 @@ class SmartDIMMSession:
         return self._tls_offload(key, nonce, ciphertext, aad, decrypt=True)
 
     def _tls_offload(self, key, nonce, payload, aad, decrypt: bool) -> bytes:
+        return self._run_resilient(
+            lambda: self._tls_hardware(key, nonce, payload, aad, decrypt),
+            lambda: self._tls_onload(key, nonce, payload, aad, decrypt),
+        )
+
+    def _tls_hardware(self, key, nonce, payload, aad, decrypt: bool) -> bytes:
         pages = _pages_for(len(payload) + TAG_SIZE)
         size = pages * PAGE_SIZE
         sbuf = self.driver.alloc_pages(pages)
         dbuf = self.driver.alloc_pages(pages)
+        offload = None
         try:
             self.write(sbuf, payload + bytes(size - len(payload)))
             context = TLSOffloadContext(
@@ -139,12 +252,34 @@ class SmartDIMMSession:
                 aad=aad,
                 decrypt=decrypt,
             )
-            self.compcpy.compcpy(dbuf, sbuf, size, context,
-                                 UlpKind.TLS_DECRYPT if decrypt else UlpKind.TLS_ENCRYPT)
-            return self.read(dbuf, len(payload) + TAG_SIZE)
+            offload = self.compcpy.compcpy(
+                dbuf, sbuf, size, context,
+                UlpKind.TLS_DECRYPT if decrypt else UlpKind.TLS_ENCRYPT)
+            result = self.read(dbuf, len(payload) + TAG_SIZE)
+            self.compcpy.verify_destination(offload, dbuf, size)
+            return result
+        except Exception:
+            # Abort *before* the frees below: with the offload torn down,
+            # page reclaim has no scratchpad bindings left to wait on, so
+            # cleanup never spins behind a wedged DSA.
+            if offload is not None:
+                self.driver.abort_offload(offload)
+            raise
         finally:
             self.driver.free_pages(sbuf)
             self.driver.free_pages(dbuf)
+
+    def _tls_onload(self, key, nonce, payload, aad, decrypt: bool) -> bytes:
+        """The CPU implementation (Observation 2's onload direction) —
+        bit-identical to the DSA output: ciphertext || tag for encrypt,
+        plaintext || *computed* tag for decrypt (comparison stays with the
+        caller, matching :meth:`tls_decrypt`'s contract)."""
+        gcm = AESGCM(key)
+        if decrypt:
+            plaintext = xor_bytes(payload, gcm.keystream(nonce, len(payload)))
+            return plaintext + gcm.tag(nonce, payload, aad)
+        ciphertext, tag = gcm.encrypt(nonce, payload, aad)
+        return ciphertext + tag
 
     # -- compression offload (Sec. V-B) -----------------------------------------------------
 
@@ -153,18 +288,34 @@ class SmartDIMMSession:
         when the hardware output did not fit (software falls back to CPU)."""
         if len(data) > PAGE_SIZE:
             raise ValueError("deflate offload operates at 4KB page granularity")
+        return self._run_resilient(
+            lambda: self._deflate_page_hw(data, matcher),
+            # CPU onload: a software DEFLATE stream — not bit-identical to
+            # the hardware matcher's choices, but decodes to the same bytes,
+            # which is all the deflate contract promises.
+            lambda: deflate_compress(data),
+        )
+
+    def _deflate_page_hw(self, data: bytes, matcher: HardwareMatcher = None):
         sbuf = self.driver.alloc_pages(1)
         dbuf = self.driver.alloc_pages(1)
+        offload = None
         try:
             self.write(sbuf, data + bytes(PAGE_SIZE - len(data)))
             context = DeflateOffloadContext(
                 matcher=matcher or HardwareMatcher(), input_length=len(data)
             )
             # Deflate is stateful over its input: ordered copy required.
-            self.compcpy.compcpy(
+            offload = self.compcpy.compcpy(
                 dbuf, sbuf, PAGE_SIZE, context, UlpKind.DEFLATE, ordered=True
             )
-            return parse_compressed_page(self.read(dbuf, PAGE_SIZE))
+            result = self.read(dbuf, PAGE_SIZE)
+            self.compcpy.verify_destination(offload, dbuf, PAGE_SIZE)
+            return parse_compressed_page(result)
+        except Exception:
+            if offload is not None:
+                self.driver.abort_offload(offload)
+            raise
         finally:
             self.driver.free_pages(sbuf)
             self.driver.free_pages(dbuf)
@@ -187,19 +338,27 @@ class SmartDIMMSession:
         than a page)."""
         if len(stream) > PAGE_SIZE - 4:
             raise ValueError("inflate offload operates at 4KB page granularity")
+        return self._run_resilient(
+            lambda: self._inflate_page_hw(stream),
+            lambda: deflate_decompress(stream, max_output=2 * PAGE_SIZE),
+        )
+
+    def _inflate_page_hw(self, stream: bytes):
         # Decompression is expansive: register a two-page destination (the
         # compressor guarantees each SmartDIMM-compressed page inflates to
         # at most 4KB, which fits the two-page budget with its prefix).
         sbuf = self.driver.alloc_pages(2)
         dbuf = self.driver.alloc_pages(2)
+        offload = None
         try:
             framed = len(stream).to_bytes(4, "little") + stream
             self.write(sbuf, framed + bytes(2 * PAGE_SIZE - len(framed)))
             context = InflateOffloadContext()
-            self.compcpy.compcpy(
+            offload = self.compcpy.compcpy(
                 dbuf, sbuf, 2 * PAGE_SIZE, context, UlpKind.INFLATE, ordered=True
             )
             page = self.read(dbuf, 2 * PAGE_SIZE)
+            self.compcpy.verify_destination(offload, dbuf, 2 * PAGE_SIZE)
             length = int.from_bytes(page[:4], "little")
             from repro.core.dsa.deflate_dsa import OVERFLOW_MARKER
 
@@ -208,6 +367,10 @@ class SmartDIMMSession:
             if length > 2 * PAGE_SIZE - 4:
                 raise ValueError("corrupt length prefix %d" % length)
             return page[4 : 4 + length]
+        except Exception:
+            if offload is not None:
+                self.driver.abort_offload(offload)
+            raise
         finally:
             self.driver.free_pages(sbuf)
             self.driver.free_pages(dbuf)

@@ -61,6 +61,7 @@ class Scratchpad:
         self.total_pages = total_pages
         self._pages = {}  # scratchpad page index -> ScratchpadPage
         self._free_indices = list(range(total_pages - 1, -1, -1))
+        self.fault_plan = None  # optional FaultPlan probing "scratchpad.exhaust"
         # Counters for Fig. 10 and the force-recycle claims.
         self.allocations = 0
         self.self_recycled_lines = 0
@@ -84,6 +85,11 @@ class Scratchpad:
 
     def allocate(self, dbuf_page: int) -> int:
         """Reserve a page for destination page `dbuf_page`; returns its index."""
+        if self.fault_plan is not None and self.fault_plan.fires("scratchpad.exhaust"):
+            # Injected exhaustion: exercises the Algorithm 1 force-recycle
+            # recovery without needing to genuinely fill 2048 pages.
+            raise ScratchpadFullError(
+                "scratchpad exhausted (injected): force-recycle required")
         if not self._free_indices:
             raise ScratchpadFullError("scratchpad exhausted: force-recycle required")
         index = self._free_indices.pop()

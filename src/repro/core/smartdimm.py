@@ -26,6 +26,8 @@ from repro.dram.address import AddressMapping, DramCoordinate
 from repro.dram.commands import CACHELINE_SIZE, LINES_PER_PAGE, PAGE_SIZE, Command, CommandType
 from repro.dram.memory_controller import CasResult
 from repro.dram.physical_memory import PhysicalMemory
+from repro.faults.checksum import payload_checksum
+from repro.faults.plan import FaultSite
 from repro.core.bank_table import BankTable
 from repro.core.config_memory import ConfigMemory
 from repro.core.scratchpad import LineState, Scratchpad, ScratchpadFullError
@@ -77,6 +79,10 @@ class SmartDIMMStats:
     address_regenerations: int = 0
     compute_reads: int = 0  # Sec. IV-E CMP_RDCAS handled
     spad_writebacks: int = 0  # Sec. IV-E SPAD_WB retirements
+    offloads_aborted: int = 0  # wedged-DSA recovery teardowns
+    registrations_rolled_back: int = 0  # _register_pair unwinds
+    injected_wedges: int = 0  # dsa.wedge faults fired on this device
+    injected_storms: int = 0  # dsa.alert_storm faults fired on this device
 
 
 def pack_register_record(
@@ -149,6 +155,7 @@ class SmartDIMM:
         }
         if self.config.mmio_base is None:
             self.config.mmio_base = memory.size - PAGE_SIZE
+        self.fault_plan = None  # optional FaultPlan probing the DSA sites
         self._offloads = {}  # offload_id -> Offload
         self._page_binding = {}  # page number -> (offload, position, is_source)
         self._next_offload_id = 1
@@ -156,6 +163,20 @@ class SmartDIMM:
         # Pages fully recycled before their offload finalised: released once
         # the DSA is done touching the offload's scratchpad set.
         self._deferred_releases = set()  # (dbuf_page, scratchpad_index)
+
+    def attach_fault_plan(self, plan, ecc: bool = True) -> None:
+        """Thread one :class:`~repro.faults.plan.FaultPlan` through every
+        device-side injection site: DSA readiness (``dsa.wedge`` /
+        ``dsa.alert_storm``), cuckoo insertion (``tt.insert``), scratchpad
+        allocation (``scratchpad.exhaust``), and DRAM line reads
+        (``dram.corrupt``, with `ecc` selecting the SEC-DED model).
+
+        Attaching a plan also arms the device-side CompCpy checksum
+        snapshot taken at offload finalisation."""
+        self.fault_plan = plan
+        self.translation_table.fault_plan = plan
+        self.scratchpad.fault_plan = plan
+        self.memory.attach_fault_plan(plan, ecc=ecc)
 
     # -- software-visible helpers (driver side) ----------------------------------------
 
@@ -347,13 +368,51 @@ class SmartDIMM:
         offload.trigger = trigger
         if offload.state is not OffloadState.REGISTERED and position == 0:
             raise ValueError("offload %d already started" % offload_id)
-        if position == 0:
-            offload.config_slot = self.config_memory.allocate(
-                sbuf_page,
-                offload.context,
-                self.dsas[offload.kind].context_size_bytes(offload.context),
+        # Allocate-then-insert with LIFO rollback: a failure at any step —
+        # genuine table-full/exhaustion or an injected fault — unwinds the
+        # partial registration so the device holds no orphaned state and
+        # Algorithm 2's recovery can simply re-register from scratch.
+        undo = []
+        try:
+            if position == 0:
+                offload.config_slot = self.config_memory.allocate(
+                    sbuf_page,
+                    offload.context,
+                    self.dsas[offload.kind].context_size_bytes(offload.context),
+                )
+
+                def _undo_config(slot=offload.config_slot):
+                    self.config_memory.free(slot)
+                    offload.config_slot = -1
+
+                undo.append(_undo_config)
+            scratchpad_index = self.scratchpad.allocate(dbuf_page)
+            undo.append(lambda: self.scratchpad.free(scratchpad_index))
+            self.translation_table.insert(
+                TranslationEntry(
+                    page_number=sbuf_page,
+                    is_config=True,
+                    target_offset=offload.config_slot,
+                    linked_pages=(dbuf_page,),
+                    is_source=True,
+                )
             )
-        scratchpad_index = self.scratchpad.allocate(dbuf_page)
+            undo.append(lambda: self.translation_table.remove(sbuf_page))
+            self.translation_table.insert(
+                TranslationEntry(
+                    page_number=dbuf_page,
+                    is_config=False,
+                    target_offset=scratchpad_index,
+                    linked_pages=(sbuf_page,),
+                    is_source=False,
+                )
+            )
+        except Exception:
+            self.stats.registrations_rolled_back += 1
+            while undo:
+                undo.pop()()
+            raise
+        # Committed: nothing below can fail.
         offload.sbuf_pages.append(sbuf_page)
         offload.dbuf_pages.append(dbuf_page)
         offload.scratchpad_indices.append(scratchpad_index)
@@ -370,24 +429,6 @@ class SmartDIMM:
                 else:
                     page = self.scratchpad.page(scratchpad_index)
                     page.states[line] = LineState.RECYCLED
-        self.translation_table.insert(
-            TranslationEntry(
-                page_number=sbuf_page,
-                is_config=True,
-                target_offset=offload.config_slot,
-                linked_pages=(dbuf_page,),
-                is_source=True,
-            )
-        )
-        self.translation_table.insert(
-            TranslationEntry(
-                page_number=dbuf_page,
-                is_config=False,
-                target_offset=scratchpad_index,
-                linked_pages=(sbuf_page,),
-                is_source=False,
-            )
-        )
         self._page_binding[sbuf_page] = (offload, position, True)
         self._page_binding[dbuf_page] = (offload, position, False)
         self.stats.pages_registered += 2
@@ -437,12 +478,43 @@ class SmartDIMM:
     def _set_line_ready(self, offload: Offload, global_line: int, cycle: int) -> None:
         page_position, line = divmod(global_line, LINES_PER_PAGE)
         index = offload.scratchpad_indices[page_position]
-        if self.scratchpad.line_state(index, line) is LineState.VALID:
-            self.scratchpad.set_ready_cycle(index, line, cycle)
+        if self.scratchpad.line_state(index, line) is not LineState.VALID:
+            return
+        plan = self.fault_plan
+        if plan is not None:
+            if plan.fires(FaultSite.DSA_WEDGE):
+                # Wedge: push readiness past any plausible retry budget so
+                # the controller's ALERT_N watchdog trips (DsaWedgedError)
+                # and software runs the abort + CPU-onload recovery.
+                cycle += int(plan.param(FaultSite.DSA_WEDGE, "wedge_cycles", 1 << 30))
+                self.stats.injected_wedges += 1
+            elif plan.fires(FaultSite.DSA_ALERT_STORM):
+                # Storm: a bounded extra delay — enough to force several
+                # ALERT_N retries (S13) but recoverable within the budget.
+                cycle += int(
+                    plan.param(
+                        FaultSite.DSA_ALERT_STORM,
+                        "extra_cycles",
+                        8 * self.config.dsa_line_latency_cycles,
+                    )
+                )
+                self.stats.injected_storms += 1
+        self.scratchpad.set_ready_cycle(index, line, cycle)
 
     def _finalize_offload(self, offload: Offload, cycle: int) -> None:
         writer = ScratchpadWriter(self.scratchpad, offload)
         self.dsas[offload.kind].finalize(offload, writer)
+        if self.fault_plan is not None and offload.owned_lines is None:
+            # End-to-end integrity snapshot: CRC of the full output image at
+            # the moment the DSA is done.  The host compares its read-back
+            # against this (CompCpy.verify_destination) — any corruption
+            # between scratchpad and USE (DRAM flips, recycle bugs) is
+            # caught.  Skipped in multi-channel mode, where no single device
+            # sees the whole output.
+            crc = 0
+            for index in offload.scratchpad_indices:
+                crc = payload_checksum(self.scratchpad.page(index).data, crc)
+            offload.device_checksum = crc
         finalize_cycle = cycle + self.config.finalize_latency_cycles
         for index in offload.scratchpad_indices:
             page = self.scratchpad.page(index)
@@ -494,6 +566,44 @@ class SmartDIMM:
         # S13: computation pending — assert ALERT_N so the controller retries.
         self.stats.alerts += 1
         return CasResult(alert=True)
+
+    # -- abort (wedged-DSA recovery) ------------------------------------------------------------------------
+
+    def abort_offload(self, offload_id: int) -> int:
+        """Tear down a live offload after an unrecoverable DSA fault.
+
+        Frees every scratchpad page, translation entry, page binding, and
+        the config slot the offload still holds, *without* waiting for the
+        DSA — this is the software recovery for a wedged accelerator
+        (:class:`~repro.faults.errors.DsaWedgedError`): drop the device
+        state, then redo the operation on the CPU (the onload path).
+        Destination DRAM keeps whatever lines already recycled; the caller
+        rewrites it.  Idempotent — aborting an unknown or fully-released
+        offload is a no-op.  Returns the number of scratchpad pages freed.
+        """
+        offload = self._offloads.pop(offload_id, None)
+        if offload is None:
+            return 0
+        freed = 0
+        for position, dbuf_page in enumerate(offload.dbuf_pages):
+            index = offload.scratchpad_indices[position]
+            self._deferred_releases.discard((dbuf_page, index))
+            if self._page_binding.pop(dbuf_page, None) is not None:
+                self.scratchpad.free(index)
+                self.translation_table.remove(dbuf_page)
+                self.stats.pages_deregistered += 1
+                freed += 1
+            sbuf_page = offload.sbuf_pages[position]
+            if self._page_binding.pop(sbuf_page, None) is not None:
+                self.translation_table.remove(sbuf_page)
+                self.stats.pages_deregistered += 1
+        if offload.config_slot >= 0:
+            self.config_memory.free(offload.config_slot)
+            offload.config_slot = -1
+        self._freed_dbuf_pages.pop(offload_id, None)
+        offload.state = OffloadState.ABORTED
+        self.stats.offloads_aborted += 1
+        return freed
 
     # -- deregistration -------------------------------------------------------------------------------------
 

@@ -51,6 +51,7 @@ class TranslationTable:
         if slots % len(self.HASH_MULTIPLIERS):
             raise ValueError("slot count must divide evenly across hash ways")
         self.slots = slots
+        self.fault_plan = None  # optional FaultPlan probing "tt.insert"
         self._way_size = slots // len(self.HASH_MULTIPLIERS)
         self._ways = [
             [None] * self._way_size for _ in range(len(self.HASH_MULTIPLIERS))
@@ -104,6 +105,15 @@ class TranslationTable:
         if self.lookup(entry.page_number) is not None:
             raise ValueError("page %d already registered" % entry.page_number)
         self.inserts += 1
+        if self.fault_plan is not None and self.fault_plan.fires("tt.insert"):
+            # Injected table-full failure: same exception, same recovery
+            # path (CompCpy force-recycles translations and retries) as a
+            # genuine no-cuckoo-path-and-CAM-exhausted insert.
+            self.failures += 1
+            raise CuckooInsertError(
+                "translation table full (injected) inserting page %d"
+                % entry.page_number
+            )
         displacements = self._cuckoo_place(entry)
         if displacements < 0:
             if len(self._cam) >= self.CAM_SIZE:

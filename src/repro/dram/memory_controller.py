@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.dram.address import AddressMapping, DramCoordinate
 from repro.dram.commands import CACHELINE_SIZE, Command, CommandType
 from repro.dram.physical_memory import PhysicalMemory
+from repro.faults.errors import DsaWedgedError
 
 
 @dataclass
@@ -63,6 +64,8 @@ class TimingParams:
     fence_cycles: int = 8  # serialisation cost of a memory barrier
     command_only_cycles: int = 1  # CMP_RDCAS / SPAD_WB: no data burst
     alert_retry_cycles: int = 64  # back-off before reissuing after ALERT_N
+    max_alert_retries: int = 64  # watchdog: retries before DsaWedgedError
+    alert_backoff_cap: int = 64  # exponential backoff multiplier ceiling
     cycle_time_ns: float = 0.625  # 1.6 GHz controller clock
     # Bank-level parallelism: after an ACT, the bank is busy for tRAS-class
     # time; a CAS to a *different*, already-open bank can proceed without
@@ -79,6 +82,8 @@ class ControllerStats:
     row_hits: int = 0
     row_misses: int = 0
     alerts: int = 0
+    alert_backoff_cycles: int = 0  # cycles burned in exponential backoff
+    wedges: int = 0  # retry budgets drained (DsaWedgedError raised)
     forwarded_reads: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
@@ -103,7 +108,6 @@ class MemoryController:
 
     WRITE_QUEUE_HIGH_WATERMARK = 48
     WRITE_QUEUE_DRAIN_TO = 16
-    MAX_ALERT_RETRIES = 64
 
     def __init__(
         self,
@@ -135,19 +139,7 @@ class MemoryController:
             # Store-to-load forwarding: the line never travels to DRAM.
             self.stats.forwarded_reads += 1
             return self._write_queue[address]
-        result = self._issue_cas(address, CommandType.RDCAS, b"")
-        retries = 0
-        while result.alert:
-            self.stats.alerts += 1
-            retries += 1
-            if retries > self.MAX_ALERT_RETRIES:
-                raise RuntimeError(
-                    "ALERT_N retry limit exceeded at 0x%x; DSA wedged?" % address
-                )
-            # Exponential backoff: a stalled computation should not keep the
-            # channel busy with retry traffic.
-            self.cycle += self.timing.alert_retry_cycles * min(1 << (retries - 1), 64)
-            result = self._issue_cas(address, CommandType.RDCAS, b"")
+        result = self._issue_with_alert_retry(address, CommandType.RDCAS)
         self.stats.reads += 1
         self.stats.bytes_read += CACHELINE_SIZE
         return result.data
@@ -195,19 +187,46 @@ class MemoryController:
         DRAM internally.  Returns False (with a retry consumed) while the
         DSA has not finished that line."""
         self._check_aligned(address)
-        result = self._issue_cas(address, CommandType.SPAD_WB, b"")
-        retries = 0
-        while result.alert:
-            self.stats.alerts += 1
-            retries += 1
-            if retries > self.MAX_ALERT_RETRIES:
-                raise RuntimeError("SPAD_WB retry limit exceeded at 0x%x" % address)
-            self.cycle += self.timing.alert_retry_cycles * min(1 << (retries - 1), 64)
-            result = self._issue_cas(address, CommandType.SPAD_WB, b"")
+        self._issue_with_alert_retry(address, CommandType.SPAD_WB)
         self.stats.scratchpad_writebacks += 1
         return True
 
     # -- internals -------------------------------------------------------------
+
+    def _issue_with_alert_retry(self, address: int, kind: CommandType) -> CasResult:
+        """Issue a CAS, reissuing with exponential backoff on ALERT_N.
+
+        Shared by the rdCAS (S13) and SPAD_WB retry paths.  Backoff doubles
+        per retry up to ``timing.alert_backoff_cap``; when
+        ``timing.max_alert_retries`` reissues all come back asserted, the
+        DSA is treated as wedged (the model's watchdog timeout) and a
+        :class:`~repro.faults.errors.DsaWedgedError` carrying the address,
+        retry count, and backoff cycles consumed is raised.
+        """
+        result = self._issue_cas(address, kind, b"")
+        retries = 0
+        backoff = 0
+        while result.alert:
+            self.stats.alerts += 1
+            retries += 1
+            if retries > self.timing.max_alert_retries:
+                self.stats.wedges += 1
+                raise DsaWedgedError(
+                    "%s retry limit (%d) exceeded at 0x%x; DSA wedged"
+                    % (kind.value, self.timing.max_alert_retries, address),
+                    site=kind.value, address=address, retries=retries - 1,
+                    backoff_cycles=backoff,
+                )
+            # Exponential backoff: a stalled computation should not keep the
+            # channel busy with retry traffic.
+            step = self.timing.alert_retry_cycles * min(
+                1 << (retries - 1), self.timing.alert_backoff_cap
+            )
+            self.cycle += step
+            backoff += step
+            self.stats.alert_backoff_cycles += step
+            result = self._issue_cas(address, kind, b"")
+        return result
 
     @staticmethod
     def _check_aligned(address: int) -> None:

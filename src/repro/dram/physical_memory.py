@@ -3,11 +3,34 @@
 Pages materialise lazily (zero-filled) so the model can expose large address
 spaces cheaply.  All DRAM devices — plain DIMMs and SmartDIMM's SDRAM behind
 the MIG PHY — share this store class.
+
+Fault model: with a :class:`~repro.faults.plan.FaultPlan` attached
+(:meth:`PhysicalMemory.attach_fault_plan`), each line read is a decision at
+the ``dram.corrupt`` site.  A fired fault flips ``bits`` bits in the
+returned line.  The SEC-DED ECC model (``ecc=True``, the default) corrects
+single-bit flips (counted in :attr:`EccStats.corrected`) and *detects*
+multi-bit flips (counted in :attr:`EccStats.detected_uncorrectable`, line
+returned corrupted — the end-to-end checksum layer is what catches it);
+with ``ecc=False`` every flip is silent, which is exactly the case the
+CompCpy payload checksums exist for.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.dram.commands import CACHELINE_SIZE, PAGE_SIZE
+from repro.faults.plan import FaultSite
+
+
+@dataclass
+class EccStats:
+    """Error-injection/correction counters for one memory device."""
+
+    injected: int = 0  # faults fired (lines corrupted pre-ECC)
+    corrected: int = 0  # single-bit flips scrubbed by SEC-DED
+    detected_uncorrectable: int = 0  # multi-bit flips flagged but passed on
+    silent: int = 0  # flips delivered with ECC disabled
 
 
 class PhysicalMemory:
@@ -18,6 +41,36 @@ class PhysicalMemory:
             raise ValueError("memory size must be a multiple of %d" % PAGE_SIZE)
         self.size = size
         self._pages = {}
+        self._fault_plan = None
+        self.ecc = True
+        self.ecc_stats = EccStats()
+
+    def attach_fault_plan(self, plan, ecc: bool = True) -> None:
+        """Enable ``dram.corrupt`` injection on line reads through `plan`."""
+        self._fault_plan = plan
+        self.ecc = ecc
+
+    def _maybe_corrupt(self, address: int, data: bytes) -> bytes:
+        """Apply one dram.corrupt decision to a line read."""
+        plan = self._fault_plan
+        if plan is None or not plan.fires(FaultSite.DRAM_CORRUPT):
+            return data
+        self.ecc_stats.injected += 1
+        bits = int(plan.param(FaultSite.DRAM_CORRUPT, "bits", 1))
+        if self.ecc and bits == 1:
+            # SEC-DED corrects the flip in place; the host sees clean data.
+            self.ecc_stats.corrected += 1
+            return data
+        corrupted = bytearray(data)
+        rng = plan.rng(FaultSite.DRAM_CORRUPT)
+        for _ in range(max(1, bits)):
+            bit = rng.randrange(8 * CACHELINE_SIZE)
+            corrupted[bit // 8] ^= 1 << (bit % 8)
+        if self.ecc:
+            self.ecc_stats.detected_uncorrectable += 1
+        else:
+            self.ecc_stats.silent += 1
+        return bytes(corrupted)
 
     def _page(self, page_number: int, create: bool) -> bytearray:
         page = self._pages.get(page_number)
@@ -65,7 +118,10 @@ class PhysicalMemory:
         """Read one 64-byte cacheline (must be line-aligned)."""
         if address % CACHELINE_SIZE:
             raise ValueError("unaligned line read at 0x%x" % address)
-        return self.read(address, CACHELINE_SIZE)
+        data = self.read(address, CACHELINE_SIZE)
+        if self._fault_plan is not None:
+            data = self._maybe_corrupt(address, data)
+        return data
 
     def write_line(self, address: int, data: bytes) -> None:
         """Write one 64-byte cacheline (must be line-aligned)."""

@@ -1,0 +1,51 @@
+"""Deterministic fault injection and resilience for the SmartDIMM stack.
+
+The paper's offload model is defined as much by its *failure* semantics —
+ALERT_N-driven retry (S13 in Fig. 6), force-recycle (Algorithm 1), cuckoo
+translation-table insertion failure, and spill-to-CPU when the DSA cannot
+keep up (Observation 2) — as by its happy path.  This package makes those
+semantics testable at every layer:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a seed-driven, per-site
+  fault schedule shared by every injection point (DRAM bit flips, wedged
+  DSAs, cuckoo insertion failures, scratchpad exhaustion, packet loss,
+  accelerator completion drops, node failures).  Identical seeds produce
+  identical fault sequences, so chaos experiments are reproducible.
+* :mod:`repro.faults.errors` — the typed exception hierarchy replacing the
+  bare ``RuntimeError`` escapes of the seed model: every failure carries
+  its site, address, retry count, and backoff cycles consumed.
+* :mod:`repro.faults.health` — :class:`DsaHealthMonitor` (sliding-window
+  alert/latency tracking) and :class:`CircuitBreaker` (CLOSED → OPEN →
+  HALF_OPEN with probation), the control loop that spills CompCpy requests
+  to CPU onload while a DSA misbehaves and re-admits it after probation.
+* :mod:`repro.faults.checksum` — end-to-end payload checksums for CompCpy
+  paths so silent corruption is *detected* and surfaced in statistics
+  rather than propagated.
+"""
+
+from repro.faults.checksum import payload_checksum, verify_checksum
+from repro.faults.errors import (
+    CompletionLostError,
+    CorruptionDetectedError,
+    DsaWedgedError,
+    FaultError,
+    RetryBudgetExceeded,
+)
+from repro.faults.health import BreakerState, CircuitBreaker, DsaHealthMonitor
+from repro.faults.plan import FaultPlan, FaultSpec, FaultSite
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "CompletionLostError",
+    "CorruptionDetectedError",
+    "DsaHealthMonitor",
+    "DsaWedgedError",
+    "FaultError",
+    "FaultPlan",
+    "FaultSite",
+    "FaultSpec",
+    "RetryBudgetExceeded",
+    "payload_checksum",
+    "verify_checksum",
+]

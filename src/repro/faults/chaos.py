@@ -1,0 +1,262 @@
+"""The end-to-end chaos scenario behind ``python -m repro chaos``.
+
+One seed drives three deterministic phases, each exercising a different
+slice of the stack's fault handling:
+
+* **micro** — a :class:`~repro.core.offload_api.SmartDIMMSession` with a
+  :class:`~repro.faults.plan.FaultPlan` injecting ALERT_N storms, wedged
+  DSA lines, DRAM bit flips, cuckoo-insert failures, and scratchpad
+  exhaustion while TLS and deflate offloads run.  Every output is compared
+  against the bit-exact software implementation; the session's circuit
+  breaker spills to CPU onload around the wedge.
+* **net** — TCP bulk transfer over a :class:`~repro.net.link.LossyLink`
+  with plan-driven drop/corrupt/reorder, plus a lookaside
+  :class:`~repro.accel.quickassist.QuickAssist` losing completion
+  notifications against its retry budget.
+* **cluster** — a rack scenario with one wedged channel and one node
+  failure, yielding MTTR, availability, and goodput-under-fault from
+  :class:`~repro.cluster.chaos.FleetFaultInjector`.
+
+Everything is derived from the seed (sessions, plans, payloads, the DES),
+so :func:`run_chaos` returns a dict whose sorted-keys JSON rendering is
+byte-identical across runs with the same seed — the property
+``tests/faults/test_chaos_smoke.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.faults.errors import CompletionLostError
+from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
+
+_KEY = bytes(range(16))
+_AAD = b"chaos"
+
+
+def _micro_plan(seed: int) -> FaultPlan:
+    """The single-DIMM injection schedule: storms, wedges, flips, capacity."""
+    return FaultPlan(seed=seed, specs=(
+        FaultSpec(FaultSite.DSA_ALERT_STORM, probability=0.002),
+        FaultSpec(FaultSite.DSA_WEDGE, probability=0.01, max_fires=4),
+        # Two flipped bits: SEC-DED detects but cannot correct, so the
+        # corrupted line reaches the DSA and the end-to-end checksum must
+        # catch it.
+        FaultSpec(FaultSite.DRAM_CORRUPT, probability=0.001, max_fires=3,
+                  params={"bits": 2}),
+        FaultSpec(FaultSite.TT_INSERT, probability=0.002, max_fires=2),
+        FaultSpec(FaultSite.SCRATCHPAD_EXHAUST, probability=0.002, max_fires=2),
+    ))
+
+
+def run_micro_phase(seed: int, ops: int = 24) -> dict:
+    """Run `ops` mixed ULP offloads under injection; returns the phase report.
+
+    The report's ``corruption_observed`` counts outputs that differed from
+    the software reference — the whole point of the recovery machinery is
+    that this stays 0 no matter what fires.
+    """
+    from repro.core.offload_api import SessionConfig, SmartDIMMSession
+    from repro.ulp.gcm import AESGCM, xor_bytes
+
+    plan = _micro_plan(seed)
+    session = SmartDIMMSession(SessionConfig(fault_plan=plan, ecc=True))
+    rng = random.Random(0xC4A05 ^ seed)
+    gcm = AESGCM(_KEY)
+    corruption_observed = 0
+    page = (b"smartdimm fault injection corpus " * 128)[:4096]
+    for op in range(ops):
+        kind = op % 4
+        nonce = op.to_bytes(12, "big")
+        if kind == 0:  # TLS encrypt
+            payload = bytes(rng.getrandbits(8) for _ in range(rng.randrange(512, 3500)))
+            out = session.tls_encrypt(_KEY, nonce, payload, _AAD)
+            ct, tag = gcm.encrypt(nonce, payload, _AAD)
+            corruption_observed += out != ct + tag
+        elif kind == 1:  # TLS decrypt
+            payload = bytes(rng.getrandbits(8) for _ in range(rng.randrange(512, 3500)))
+            ct, _ = gcm.encrypt(nonce, payload, _AAD)
+            out = session.tls_decrypt(_KEY, nonce, ct, _AAD)
+            reference = xor_bytes(ct, gcm.keystream(nonce, len(ct)))
+            corruption_observed += out != reference + gcm.tag(nonce, ct, _AAD)
+        elif kind == 2:  # deflate one page
+            stream = session.deflate_page(page)
+            corruption_observed += (
+                stream is None or zlib.decompress(stream, -15) != page)
+        else:  # inflate it back (the corpus compresses well below a page)
+            stream = session.deflate_page(page)
+            back = session.inflate_page(stream)
+            corruption_observed += back != page
+    device = session.device.stats
+    mc = session.mc.stats
+    return {
+        "ops": ops,
+        "corruption_observed": corruption_observed,
+        "alerts": mc.alerts,
+        "alert_backoff_cycles": mc.alert_backoff_cycles,
+        "wedges": mc.wedges,
+        "injected_wedges": device.injected_wedges,
+        "injected_storms": device.injected_storms,
+        "offloads_aborted": device.offloads_aborted,
+        "registrations_rolled_back": device.registrations_rolled_back,
+        "registrations_retried": session.compcpy.stats.registrations_retried,
+        "checksums_verified": session.compcpy.stats.checksums_verified,
+        "ecc": {
+            "injected": session.memory.ecc_stats.injected,
+            "corrected": session.memory.ecc_stats.corrected,
+            "detected_uncorrectable":
+                session.memory.ecc_stats.detected_uncorrectable,
+            "silent": session.memory.ecc_stats.silent,
+        },
+        "resilience": {
+            "offloaded_ops": session.resilience_stats.offloaded_ops,
+            "onloaded_ops": session.resilience_stats.onloaded_ops,
+            "hw_failures": session.resilience_stats.hw_failures,
+        },
+        "breaker": session.breaker.summary(),
+        "breaker_transitions": session.breaker.transitions,
+        "plan": plan.report(),
+    }
+
+
+def run_net_phase(seed: int) -> dict:
+    """TCP over a plan-faulted link + a completion-dropping lookaside card."""
+    from repro.accel.quickassist import QuickAssist
+    from repro.net.link import LossyLink
+    from repro.net.smartnic import CpuTlsCrypto
+    from repro.net.tcp import TcpSimulation
+
+    link_plan = FaultPlan(seed=seed, specs=(
+        FaultSpec(FaultSite.NET_DROP, probability=0.02),
+        FaultSpec(FaultSite.NET_CORRUPT, probability=0.01),
+        FaultSpec(FaultSite.NET_REORDER, probability=0.02),
+    ))
+    link = LossyLink(seed=seed)
+    link.attach_fault_plan(link_plan)
+    tcp = TcpSimulation(1_500_000, CpuTlsCrypto(), link)
+    result = tcp.run()
+
+    qat_plan = FaultPlan(seed=seed, specs=(
+        FaultSpec(FaultSite.ACCEL_COMPLETION_DROP, probability=0.15,
+                  params={"max_retries": 2, "timeout_s": 100e-6}),
+    ))
+    qat = QuickAssist()
+    qat.attach_fault_plan(qat_plan)
+    qat_ok = qat_lost = 0
+    for op in range(40):
+        try:
+            qat.tls_encrypt(_KEY, op.to_bytes(12, "big"), bytes(4096))
+            qat_ok += 1
+        except CompletionLostError:
+            qat_lost += 1
+    return {
+        "tcp": {
+            "goodput_gbps": result.goodput_gbps,
+            "retransmissions": result.retransmissions,
+            "timeouts": result.timeouts,
+            "fast_retransmits": result.fast_retransmits,
+            "segments_sent": result.segments_sent,
+        },
+        "link": {
+            "segments": link.stats.segments,
+            "dropped": link.stats.dropped,
+            "corrupted": link.stats.corrupted,
+            "reordered": link.stats.reordered,
+        },
+        "quickassist": {
+            "ok": qat_ok,
+            "gave_up": qat_lost,
+            "completions_lost": qat.completions_lost,
+            "completion_retries": qat.completion_retries,
+        },
+        "plan": link_plan.report(),
+    }
+
+
+def run_cluster_phase(seed: int) -> dict:
+    """A rack under one channel wedge + one node failure; chaos report."""
+    from repro.cluster.chaos import FaultWindow, FleetFaultInjector
+    from repro.cluster.scenario import ClusterScenario, run_scenario
+
+    scenario = ClusterScenario(
+        servers=3, channels=2, connections=96, scheduler="static",
+        duration_s=0.02, warmup_s=0.005, seed=seed,
+    )
+    injector = FleetFaultInjector([
+        FaultWindow(kind="channel_wedge", server=0, channel=0,
+                    start_s=0.006, duration_s=0.004, dsa_slowdown=50.0),
+        FaultWindow(kind="node_down", server=1, start_s=0.010,
+                    duration_s=0.004),
+    ], breaker_cooldown_s=0.5e-3)
+    report = run_scenario(scenario, fault_injector=injector)
+    return {
+        "rps": report.rps,
+        "completed": report.completed,
+        "spilled": report.spilled,
+        "p99_latency_s": report.latency["p99"],
+        "chaos": report.chaos,
+    }
+
+
+def run_chaos(seed: int = 7, ops: int = 24) -> dict:
+    """The full three-phase chaos scenario; deterministic per seed."""
+    return {
+        "seed": seed,
+        "micro": run_micro_phase(seed, ops=ops),
+        "net": run_net_phase(seed),
+        "cluster": run_cluster_phase(seed),
+    }
+
+
+def render_chaos(report: dict) -> str:
+    """Human-readable multi-line summary of a :func:`run_chaos` report."""
+    micro, net, cluster = report["micro"], report["net"], report["cluster"]
+    chaos = cluster["chaos"]
+    lines = [
+        "chaos seed %d" % report["seed"],
+        "micro: %d ops, %d corrupted outputs (%d checksums verified)"
+        % (micro["ops"], micro["corruption_observed"],
+           micro["checksums_verified"]),
+        "  injected: %d wedges, %d alert storms, %d DRAM flips "
+        "(%d ECC-corrected, %d detected-uncorrectable)"
+        % (micro["injected_wedges"], micro["injected_storms"],
+           micro["ecc"]["injected"], micro["ecc"]["corrected"],
+           micro["ecc"]["detected_uncorrectable"]),
+        "  recovered: %d hw failures onloaded (%d/%d ops on CPU), "
+        "%d offloads aborted, %d registrations retried, breaker %s "
+        "(%d opens)"
+        % (micro["resilience"]["hw_failures"],
+           micro["resilience"]["onloaded_ops"], micro["ops"],
+           micro["offloads_aborted"], micro["registrations_retried"],
+           micro["breaker"]["state"], micro["breaker"]["opens"]),
+        "net: %.2f Gbps goodput, %d rtx (%d drops, %d corrupted, "
+        "%d reordered on the wire)"
+        % (net["tcp"]["goodput_gbps"], net["tcp"]["retransmissions"],
+           net["link"]["dropped"], net["link"]["corrupted"],
+           net["link"]["reordered"]),
+        "  quickassist: %d/%d offloads survived %d lost completions "
+        "(%d gave up)"
+        % (net["quickassist"]["ok"],
+           net["quickassist"]["ok"] + net["quickassist"]["gave_up"],
+           net["quickassist"]["completions_lost"],
+           net["quickassist"]["gave_up"]),
+        "cluster: %.0f req/s, %d spilled; availability %.4f, "
+        "mean MTTR %s, goodput %.0f rps in-fault vs %.0f clear"
+        % (cluster["rps"], cluster["spilled"], chaos["availability"],
+           "%.2fms" % (chaos["mttr_mean_s"] * 1e3)
+           if chaos["mttr_mean_s"] is not None else "n/a",
+           chaos["goodput_in_fault_rps"] or 0.0,
+           chaos["goodput_clear_rps"] or 0.0),
+    ]
+    for window in chaos["windows"]:
+        where = ("server%d" % window["server"] if window["channel"] is None
+                 else "server%d.ch%d" % (window["server"], window["channel"]))
+        lines.append(
+            "  %s %s at %.1fms: detected %s, restored %s"
+            % (window["kind"], where, window["start_s"] * 1e3,
+               "%.2fms" % (window["detected_s"] * 1e3)
+               if window["detected_s"] is not None else "never",
+               "%.2fms" % (window["restored_s"] * 1e3)
+               if window["restored_s"] is not None else "never"))
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""End-to-end payload checksums for CompCpy paths.
+
+The DIMM has no fault channel back to the host (the paper's tag-comparison
+discussion, Sec. V-A), so silent corruption between the DSA's scratchpad
+and the application's read-back — a DRAM bit flip, a mis-recycled line —
+would otherwise propagate undetected.  The device side snapshots a CRC of
+the finalized output image; the host side re-computes it over the bytes it
+actually read back and compares.  CRC-32 (zlib) is the model stand-in for
+whatever end-to-end integrity code a production deployment would use.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.faults.errors import CorruptionDetectedError
+
+
+def payload_checksum(data: bytes, running: int = 0) -> int:
+    """CRC-32 of `data`, optionally continuing a `running` checksum."""
+    return zlib.crc32(data, running) & 0xFFFFFFFF
+
+
+def verify_checksum(data: bytes, expected: int, site: str = "",
+                    address: int = None) -> int:
+    """Check `data` against `expected`; raises on mismatch.
+
+    Returns the (matching) checksum so callers can chain verification into
+    statistics without recomputing.
+    """
+    actual = payload_checksum(data)
+    if actual != expected:
+        raise CorruptionDetectedError(
+            "payload checksum mismatch at %s: expected 0x%08x, got 0x%08x"
+            % (site or "<unknown>", expected, actual),
+            site=site, address=address, expected=expected, actual=actual,
+        )
+    return actual

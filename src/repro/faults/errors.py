@@ -1,0 +1,80 @@
+"""Typed failure exceptions for the SmartDIMM stack.
+
+The seed model raised bare ``RuntimeError`` when a retry budget drained,
+which conflates "the DSA is wedged" with genuine model bugs and leaves the
+caller nothing to recover on.  Every exception here subclasses
+:class:`FaultError` *and* ``RuntimeError`` (so pre-existing ``except
+RuntimeError`` call sites keep working) and carries the structured fields a
+recovery layer needs: which site failed, at what address, after how many
+retries, and how many backoff cycles were burned waiting.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class for every typed failure raised by the SmartDIMM stack."""
+
+
+class RetryBudgetExceeded(FaultError):
+    """A bounded retry loop exhausted its budget without succeeding.
+
+    Attributes
+    ----------
+    site:
+        Injection/retry site name (e.g. ``"rdCAS"``, ``"SPAD_WB"``,
+        ``"compcpy.verify"``).
+    address:
+        Physical address involved, or ``None`` when not address-shaped.
+    retries:
+        How many retries were consumed before giving up.
+    backoff_cycles:
+        Total controller cycles spent in exponential backoff.
+    """
+
+    def __init__(self, message: str, site: str = "", address: int = None,
+                 retries: int = 0, backoff_cycles: int = 0):
+        super().__init__(message)
+        self.site = site
+        self.address = address
+        self.retries = retries
+        self.backoff_cycles = backoff_cycles
+
+
+class DsaWedgedError(RetryBudgetExceeded):
+    """ALERT_N (or SPAD_WB) retries exhausted: the DSA never finished.
+
+    Raised by the memory controller when a destination line stays pending
+    past the full exponential-backoff budget — the model's equivalent of a
+    hardware watchdog timeout.  Recovery is the caller's job: abort the
+    offload, reclaim its scratchpad pages, and onload the ULP to the CPU.
+    """
+
+
+class CorruptionDetectedError(FaultError):
+    """An end-to-end payload checksum mismatched: data was corrupted.
+
+    The detection point (not the corruption point) raises this; the
+    `site` names the verification layer, `address` the buffer base.
+    """
+
+    def __init__(self, message: str, site: str = "", address: int = None,
+                 expected: int = None, actual: int = None):
+        super().__init__(message)
+        self.site = site
+        self.address = address
+        self.expected = expected
+        self.actual = actual
+
+
+class CompletionLostError(FaultError):
+    """A lookaside accelerator dropped the completion past the retry budget.
+
+    Carries how many attempts were made and the wall time burned polling.
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 wasted_seconds: float = 0.0):
+        super().__init__(message)
+        self.attempts = attempts
+        self.wasted_seconds = wasted_seconds

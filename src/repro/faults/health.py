@@ -1,0 +1,182 @@
+"""DSA health monitoring and the spill-to-CPU circuit breaker.
+
+Observation 2 of the paper says offload pays only while the accelerator is
+the cheaper queue; a wedged or storming DSA is the degenerate case where
+the accelerator queue is *infinitely* expensive.  The control loop here
+keeps the service alive through that case:
+
+* :class:`DsaHealthMonitor` tracks a sliding window of per-operation
+  observations — ALERT_N retries consumed, latency, success/failure — and
+  classifies the DSA as healthy or not against configurable thresholds.
+* :class:`CircuitBreaker` is the classic CLOSED → OPEN → HALF_OPEN state
+  machine: consecutive failures trip it OPEN (all traffic spills to CPU
+  onload), a probation period later it admits a single probe (HALF_OPEN),
+  and a successful probe re-admits the DSA (CLOSED).
+
+Both are clock-agnostic: callers pass their own monotonic "now" (DRAM
+cycles, simulated seconds, or an operation counter), which keeps the same
+classes usable by the micro-model and the cluster DES.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from dataclasses import dataclass
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker lifecycle."""
+
+    CLOSED = "closed"  # healthy: requests go to the DSA
+    OPEN = "open"  # tripped: everything spills to CPU onload
+    HALF_OPEN = "half_open"  # probation: one probe allowed through
+
+
+@dataclass
+class HealthSample:
+    """One operation's health observation."""
+
+    alerts: int  # ALERT_N retries the operation consumed
+    latency: float  # in the caller's clock units
+    ok: bool  # did the operation complete without a typed failure?
+
+
+class DsaHealthMonitor:
+    """Sliding-window alert/latency tracker for one DSA (or DSA channel)."""
+
+    def __init__(self, window: int = 32, alert_rate_threshold: float = 8.0,
+                 latency_threshold: float = math.inf):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.alert_rate_threshold = alert_rate_threshold
+        self.latency_threshold = latency_threshold
+        self._samples = deque(maxlen=window)
+        self.total_alerts = 0
+        self.total_failures = 0
+        self.observations = 0
+
+    def observe(self, alerts: int = 0, latency: float = 0.0, ok: bool = True) -> None:
+        """Record one operation's outcome into the sliding window."""
+        self._samples.append(HealthSample(alerts, latency, ok))
+        self.observations += 1
+        self.total_alerts += alerts
+        if not ok:
+            self.total_failures += 1
+
+    # -- window queries ---------------------------------------------------------
+
+    def alert_rate(self) -> float:
+        """Mean ALERT_N retries per operation over the window."""
+        if not self._samples:
+            return 0.0
+        return sum(s.alerts for s in self._samples) / len(self._samples)
+
+    def mean_latency(self) -> float:
+        """Mean latency over the window (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return sum(s.latency for s in self._samples) / len(self._samples)
+
+    def failure_rate(self) -> float:
+        """Fraction of windowed operations that failed."""
+        if not self._samples:
+            return 0.0
+        return sum(1 for s in self._samples if not s.ok) / len(self._samples)
+
+    def healthy(self) -> bool:
+        """Window verdict: no failures, alert rate and latency in bounds."""
+        if any(not s.ok for s in self._samples):
+            return False
+        if self.alert_rate() > self.alert_rate_threshold:
+            return False
+        return self.mean_latency() <= self.latency_threshold
+
+    def summary(self) -> dict:
+        """Deterministic JSON-ready snapshot of the monitor state."""
+        return {
+            "observations": self.observations,
+            "total_alerts": self.total_alerts,
+            "total_failures": self.total_failures,
+            "window_alert_rate": self.alert_rate(),
+            "window_failure_rate": self.failure_rate(),
+            "healthy": self.healthy(),
+        }
+
+
+class CircuitBreaker:
+    """CLOSED → OPEN → HALF_OPEN breaker gating one DSA's admission.
+
+    `failure_threshold` consecutive failures trip the breaker OPEN at time
+    `now`; after `cooldown` (same clock units as `now`) the next `allow`
+    call transitions to HALF_OPEN and admits exactly one probe.  A probe
+    success re-closes the breaker (the DSA is re-admitted); a probe failure
+    re-opens it and restarts probation.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: float = 1.0):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self.opens = 0
+        self.closes = 0
+        self.rejections = 0
+        self.probes = 0
+        self.transitions = []  # (now, state.value) — for MTTR accounting
+
+    def _transition(self, now: float, state: BreakerState) -> None:
+        self.state = state
+        self.transitions.append((now, state.value))
+
+    def allow(self, now: float) -> bool:
+        """Admission decision at time `now`; False ⇒ spill to CPU onload."""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at >= self.cooldown:
+                self._transition(now, BreakerState.HALF_OPEN)
+                self.probes += 1
+                return True  # the single probation probe
+            self.rejections += 1
+            return False
+        # HALF_OPEN: a probe is already in flight; hold further traffic.
+        self.rejections += 1
+        return False
+
+    def record_success(self, now: float) -> None:
+        """A DSA operation succeeded; probes re-close the breaker."""
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._transition(now, BreakerState.CLOSED)
+            self.closes += 1
+
+    def record_failure(self, now: float) -> None:
+        """A DSA operation failed; trips or re-opens the breaker."""
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self.opened_at = now
+            self._transition(now, BreakerState.OPEN)
+            self.opens += 1
+        elif (self.state is BreakerState.CLOSED
+              and self.consecutive_failures >= self.failure_threshold):
+            self.opened_at = now
+            self._transition(now, BreakerState.OPEN)
+            self.opens += 1
+
+    def summary(self) -> dict:
+        """Deterministic JSON-ready snapshot of the breaker state."""
+        return {
+            "state": self.state.value,
+            "opens": self.opens,
+            "closes": self.closes,
+            "rejections": self.rejections,
+            "probes": self.probes,
+        }

@@ -1,0 +1,125 @@
+"""Fleet-level chaos: fault windows, failover, breaker spill, and reports."""
+
+import pytest
+
+from repro.cluster.chaos import FaultWindow, FleetFaultInjector
+from repro.cluster.scenario import ClusterScenario, run_scenario
+
+pytestmark = pytest.mark.faults
+
+
+def _scenario(seed=7):
+    return ClusterScenario(
+        servers=3, channels=2, connections=64, scheduler="static",
+        duration_s=0.016, warmup_s=0.004, seed=seed)
+
+
+def _injector():
+    return FleetFaultInjector([
+        FaultWindow(kind="channel_wedge", server=0, channel=0,
+                    start_s=0.005, duration_s=0.004, dsa_slowdown=50.0),
+        FaultWindow(kind="node_down", server=1, start_s=0.008,
+                    duration_s=0.004),
+    ], breaker_cooldown_s=0.5e-3)
+
+
+class TestFaultWindow:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultWindow(kind="gamma_ray", server=0, start_s=0.0, duration_s=1.0)
+
+    def test_wedge_requires_channel(self):
+        with pytest.raises(ValueError):
+            FaultWindow(kind="channel_wedge", server=0, start_s=0.0,
+                        duration_s=1.0)
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultWindow(kind="node_down", server=0, start_s=0.0, duration_s=0.0)
+
+    def test_end_and_mttr(self):
+        window = FaultWindow(kind="node_down", server=0, start_s=2.0,
+                             duration_s=3.0)
+        assert window.end_s == 5.0
+        assert window.mttr_s is None
+        window.restored_s = 5.5
+        assert window.mttr_s == pytest.approx(3.5)
+        assert window.to_dict()["mttr_s"] == pytest.approx(3.5)
+
+
+class TestUnionSeconds:
+    def test_overlapping_intervals_counted_once(self):
+        union = FleetFaultInjector._union_seconds(
+            [(1.0, 3.0), (2.0, 4.0), (6.0, 7.0)], 0.0, 10.0)
+        assert union == pytest.approx(4.0)
+
+    def test_clipped_to_measurement_window(self):
+        union = FleetFaultInjector._union_seconds(
+            [(0.0, 5.0), (8.0, 20.0)], 4.0, 10.0)
+        assert union == pytest.approx(3.0)
+
+    def test_disjoint_outside_window_is_zero(self):
+        assert FleetFaultInjector._union_seconds([(0.0, 1.0)], 2.0, 3.0) == 0.0
+
+
+class TestReroute:
+    def test_skips_down_nodes_deterministically(self):
+        injector = FleetFaultInjector([])
+        injector._down = {1, 2}
+        assert injector._reroute(1, 4) == 3
+        assert injector._reroute(2, 4) == 3
+
+    def test_all_down_returns_original(self):
+        injector = FleetFaultInjector([])
+        injector._down = {0, 1}
+        assert injector._reroute(0, 2) == 0
+
+
+class TestAttachValidation:
+    def test_out_of_range_server_rejected(self):
+        injector = FleetFaultInjector([
+            FaultWindow(kind="node_down", server=9, start_s=0.001,
+                        duration_s=0.001)])
+        with pytest.raises(ValueError):
+            run_scenario(_scenario(), fault_injector=injector)
+
+
+class TestChaosScenario:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_scenario(_scenario(), fault_injector=_injector())
+
+    def test_chaos_section_present_and_complete(self, report):
+        chaos = report.to_dict()["chaos"]
+        assert len(chaos["windows"]) == 2
+        assert 0.0 < chaos["availability"] < 1.0
+        assert chaos["fault_seconds"] > 0
+        assert chaos["rerouted"] > 0
+        assert chaos["breaker_spills"] > 0
+        assert chaos["degraded_served"] > 0
+
+    def test_faults_detected_quickly(self, report):
+        for window in report.chaos["windows"]:
+            assert window["detected_s"] is not None
+            assert window["detected_s"] >= window["start_s"]
+            assert window["detected_s"] < window["start_s"] + window["duration_s"]
+
+    def test_mttr_spans_fault_duration(self, report):
+        for window in report.chaos["windows"]:
+            assert window["restored_s"] is not None
+            # Service returns only after the underlying fault clears.
+            assert window["restored_s"] >= window["start_s"] + window["duration_s"]
+            assert window["mttr_s"] >= window["duration_s"]
+
+    def test_goodput_suffers_inside_fault_windows(self, report):
+        chaos = report.chaos
+        assert chaos["goodput_in_fault_rps"] < chaos["goodput_clear_rps"]
+
+    def test_deterministic_across_runs(self, report):
+        again = run_scenario(_scenario(), fault_injector=_injector())
+        assert report.to_json() == again.to_json()
+
+    def test_baseline_report_has_no_chaos_key(self):
+        baseline = run_scenario(_scenario())
+        assert baseline.chaos is None
+        assert "chaos" not in baseline.to_dict()

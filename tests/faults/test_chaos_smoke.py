@@ -1,0 +1,78 @@
+"""Deterministic chaos-smoke scenario: the `python -m repro chaos` run.
+
+Tier-1 regression gate for the whole fault stack — one seeded end-to-end
+run through the micro, network, and cluster phases must inject faults at
+every layer, recover everywhere, corrupt nothing, and reproduce
+byte-identically under the same seed.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.chaos import run_chaos
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_chaos(seed=7)
+
+
+class TestMicroPhase:
+    def test_zero_corruption_with_checksums_verified(self, report):
+        micro = report["micro"]
+        assert micro["corruption_observed"] == 0
+        assert micro["checksums_verified"] > 0
+
+    def test_faults_actually_injected(self, report):
+        micro = report["micro"]
+        assert micro["injected_wedges"] >= 1
+        assert micro["injected_storms"] >= 1
+        assert micro["ecc"]["injected"] >= 1
+
+    def test_recovery_engaged(self, report):
+        micro = report["micro"]
+        assert micro["offloads_aborted"] >= 1
+        assert micro["resilience"]["hw_failures"] >= 1
+        assert micro["resilience"]["onloaded_ops"] >= 1
+        assert micro["breaker"]["opens"] >= 1
+        assert micro["alerts"] > 0
+
+
+class TestNetPhase:
+    def test_lossy_link_injected_but_transfer_completed(self, report):
+        net = report["net"]
+        assert net["link"]["dropped"] >= 1
+        assert net["tcp"]["retransmissions"] >= 1
+        assert net["tcp"]["goodput_gbps"] > 0
+
+    def test_accelerator_completion_drops(self, report):
+        qat = report["net"]["quickassist"]
+        assert qat["completions_lost"] >= 1
+        assert qat["completion_retries"] >= 1
+        assert qat["ok"] + qat["gave_up"] == 40
+
+
+class TestClusterPhase:
+    def test_fault_windows_detected_and_restored(self, report):
+        chaos = report["cluster"]["chaos"]
+        assert len(chaos["windows"]) == 2
+        for window in chaos["windows"]:
+            assert window["detected_s"] is not None
+            assert window["restored_s"] is not None
+            assert window["mttr_s"] > 0
+
+    def test_availability_and_goodput_sensible(self, report):
+        chaos = report["cluster"]["chaos"]
+        assert 0.0 < chaos["availability"] < 1.0
+        assert chaos["mttr_mean_s"] > 0
+        assert chaos["rerouted"] > 0
+        assert chaos["breaker_spills"] > 0
+        assert chaos["goodput_clear_rps"] > chaos["goodput_in_fault_rps"]
+
+
+def test_identical_seed_identical_report(report):
+    again = run_chaos(seed=7)
+    assert json.dumps(report, sort_keys=True) == json.dumps(again, sort_keys=True)

@@ -1,0 +1,63 @@
+"""Unit tests for end-to-end payload checksums and typed fault errors."""
+
+import zlib
+
+import pytest
+
+from repro.faults import (
+    CompletionLostError,
+    CorruptionDetectedError,
+    DsaWedgedError,
+    FaultError,
+    RetryBudgetExceeded,
+    payload_checksum,
+    verify_checksum,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestPayloadChecksum:
+    def test_matches_crc32(self):
+        data = b"smartdimm" * 100
+        assert payload_checksum(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+    def test_running_composition(self):
+        a, b = b"first half ", b"second half"
+        assert payload_checksum(b, payload_checksum(a)) == payload_checksum(a + b)
+
+    def test_verify_returns_checksum_on_match(self):
+        data = b"payload"
+        assert verify_checksum(data, payload_checksum(data)) == payload_checksum(data)
+
+    def test_verify_raises_with_context_on_mismatch(self):
+        with pytest.raises(CorruptionDetectedError) as excinfo:
+            verify_checksum(b"payload", 0xDEAD, site="unit.test", address=0x1000)
+        err = excinfo.value
+        assert err.site == "unit.test"
+        assert err.address == 0x1000
+        assert err.expected == 0xDEAD
+        assert err.actual == payload_checksum(b"payload")
+
+
+class TestErrorHierarchy:
+    def test_typed_errors_are_fault_errors(self):
+        assert issubclass(RetryBudgetExceeded, FaultError)
+        assert issubclass(DsaWedgedError, RetryBudgetExceeded)
+        assert issubclass(CorruptionDetectedError, FaultError)
+        assert issubclass(CompletionLostError, FaultError)
+        assert issubclass(FaultError, RuntimeError)
+
+    def test_retry_budget_carries_context(self):
+        err = RetryBudgetExceeded(
+            "budget gone", site="rdcas", address=0x40, retries=64,
+            backoff_cycles=4096)
+        assert err.site == "rdcas"
+        assert err.address == 0x40
+        assert err.retries == 64
+        assert err.backoff_cycles == 4096
+
+    def test_completion_lost_carries_waste(self):
+        err = CompletionLostError("gone", attempts=3, wasted_seconds=3e-4)
+        assert err.attempts == 3
+        assert err.wasted_seconds == pytest.approx(3e-4)

@@ -1,0 +1,123 @@
+"""Unit tests for the DSA health monitor and the spill circuit breaker."""
+
+import pytest
+
+from repro.faults import BreakerState, CircuitBreaker, DsaHealthMonitor
+
+pytestmark = pytest.mark.faults
+
+
+class TestDsaHealthMonitor:
+    def test_empty_window_is_healthy(self):
+        monitor = DsaHealthMonitor()
+        assert monitor.healthy()
+        assert monitor.alert_rate() == 0.0
+        assert monitor.failure_rate() == 0.0
+
+    def test_window_evicts_old_samples(self):
+        monitor = DsaHealthMonitor(window=4)
+        monitor.observe(alerts=100)  # a storm, soon forgotten
+        for _ in range(4):
+            monitor.observe(alerts=0)
+        assert monitor.alert_rate() == 0.0
+        assert monitor.total_alerts == 100  # lifetime totals keep it
+
+    def test_alert_rate_threshold_flips_verdict(self):
+        monitor = DsaHealthMonitor(window=4, alert_rate_threshold=2.0)
+        monitor.observe(alerts=1)
+        assert monitor.healthy()
+        monitor.observe(alerts=9)
+        assert monitor.alert_rate() == 5.0
+        assert not monitor.healthy()
+
+    def test_any_windowed_failure_is_unhealthy(self):
+        monitor = DsaHealthMonitor(window=8)
+        monitor.observe(ok=False)
+        monitor.observe(ok=True)
+        assert not monitor.healthy()
+        assert monitor.failure_rate() == 0.5
+
+    def test_latency_threshold(self):
+        monitor = DsaHealthMonitor(window=4, latency_threshold=10.0)
+        monitor.observe(latency=50.0)
+        assert not monitor.healthy()
+
+    def test_summary_shape(self):
+        monitor = DsaHealthMonitor()
+        monitor.observe(alerts=2, ok=False)
+        summary = monitor.summary()
+        assert summary["observations"] == 1
+        assert summary["total_alerts"] == 2
+        assert summary["total_failures"] == 1
+        assert summary["healthy"] is False
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            DsaHealthMonitor(window=0)
+
+
+class TestCircuitBreaker:
+    def test_closed_allows_everything(self):
+        breaker = CircuitBreaker()
+        assert all(breaker.allow(t) for t in range(5))
+        assert breaker.rejections == 0
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=10.0)
+        breaker.record_failure(1)
+        breaker.record_failure(2)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(3)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 1
+        assert not breaker.allow(4)
+        assert breaker.rejections == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(1)
+        breaker.record_success(2)
+        breaker.record_failure(3)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_admitted_after_cooldown_then_held(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0)
+        breaker.record_failure(0)
+        assert not breaker.allow(4)  # still cooling down
+        assert breaker.allow(5)  # the single probation probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.probes == 1
+        assert not breaker.allow(6)  # probe in flight: hold traffic
+
+    def test_probe_success_recloses(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0)
+        breaker.record_failure(0)
+        assert breaker.allow(1)
+        breaker.record_success(2)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.closes == 1
+        assert breaker.allow(3)
+
+    def test_probe_failure_reopens_and_restarts_probation(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2.0)
+        breaker.record_failure(0)
+        assert breaker.allow(2)
+        breaker.record_failure(3)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 2
+        assert not breaker.allow(4)  # probation restarted from t=3
+        assert breaker.allow(5)
+
+    def test_transitions_recorded_for_mttr(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1.0)
+        breaker.record_failure(10)
+        breaker.allow(11)
+        breaker.record_success(12)
+        assert breaker.transitions == [
+            (10, "open"), (11, "half_open"), (12, "closed")]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)

@@ -1,0 +1,302 @@
+"""Layer-by-layer fault injection and recovery, driven by one FaultPlan.
+
+Covers every injection site the plan knows: DRAM bit flips (with and
+without the SEC-DED model), wedged and storming DSA lines, cuckoo
+translation-table insertion failure with force-recycle recovery,
+scratchpad exhaustion, link drop/corrupt/reorder, and lookaside completion
+loss — plus the paired recovery mechanism each one exercises.
+"""
+
+import pytest
+
+from repro.core.offload_api import SessionConfig, SmartDIMMSession
+from repro.core.scratchpad import Scratchpad, ScratchpadFullError
+from repro.core.translation_table import (
+    CuckooInsertError,
+    TranslationEntry,
+    TranslationTable,
+)
+from repro.dram.memory_controller import TimingParams
+from repro.dram.physical_memory import PhysicalMemory
+from repro.faults import (
+    CompletionLostError,
+    DsaWedgedError,
+    FaultPlan,
+    FaultSite,
+    FaultSpec,
+)
+from repro.ulp.ctx_cache import cached_aesgcm
+
+pytestmark = pytest.mark.faults
+
+KEY = bytes(range(16))
+NONCE = bytes(range(12))
+PAYLOAD = bytes(x & 0xFF for x in range(3000))
+
+
+def _session(plan, ecc=True, **spec_kwargs):
+    return SmartDIMMSession(SessionConfig(
+        memory_bytes=16 * 1024 * 1024, llc_bytes=512 * 1024,
+        fault_plan=plan, ecc=ecc, **spec_kwargs))
+
+
+def _reference():
+    ct, tag = cached_aesgcm(KEY).encrypt(NONCE, PAYLOAD)
+    return ct + tag
+
+
+class TestDramCorruption:
+    def _memory(self, bits, ecc):
+        plan = FaultPlan(seed=2, specs=(
+            FaultSpec(FaultSite.DRAM_CORRUPT, probability=1.0, max_fires=1,
+                      params={"bits": bits}),))
+        memory = PhysicalMemory(1 << 20)
+        memory.attach_fault_plan(plan, ecc=ecc)
+        memory.write_line(0, bytes(range(64)))
+        return memory
+
+    def test_single_bit_flip_corrected_by_ecc(self):
+        memory = self._memory(bits=1, ecc=True)
+        assert memory.read_line(0) == bytes(range(64))
+        assert memory.ecc_stats.injected == 1
+        assert memory.ecc_stats.corrected == 1
+
+    def test_double_bit_flip_detected_but_passed_on(self):
+        memory = self._memory(bits=2, ecc=True)
+        assert memory.read_line(0) != bytes(range(64))
+        assert memory.ecc_stats.detected_uncorrectable == 1
+
+    def test_no_ecc_means_silent_corruption(self):
+        memory = self._memory(bits=1, ecc=False)
+        assert memory.read_line(0) != bytes(range(64))
+        assert memory.ecc_stats.silent == 1
+        assert memory.ecc_stats.corrected == 0
+
+    def test_silent_corruption_caught_by_end_to_end_checksum(self):
+        """With ECC off, only the CompCpy read-back CRC stands between a
+        flipped DRAM bit and a wrong answer — the session must onload."""
+        plan = FaultPlan(seed=4, specs=(
+            FaultSpec(FaultSite.DRAM_CORRUPT, probability=0.002, max_fires=2,
+                      params={"bits": 2}),))
+        session = _session(plan, ecc=False)
+        for index in range(4):
+            nonce = index.to_bytes(12, "big")
+            expected = cached_aesgcm(KEY).encrypt(nonce, PAYLOAD)
+            out = session.tls_encrypt(KEY, nonce, PAYLOAD)
+            assert out == expected[0] + expected[1]
+        assert session.memory.ecc_stats.silent >= 1
+        assert session.resilience_stats.hw_failures >= 1
+        assert session.resilience_stats.onloaded_ops >= 1
+
+
+class TestWedgedDsa:
+    def _plan(self):
+        return FaultPlan(seed=0, specs=(
+            FaultSpec(FaultSite.DSA_WEDGE, probability=1.0, max_fires=1),))
+
+    def test_unguarded_wedge_raises_typed_error(self):
+        session = _session(self._plan())
+        session.breaker = None  # expose the raw hardware path
+        with pytest.raises(DsaWedgedError) as excinfo:
+            session.tls_encrypt(KEY, NONCE, PAYLOAD)
+        err = excinfo.value
+        assert err.retries == TimingParams().max_alert_retries
+        assert err.address is not None
+        assert err.backoff_cycles > 0
+        assert session.mc.stats.wedges == 1
+        # The abort ran before cleanup: nothing left bound to the device.
+        assert session.device.stats.offloads_aborted == 1
+
+    def test_guarded_wedge_onloads_and_stays_correct(self):
+        session = _session(self._plan())
+        assert session.tls_encrypt(KEY, NONCE, PAYLOAD) == _reference()
+        assert session.resilience_stats.hw_failures == 1
+        assert session.resilience_stats.onloaded_ops == 1
+        assert session.device.stats.injected_wedges == 1
+        assert session.device.stats.offloads_aborted == 1
+
+    def test_wedge_recovery_frees_pages_for_reuse(self):
+        """After abort + onload the scratchpad is whole again: later
+        hardware offloads run at full capacity."""
+        session = _session(self._plan())
+        free_before = session.device.scratchpad.free_pages
+        session.tls_encrypt(KEY, NONCE, PAYLOAD)  # wedged -> onload
+        assert session.tls_encrypt(KEY, NONCE, PAYLOAD) == _reference()
+        assert session.device.scratchpad.free_pages == free_before
+        assert session.resilience_stats.offloaded_ops == 1
+
+
+class TestAlertStorm:
+    def test_storm_retries_and_completes_on_hardware(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(FaultSite.DSA_ALERT_STORM, probability=1.0, max_fires=2),))
+        session = _session(plan)
+        assert session.tls_encrypt(KEY, NONCE, PAYLOAD) == _reference()
+        assert session.mc.stats.alerts > 0
+        assert session.mc.stats.alert_backoff_cycles > 0
+        assert session.device.stats.injected_storms == 2
+        assert session.resilience_stats.hw_failures == 0
+        assert session.resilience_stats.offloaded_ops == 1
+
+
+class TestCuckooInsertFailure:
+    def test_direct_insert_failure_counts(self):
+        table = TranslationTable()
+        table.fault_plan = FaultPlan(seed=0, specs=(
+            FaultSpec(FaultSite.TT_INSERT, probability=1.0, max_fires=1),))
+        with pytest.raises(CuckooInsertError):
+            table.insert(TranslationEntry(
+                page_number=1, is_config=False, target_offset=0))
+        assert table.failures == 1
+        assert 1 not in table
+        # The injection budget is spent: the retry goes through.
+        table.insert(TranslationEntry(
+            page_number=1, is_config=False, target_offset=0))
+        assert 1 in table
+
+    def test_compcpy_retries_via_force_recycle(self):
+        """Algorithm 2's unlikely path: a failed registration rolls back,
+        Force-Recycle frees pages *and* translations, and the retry lands."""
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(FaultSite.TT_INSERT, probability=1.0, max_fires=1),))
+        session = _session(plan)
+        assert session.tls_encrypt(KEY, NONCE, PAYLOAD) == _reference()
+        assert session.compcpy.stats.registrations_retried == 1
+        assert session.compcpy.stats.force_recycles >= 1
+        assert session.device.stats.registrations_rolled_back == 1
+        assert session.device.translation_table.failures == 1
+        # The recovery happened inside CompCpy: the op still counts as a
+        # hardware success for the breaker.
+        assert session.resilience_stats.hw_failures == 0
+        assert session.resilience_stats.offloaded_ops == 1
+
+
+class TestScratchpadExhaustion:
+    def test_direct_allocation_failure(self):
+        scratchpad = Scratchpad(total_pages=64)
+        scratchpad.fault_plan = FaultPlan(seed=0, specs=(
+            FaultSpec(FaultSite.SCRATCHPAD_EXHAUST, probability=1.0,
+                      max_fires=1),))
+        with pytest.raises(ScratchpadFullError):
+            scratchpad.allocate(0)
+        assert scratchpad.allocate(0) >= 0  # budget spent; next call lands
+
+    def test_compcpy_recovers_with_force_recycle(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(FaultSite.SCRATCHPAD_EXHAUST, probability=1.0,
+                      max_fires=1),))
+        session = _session(plan)
+        assert session.tls_encrypt(KEY, NONCE, PAYLOAD) == _reference()
+        assert session.compcpy.stats.registrations_retried == 1
+        assert session.device.stats.registrations_rolled_back == 1
+        assert session.resilience_stats.offloaded_ops == 1
+
+
+class TestBreakerLifecycleUnderInjection:
+    def test_repeated_wedges_trip_then_probe_recloses(self):
+        from repro.core.offload_api import ResilienceConfig
+
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(FaultSite.DSA_WEDGE, probability=1.0),))
+        session = _session(plan, resilience=ResilienceConfig(
+            failure_threshold=2, cooldown_ops=2))
+
+        def run(index):
+            nonce = index.to_bytes(12, "big")
+            expected = cached_aesgcm(KEY).encrypt(nonce, PAYLOAD)
+            assert session.tls_encrypt(KEY, nonce, PAYLOAD) == \
+                expected[0] + expected[1]
+
+        # Ops 1-2 wedge -> breaker opens; op 3 is rejected during cooldown;
+        # op 4 is the probe and wedges again, re-opening the breaker.
+        for index in range(4):
+            run(index)
+        assert session.breaker.summary()["opens"] == 2
+        assert session.resilience_stats.hw_failures == 3
+        # The DSA comes back: the next probe succeeds and re-closes.
+        session.device.fault_plan = None
+        for index in range(4, 8):
+            run(index)
+        summary = session.breaker.summary()
+        assert summary["closes"] == 1
+        assert summary["state"] == "closed"
+        assert session.resilience_stats.onloaded_ops == 5
+        assert session.resilience_stats.offloaded_ops == 3
+
+
+class TestLinkInjection:
+    def _link(self, seed=3):
+        from repro.net.link import LossyLink
+
+        link = LossyLink(seed=seed)
+        link.attach_fault_plan(FaultPlan(seed=seed, specs=(
+            FaultSpec(FaultSite.NET_DROP, probability=0.2),
+            FaultSpec(FaultSite.NET_CORRUPT, probability=0.1),
+            FaultSpec(FaultSite.NET_REORDER, probability=0.2),
+        )))
+        return link
+
+    def _drive(self, link, n=200):
+        now = 0.0
+        for _ in range(n):
+            arrival = link.transmit(now, 1500)
+            now += 1e-6
+            if arrival is not None:
+                now = max(now, arrival - link.propagation_delay)
+        return link.stats
+
+    def test_plan_faults_are_deterministic(self):
+        a = self._drive(self._link())
+        b = self._drive(self._link())
+        assert (a.dropped, a.corrupted, a.reordered) == \
+            (b.dropped, b.corrupted, b.reordered)
+        assert a.dropped > 0 and a.corrupted > 0 and a.reordered > 0
+
+    def test_corruption_observable_as_drop_but_counted_apart(self):
+        stats = self._drive(self._link())
+        assert stats.segments == 200
+        assert stats.bytes_carried == 1500 * (
+            stats.segments - stats.dropped - stats.corrupted)
+
+    def test_acks_never_injected(self):
+        from repro.net.link import LossyLink
+
+        link = LossyLink(seed=1)
+        link.attach_fault_plan(FaultPlan(seed=1, specs=(
+            FaultSpec(FaultSite.NET_DROP, probability=1.0),)))
+        assert link.transmit(0.0, 66, droppable=False) is not None
+        assert link.transmit(0.0, 1500) is None
+
+
+class TestQuickAssistCompletionLoss:
+    def _qat(self, probability, max_retries=2, seed=0):
+        from repro.accel.quickassist import QuickAssist
+
+        qat = QuickAssist()
+        qat.attach_fault_plan(FaultPlan(seed=seed, specs=(
+            FaultSpec(FaultSite.ACCEL_COMPLETION_DROP,
+                      probability=probability,
+                      params={"max_retries": max_retries}),)))
+        return qat
+
+    def test_retry_budget_exhaustion_raises(self):
+        qat = self._qat(probability=1.0, max_retries=2)
+        with pytest.raises(CompletionLostError) as excinfo:
+            qat.tls_encrypt(KEY, NONCE, bytes(4096))
+        assert excinfo.value.attempts == 3
+        assert excinfo.value.wasted_seconds > 0
+        assert qat.completions_lost == 3
+
+    def test_single_loss_recovered_with_double_pcie_cost(self):
+        from repro.faults.plan import FaultPlan as Plan
+
+        qat = self._qat(probability=0.0)
+        qat._fault_plan = Plan(seed=0, specs=(
+            FaultSpec(FaultSite.ACCEL_COMPLETION_DROP, probability=1.0,
+                      max_fires=1, params={"max_retries": 2}),))
+        result = qat.tls_encrypt(KEY, NONCE, bytes(4096))
+        clean = self._qat(probability=0.0).tls_encrypt(KEY, NONCE, bytes(4096))
+        assert result.payload == clean.payload
+        assert qat.completion_retries == 1
+        assert result.pcie_bytes == 2 * clean.pcie_bytes
+        assert result.offload_latency_s > clean.offload_latency_s

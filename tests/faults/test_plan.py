@@ -1,0 +1,101 @@
+"""Unit tests for the deterministic, seed-driven FaultPlan schedule."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSite, FaultSpec
+
+pytestmark = pytest.mark.faults
+
+
+def _sequence(plan, site, n):
+    return [plan.fires(site) for _ in range(n)]
+
+
+class TestFaultSpec:
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("x", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("x", probability=-0.1)
+
+    def test_negative_skip_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("x", skip=-1)
+
+
+class TestFires:
+    def test_unconfigured_site_never_fires(self):
+        plan = FaultPlan(seed=3)
+        assert not any(_sequence(plan, "no.such.site", 100))
+        assert plan.fire_count("no.such.site") == 0
+
+    def test_certain_fault_always_fires(self):
+        plan = FaultPlan(seed=3, specs=(FaultSpec("s", probability=1.0),))
+        assert all(_sequence(plan, "s", 10))
+        assert plan.fire_count("s") == 10
+        assert plan.decisions["s"] == 10
+
+    def test_skip_arms_after_n_decisions(self):
+        plan = FaultPlan(seed=3, specs=(FaultSpec("s", skip=4),))
+        assert _sequence(plan, "s", 6) == [False] * 4 + [True] * 2
+
+    def test_max_fires_caps_total(self):
+        plan = FaultPlan(seed=3, specs=(FaultSpec("s", max_fires=3),))
+        assert _sequence(plan, "s", 10) == [True] * 3 + [False] * 7
+        assert plan.fire_count("s") == 3
+
+    def test_zero_probability_never_fires_but_counts_decisions(self):
+        plan = FaultPlan(seed=3, specs=(FaultSpec("s", probability=0.0),))
+        assert not any(_sequence(plan, "s", 50))
+        assert plan.decisions["s"] == 50
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        spec = FaultSpec("dram.corrupt", probability=0.3)
+        a = FaultPlan(seed=11, specs=(spec,))
+        b = FaultPlan(seed=11, specs=(spec,))
+        assert _sequence(a, "dram.corrupt", 200) == _sequence(b, "dram.corrupt", 200)
+
+    def test_different_seeds_diverge(self):
+        spec = FaultSpec("dram.corrupt", probability=0.3)
+        a = FaultPlan(seed=11, specs=(spec,))
+        b = FaultPlan(seed=12, specs=(spec,))
+        assert _sequence(a, "dram.corrupt", 200) != _sequence(b, "dram.corrupt", 200)
+
+    def test_sites_draw_from_independent_streams(self):
+        """Interleaving decisions at one site never perturbs another's."""
+        specs = (FaultSpec("a", probability=0.5), FaultSpec("b", probability=0.5))
+        solo = FaultPlan(seed=5, specs=specs)
+        expected = _sequence(solo, "b", 100)
+        mixed = FaultPlan(seed=5, specs=specs)
+        observed = []
+        for _ in range(100):
+            mixed.fires("a")
+            observed.append(mixed.fires("b"))
+            mixed.fires("a")
+        assert observed == expected
+
+    def test_site_rng_is_seed_stable(self):
+        assert (FaultPlan(seed=9).rng("x").random()
+                == FaultPlan(seed=9).rng("x").random())
+
+
+class TestParamsAndReport:
+    def test_param_falls_back_to_default(self):
+        plan = FaultPlan(specs=(FaultSpec("s", params={"bits": 2}),))
+        assert plan.param("s", "bits", 1) == 2
+        assert plan.param("s", "missing", 7) == 7
+        assert plan.param("unconfigured", "bits", 1) == 1
+
+    def test_report_counts_decisions_and_fires(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec("s", max_fires=2),))
+        _sequence(plan, "s", 5)
+        report = plan.report()
+        assert report["seed"] == 1
+        assert report["sites"]["s"] == {"decisions": 5, "fired": 2}
+
+    def test_well_known_sites_are_strings(self):
+        for name in ("DSA_WEDGE", "DRAM_CORRUPT", "NET_DROP",
+                     "ACCEL_COMPLETION_DROP"):
+            assert isinstance(getattr(FaultSite, name), str)
