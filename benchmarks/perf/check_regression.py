@@ -1,7 +1,7 @@
-"""Perf-regression gate for the datapath fast path and the cluster DES.
+"""Perf-regression gate for the datapath, cluster DES, faults, and overload.
 
-Re-runs the micro-benchmarks and compares fresh results against the
-committed baselines at the repo root:
+Each gate is one row in the declarative ``GATES`` table below, keyed by
+the committed baseline file it reads (``--list`` prints the table):
 
 * ``BENCH_datapath.json`` — datapath throughput (``datapath_bench``): the
   ``after``-path MB/s per (section, size) must not drop more than
@@ -9,30 +9,37 @@ committed baselines at the repo root:
 * ``BENCH_cluster.json`` — cluster-simulator speed (``cluster_bench``):
   kernel events/sec must not drop, and end-to-end scenario wall time must
   not grow, by more than the same tolerance.
-* fault hooks (``faults_bench``, no baseline needed): the measured cost of
-  the ``plan is not None`` guards on a plan-less session must stay under
-  ``--faults-tolerance`` (default 2%) of one offload — the disabled fault
-  path is required to be essentially free.
+* fault hooks (``faults_bench``, machine-relative, no baseline): the
+  measured cost of the ``plan is not None`` guards on a plan-less session
+  must stay under ``--faults-tolerance`` (default 2%) of one offload —
+  the disabled fault path is required to be essentially free.
+* ``BENCH_overload.json`` — overload control (``overload_bench``): the
+  controlled goodput at 2x offered load must stay >= 70% of peak, the
+  uncontrolled curve must still demonstrate collapse, and capacity /
+  goodput must stay within tolerance of the baseline.
 
 Any regression fails the gate with exit code 1 — use it in CI or before
-merging changes to either layer::
+merging changes to any layer::
 
     PYTHONPATH=src python benchmarks/perf/check_regression.py
 
 Absolute wall times vary across machines; throughput *ratios* between a
 fresh run and a baseline recorded on the same machine are what the gate is
-for.  ``--update`` rewrites both baselines from the fresh run.
+for.  ``--update`` rewrites the baselines from the fresh run.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from dataclasses import dataclass
 
 import cluster_bench
 import datapath_bench
 import faults_bench
+import overload_bench
 
 #: Datapath sections whose `after_mbps` is guarded per record size.
 GUARDED_SECTIONS = ("aes_gcm_encrypt", "ghash", "deflate", "compcpy_e2e")
@@ -104,6 +111,79 @@ def compare_cluster(baseline: dict, fresh: dict, tolerance: float) -> list:
     return regressions
 
 
+def compare_faults(fresh: dict, tolerance: float) -> list:
+    """Machine-relative fault-hook gate: disabled guards must be free."""
+    if fresh["overhead_fraction"] > tolerance:
+        return [
+            "fault hooks: %.2f%% disabled overhead > %.2f%% "
+            "(%d guards/op x %.1f ns)"
+            % (100 * fresh["overhead_fraction"], 100 * tolerance,
+               fresh["hooks_per_op"], fresh["branch_ns"])
+        ]
+    return []
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One row of the regression gate: a bench run plus its verdict.
+
+    `baseline_flag` names the CLI override for the committed baseline
+    path; None marks a machine-relative gate (fresh run judged against
+    itself, nothing committed, nothing for ``--update`` to rewrite).
+    `points` receives the loaded baseline (None when machine-relative)
+    and returns how many guarded values the gate covers.
+    """
+
+    name: str            # also spells the --skip-<name> flag
+    describe: str        # one line for --list
+    baseline_flag: str   # e.g. "--baseline"; None = machine-relative
+    bench: object        # module providing write_results() for --update
+    run: callable        # args -> fresh results dict
+    verdict: callable    # (baseline, fresh, args) -> list of regressions
+    points: callable     # baseline -> number of guarded values
+
+    @property
+    def baseline_dest(self):
+        return (self.baseline_flag.lstrip("-").replace("-", "_")
+                if self.baseline_flag else None)
+
+    @property
+    def baseline_name(self):
+        return (os.path.basename(self.bench.RESULTS_PATH)
+                if self.baseline_flag else "(machine-relative)")
+
+
+#: The whole gate, declaratively.  Adding a bench = adding one row.
+GATES = (
+    Gate("datapath", "datapath throughput: after_mbps floors per section/size",
+         "--baseline", datapath_bench,
+         run=lambda args: datapath_bench.bench_all(repeats=args.repeats),
+         verdict=lambda base, fresh, args: compare(base, fresh, args.tolerance),
+         points=lambda base: sum(len(base.get(s, {})) for s in GUARDED_SECTIONS)),
+    Gate("cluster", "cluster DES speed: events/sec floors, wall-time ceilings",
+         "--cluster-baseline", cluster_bench,
+         run=lambda args: cluster_bench.bench_all(repeats=args.repeats),
+         verdict=lambda base, fresh, args: compare_cluster(base, fresh,
+                                                           args.tolerance),
+         points=lambda base: sum(1 for s in CLUSTER_GUARDS if s in base)),
+    Gate("faults", "disabled fault hooks stay under --faults-tolerance",
+         None, faults_bench,
+         run=lambda args: faults_bench.bench_disabled_overhead(
+             repeats=args.repeats),
+         verdict=lambda base, fresh, args: compare_faults(
+             fresh, args.faults_tolerance),
+         points=lambda base: 1),
+    Gate("overload", "overload control: goodput >= 70% of peak at 2x + floors",
+         "--overload-baseline", overload_bench,
+         run=lambda args: overload_bench.bench_all(repeats=args.repeats),
+         verdict=lambda base, fresh, args: overload_bench.compare(
+             base, fresh, args.tolerance),
+         points=lambda base: 2 + sum(
+             1 for m in overload_bench.GUARDED_METRICS
+             if m in base.get("sweep", {}).get("summary", {}))),
+)
+
+
 def _load(path: str) -> dict:
     with open(path) as handle:
         return json.load(handle)
@@ -112,16 +192,18 @@ def _load(path: str) -> dict:
 def main(argv=None) -> int:
     """CLI entry; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--baseline",
-        default=datapath_bench.RESULTS_PATH,
-        help="datapath baseline JSON (default: committed BENCH_datapath.json)",
-    )
-    parser.add_argument(
-        "--cluster-baseline",
-        default=cluster_bench.RESULTS_PATH,
-        help="cluster baseline JSON (default: committed BENCH_cluster.json)",
-    )
+    for gate in GATES:
+        if gate.baseline_flag:
+            parser.add_argument(
+                gate.baseline_flag,
+                default=gate.bench.RESULTS_PATH,
+                help="%s baseline JSON (default: committed %s)"
+                     % (gate.name, gate.baseline_name),
+            )
+        parser.add_argument(
+            "--skip-" + gate.name, action="store_true",
+            help="skip the %s gate" % gate.name,
+        )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -130,15 +212,6 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--repeats", type=int, default=3, help="timing repeats per point (default 3)"
-    )
-    parser.add_argument(
-        "--skip-datapath", action="store_true", help="gate only the cluster DES"
-    )
-    parser.add_argument(
-        "--skip-cluster", action="store_true", help="gate only the datapath"
-    )
-    parser.add_argument(
-        "--skip-faults", action="store_true", help="skip the fault-hook gate"
     )
     parser.add_argument(
         "--faults-tolerance",
@@ -151,51 +224,44 @@ def main(argv=None) -> int:
         action="store_true",
         help="rewrite the baselines from this run instead of gating",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the gate table and exit",
+    )
     args = parser.parse_args(argv)
 
+    if args.list:
+        print("perf gates (--skip-<name> to skip one):")
+        for gate in GATES:
+            print("  %-9s %-22s %s"
+                  % (gate.name, gate.baseline_name, gate.describe))
+        return 0
+
     regressions, gated_points = [], 0
-    if not args.skip_datapath:
-        fresh = datapath_bench.bench_all(repeats=args.repeats)
+    for gate in GATES:
+        if getattr(args, "skip_" + gate.name):
+            continue
+        if gate.baseline_flag is None:
+            if args.update:
+                continue  # nothing committed to rewrite
+            regressions += gate.verdict(None, gate.run(args), args)
+            gated_points += gate.points(None)
+            continue
+        path = getattr(args, gate.baseline_dest)
+        fresh = gate.run(args)
         if args.update:
-            print("baseline updated:", datapath_bench.write_results(fresh, args.baseline))
-        else:
-            try:
-                baseline = _load(args.baseline)
-            except FileNotFoundError:
-                print("no baseline at %s; run with --update to create one"
-                      % args.baseline)
-                return 2
-            regressions += compare(baseline, fresh, args.tolerance)
-            gated_points += sum(len(baseline.get(s, {})) for s in GUARDED_SECTIONS)
-    if not args.skip_cluster:
-        fresh_cluster = cluster_bench.bench_all(repeats=args.repeats)
-        if args.update:
-            print("cluster baseline updated:",
-                  cluster_bench.write_results(fresh_cluster, args.cluster_baseline))
-        else:
-            try:
-                cluster_baseline = _load(args.cluster_baseline)
-            except FileNotFoundError:
-                print("no cluster baseline at %s; run with --update to create one"
-                      % args.cluster_baseline)
-                return 2
-            regressions += compare_cluster(cluster_baseline, fresh_cluster,
-                                           args.tolerance)
-            gated_points += sum(
-                1 for s in CLUSTER_GUARDS if s in cluster_baseline)
-    if not args.skip_faults:
-        # Machine-relative (no committed baseline): the guard-branch cost
-        # is measured and multiplied out on this machine, in this run.
-        overhead = faults_bench.bench_disabled_overhead(repeats=args.repeats)
-        gated_points += 1
-        if overhead["overhead_fraction"] > args.faults_tolerance:
-            regressions.append(
-                "fault hooks: %.2f%% disabled overhead > %.2f%% "
-                "(%d guards/op x %.1f ns)"
-                % (100 * overhead["overhead_fraction"],
-                   100 * args.faults_tolerance,
-                   overhead["hooks_per_op"], overhead["branch_ns"])
-            )
+            print("%s baseline updated: %s"
+                  % (gate.name, gate.bench.write_results(fresh, path)))
+            continue
+        try:
+            baseline = _load(path)
+        except FileNotFoundError:
+            print("no %s baseline at %s; run with --update to create one"
+                  % (gate.name, path))
+            return 2
+        regressions += gate.verdict(baseline, fresh, args)
+        gated_points += gate.points(baseline)
     if args.update:
         return 0
 

@@ -1,0 +1,92 @@
+"""Overload-control benchmark wrapper: the BENCH_overload.json producer.
+
+Thin adapter between :mod:`repro.overload.sweep` and the perf gate: the
+sweep itself is a deterministic simulation (identical seed => identical
+payload), so unlike the wall-clock benches there is nothing to repeat —
+``bench_all`` runs the sweep once and returns the payload
+``check_regression.py`` gates:
+
+* **property gate** (absolute, no baseline needed): with the control
+  stack on, goodput at 2x offered load must be >= 70% of peak, and the
+  uncontrolled curve must actually exhibit the collapse the controlled
+  one prevents (otherwise the sweep is not exercising overload at all);
+* **baseline gate**: capacity and controlled goodput must stay within
+  tolerance of the committed baseline.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.overload import sweep
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+RESULTS_PATH = os.path.join(_REPO_ROOT, "BENCH_overload.json")
+
+#: Acceptance floor: controlled goodput at 2x offered load vs peak.
+GOODPUT_FLOOR = 0.70
+
+#: Ceiling on the *uncontrolled* 2x/peak ratio — the collapse the sweep
+#: must demonstrate (well below the controlled floor).
+COLLAPSE_CEILING = 0.35
+
+#: Baseline-compared summary metrics (all "min"-guarded floors).
+GUARDED_METRICS = ("capacity_rps", "peak_goodput_shed_rps",
+                   "goodput_2x_shed_rps")
+
+
+def bench_all(repeats: int = 1) -> dict:
+    """Run the full overload sweep (deterministic; `repeats` ignored)."""
+    return sweep.run_overload(seed=11)
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Overload regressions as human-readable strings (empty = pass)."""
+    regressions = []
+    summary = fresh["sweep"]["summary"]
+    shed_ratio = summary["shed_2x_over_peak"] or 0.0
+    noshed_ratio = summary["noshed_2x_over_peak"] or 0.0
+    if shed_ratio < GOODPUT_FLOOR:
+        regressions.append(
+            "overload: controlled goodput at 2x is %.0f%% of peak "
+            "(floor %.0f%%) — graceful degradation broken"
+            % (100 * shed_ratio, 100 * GOODPUT_FLOOR))
+    if noshed_ratio > COLLAPSE_CEILING:
+        regressions.append(
+            "overload: uncontrolled goodput at 2x is %.0f%% of peak "
+            "(> %.0f%%) — the sweep no longer demonstrates collapse"
+            % (100 * noshed_ratio, 100 * COLLAPSE_CEILING))
+    base_summary = baseline.get("sweep", {}).get("summary", {})
+    for metric in GUARDED_METRICS:
+        base_value = base_summary.get(metric)
+        if base_value is None:
+            continue  # baseline predates this metric
+        fresh_value = summary.get(metric)
+        if fresh_value is None:
+            regressions.append("overload: %s missing from fresh run" % metric)
+            continue
+        floor = (1.0 - tolerance) * base_value
+        if fresh_value < floor:
+            regressions.append(
+                "overload: %s %.0f < floor %.0f (baseline %.0f, -%.0f%%)"
+                % (metric, fresh_value, floor, base_value,
+                   100.0 * (1.0 - fresh_value / base_value)))
+    return regressions
+
+
+def write_results(results: dict, path: str = RESULTS_PATH) -> str:
+    """Persist `results` exactly as the CLI does; returns the path."""
+    with open(path, "w") as handle:
+        handle.write(sweep.to_json(results))
+    return path
+
+
+def main() -> None:
+    """CLI entry: run the sweep, print the summary, write the baseline."""
+    results = bench_all()
+    print(sweep.render(results))
+    print("wrote", write_results(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,10 @@ Commands:
   storms, wedged DSAs, DRAM flips, packet loss, lost completions, a node
   failure) with MTTR/availability/goodput accounting; byte-identical
   reports per seed.
+* ``overload`` — goodput-vs-offered-load sweep (0.5x-3x capacity) with the
+  overload-control stack (deadlines, CoDel admission, bounded queues,
+  retry budgets) on vs off; byte-identical reports per seed, exits
+  non-zero if goodput at 2x falls below 70% of peak.
 """
 
 from __future__ import annotations
@@ -166,6 +170,24 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_overload(args) -> int:
+    from repro.overload import sweep
+
+    report = sweep.run_overload(seed=args.seed, quick=args.quick)
+    print(sweep.render(report))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(sweep.to_json(report))
+        print("overload report JSON written to %s" % args.json_out)
+    summary = report["sweep"]["summary"]
+    ratio = summary["shed_2x_over_peak"] or 0.0
+    if ratio < 0.70:
+        print("FAIL: goodput at 2x offered load is %.0f%% of peak (< 70%%)"
+              % (100.0 * ratio))
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -222,6 +244,16 @@ def main(argv=None) -> int:
     chaos.add_argument("--json-out", default=None,
                        help="write the machine-readable report here "
                             "(default: print it after the summary)")
+    overload = sub.add_parser(
+        "overload",
+        help="goodput-vs-offered-load sweep: overload control on vs off",
+    )
+    overload.add_argument("--seed", type=int, default=11,
+                          help="drives arrivals and fault draws (default 11)")
+    overload.add_argument("--quick", action="store_true",
+                          help="reduced sweep (3 load factors, short window)")
+    overload.add_argument("--json-out", default=None,
+                          help="write the BENCH_overload.json payload here")
     args = parser.parse_args(argv)
     return {
         "demo": _cmd_demo,
@@ -230,6 +262,7 @@ def main(argv=None) -> int:
         "power": _cmd_power,
         "cluster": _cmd_cluster,
         "chaos": _cmd_chaos,
+        "overload": _cmd_overload,
     }[args.command](args)
 
 

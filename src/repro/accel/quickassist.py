@@ -15,8 +15,9 @@ from dataclasses import dataclass
 
 from repro.cpu.costs import CostModel, DEFAULT_COSTS
 from repro.accel.pcie import PcieLink
-from repro.faults.errors import CompletionLostError
+from repro.faults.errors import CompletionLostError, DeadlineExceededError
 from repro.faults.plan import FaultSite
+from repro.overload.retry import RetryBudget
 from repro.ulp.ctx_cache import cached_aesgcm
 from repro.ulp.deflate import deflate_compress
 from repro.ulp.gcm import AESGCM
@@ -33,19 +34,31 @@ class QatResult:
 class QuickAssist:
     """A lookaside crypto + compression card behind a PCIe link."""
 
-    def __init__(self, costs: CostModel = DEFAULT_COSTS, link: PcieLink = None):
+    def __init__(self, costs: CostModel = DEFAULT_COSTS, link: PcieLink = None,
+                 retry_budget: RetryBudget = None):
         self.costs = costs
         self.link = link or PcieLink(bandwidth_bytes_per_sec=costs.pcie_bytes_per_sec)
         self.offloads = 0
         self._fault_plan = None
         self.completions_lost = 0
         self.completion_retries = 0
+        self.budget_denials = 0
+        self.deadline_sheds = 0
+        # Shared token bucket capping aggregate resubmission traffic; the
+        # per-op max_retries bound remains (it bounds a single request's
+        # worst case; the budget bounds the *storm*).
+        self.retry_budget = retry_budget or RetryBudget()
 
     def attach_fault_plan(self, plan) -> None:
         """Enable ``accel.completion_drop`` injection: a fired fault loses
         the completion notification, so the host burns a polling timeout and
-        re-submits the request (bounded by the spec's ``max_retries``)."""
+        re-submits the request (bounded by the spec's ``max_retries`` and
+        by the card's shared :class:`RetryBudget`)."""
         self._fault_plan = plan
+
+    def attach_retry_budget(self, budget: RetryBudget) -> None:
+        """Share a retry budget with the rest of the offload stack."""
+        self.retry_budget = budget
 
     def _gcm(self, key: bytes) -> AESGCM:
         # The card keeps per-session cipher state on-device; model that with
@@ -58,13 +71,24 @@ class QuickAssist:
             cycles += 2 * self.costs.memcpy_cycles(nbytes, cold=True)
         return cycles
 
-    def _offload(self, in_bytes: int, out_bytes: int, engine_rate: float) -> tuple:
+    def _offload(self, in_bytes: int, out_bytes: int, engine_rate: float,
+                 deadline_s: float = None) -> tuple:
         self.offloads += 1
         base = (
             self.link.transfer_time(in_bytes)
             + in_bytes / engine_rate
             + self.link.transfer_time(out_bytes)
         )
+        if deadline_s is not None and base > deadline_s:
+            # Deadline check at submission: the op cannot finish inside the
+            # remaining budget even without faults, so shed before paying
+            # the DMA tax.
+            self.deadline_sheds += 1
+            raise DeadlineExceededError(
+                "lookaside op needs %.1fus but only %.1fus of deadline remain"
+                % (base * 1e6, deadline_s * 1e6),
+                site="quickassist", now=base, deadline=deadline_s,
+            )
         cycles = self._management_cycles(in_bytes)
         attempts = 0
         wasted = 0.0
@@ -91,24 +115,55 @@ class QuickAssist:
                         attempts=attempts,
                         wasted_seconds=wasted,
                     )
+                if not self.retry_budget.try_acquire():
+                    # The shared bucket is dry: the card as a whole is
+                    # retrying faster than it succeeds.  Fail this op fast
+                    # rather than feed the storm.
+                    self.budget_denials += 1
+                    raise CompletionLostError(
+                        "shared retry budget drained after %d attempts"
+                        % attempts,
+                        attempts=attempts,
+                        wasted_seconds=wasted,
+                    )
+                # Exponential backoff (with deterministic jitter) before the
+                # resubmission hits the wire.
+                wasted += self.retry_budget.backoff_s(attempts)
+                if deadline_s is not None and wasted + base > deadline_s:
+                    self.deadline_sheds += 1
+                    raise DeadlineExceededError(
+                        "deadline expired while retrying a lost completion",
+                        site="quickassist", now=wasted + base,
+                        deadline=deadline_s,
+                    )
             self.completion_retries += attempts
+            self.retry_budget.on_success()
         latency = wasted + base
         pcie = (attempts + 1) * (in_bytes + out_bytes)
         return cycles, latency, pcie
 
-    def tls_encrypt(self, key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> QatResult:
-        """Offload AES-GCM to the card; returns ciphertext||tag + costs."""
+    def tls_encrypt(self, key: bytes, nonce: bytes, plaintext: bytes,
+                    aad: bytes = b"", deadline_s: float = None) -> QatResult:
+        """Offload AES-GCM to the card; returns ciphertext||tag + costs.
+
+        `deadline_s` is the remaining time budget for this op; when the
+        transfer (or its retries) cannot finish inside it the call sheds
+        with :class:`DeadlineExceededError` instead of serving late.
+        """
         ciphertext, tag = self._gcm(key).encrypt(nonce, plaintext, aad)
         payload = ciphertext + tag
         cycles, latency, pcie = self._offload(
-            len(plaintext), len(payload), self.costs.qat_crypto_bytes_per_sec
+            len(plaintext), len(payload), self.costs.qat_crypto_bytes_per_sec,
+            deadline_s=deadline_s,
         )
         return QatResult(payload, cycles, latency, pcie)
 
-    def compress(self, data: bytes, level: int = 6) -> QatResult:
+    def compress(self, data: bytes, level: int = 6,
+                 deadline_s: float = None) -> QatResult:
         """Offload DEFLATE to the card; returns the stream + costs."""
         compressed = deflate_compress(data, level=level)
         cycles, latency, pcie = self._offload(
-            len(data), len(compressed), self.costs.qat_deflate_bytes_per_sec
+            len(data), len(compressed), self.costs.qat_deflate_bytes_per_sec,
+            deadline_s=deadline_s,
         )
         return QatResult(compressed, cycles, latency, pcie)

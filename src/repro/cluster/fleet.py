@@ -30,7 +30,7 @@ back to the CPU.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.cpu.costs import DEFAULT_COSTS, CostModel
 from repro.sim.server import Placement, ServerModel, Ulp, WorkloadSpec
@@ -209,7 +209,8 @@ class Fleet:
     def __init__(self, sim, profile: ServiceProfile, scheduler,
                  servers: int = 4, channels: int = None,
                  registry: MetricsRegistry = None,
-                 trace: TraceRecorder = None):
+                 trace: TraceRecorder = None,
+                 overload=None):
         channels = channels or profile.channels_per_server
         self.sim = sim
         self.profile = profile
@@ -217,6 +218,7 @@ class Fleet:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = trace
         self.fault_injector = None  # set by FleetFaultInjector.attach()
+        self.overload = overload  # OverloadPolicy, or None (all control off)
         self.servers = [
             ServerSim(sim, index, profile.threads, channels, self.registry)
             for index in range(servers)
@@ -231,6 +233,22 @@ class Fleet:
         self.spilled = self.registry.counter("spilled")
         self.dsa_served = self.registry.counter("dsa_served")
         self.bytes_out = self.registry.counter("bytes_out")
+        if overload is not None:
+            config = overload.config
+            for server in self.servers:
+                server.cpu.max_queue = config.cpu_queue_limit
+                for channel in server.channels:
+                    channel.resource.max_queue = config.dsa_queue_limit
+            self.deadline_met = self.registry.counter("deadline_met")
+            self.deadline_missed = self.registry.counter("deadline_missed")
+            self.rejected_admission = self.registry.counter("rejected_admission")
+            self.rejected_backpressure = self.registry.counter(
+                "rejected_backpressure")
+            self.brownouts = self.registry.counter("brownouts")
+            self.shed = {
+                station: self.registry.counter("shed_" + station)
+                for station in ("cpu", "dsa", "link")
+            }
         if trace is not None:
             for server in self.servers:
                 trace.metadata("process_name", server.index, 0,
@@ -256,15 +274,75 @@ class Fleet:
 
     # -- request path ---------------------------------------------------------------
 
+    def cpu_has_room(self, server: ServerSim) -> bool:
+        """Whether `server`'s bounded CPU queue can take another request."""
+        return not server.cpu.full
+
+    def dsa_has_room(self, channel: Channel) -> bool:
+        """Whether `channel`'s bounded DSA queue can take another request."""
+        return not channel.resource.full
+
+    def has_room(self, assignment: Assignment) -> bool:
+        """Whether every bounded station on `assignment`'s path has room."""
+        server = self.servers[assignment.server]
+        if not self.cpu_has_room(server):
+            return False
+        spill = assignment.spill and self.profile.can_spill
+        if not spill and self.profile.placement in DSA_PLACEMENTS:
+            return self.dsa_has_room(server.channels[assignment.channel])
+        return True
+
+    def _reject(self, request: Request, reason: str, counter) -> None:
+        request.outcome = reason
+        if self.measuring:
+            counter.inc()
+
     def submit(self, request: Request):
-        """Schedule and serve one request; returns its completion event."""
+        """Schedule and serve one request; returns its completion event.
+
+        Returns ``None`` when overload control drops the request up front:
+        either the CoDel admission controller sheds it at ingress, or every
+        bounded queue the scheduler could re-route it to is full
+        (backpressure).  Load generators treat ``None`` as a fast-failed
+        request.
+        """
+        policy = self.overload
+        if policy is not None:
+            request.deadline_s = policy.deadline_for(request.arrive_s)
+            if not policy.admit(self.sim.now):
+                self._reject(request, "rejected-admission",
+                             self.rejected_admission)
+                return None
         assignment = self.scheduler.assign(self, request)
         if self.fault_injector is not None:
             # Chaos layer: fail over assignments to down nodes and spill
             # around channels whose circuit breaker is OPEN.
             assignment = self.fault_injector.filter_assignment(self, assignment)
+        if policy is not None and policy.config.bounded \
+                and not self.has_room(assignment):
+            # Bounded queue full: push back to the scheduler for an
+            # alternative placement; no alternative means the rack is
+            # saturated end to end and the request is rejected up front.
+            assignment = self.scheduler.reroute_full(self, request, assignment)
+            if assignment is not None and self.fault_injector is not None:
+                assignment = self.fault_injector.filter_assignment(
+                    self, assignment)
+            if assignment is None or not self.has_room(assignment):
+                self._reject(request, "rejected-backpressure",
+                             self.rejected_backpressure)
+                return None
         spill = assignment.spill and self.profile.can_spill
         route = self.profile.route(request.size, request.kind, spill=spill)
+        if policy is not None and route.dsa_seconds > 0.0 \
+                and policy.brownout(self.sim.now):
+            # Brownout: serve degraded (lower compression level / skipped
+            # optional ULP stages -> a cheaper DSA pass) instead of shedding.
+            route = replace(
+                route,
+                dsa_seconds=route.dsa_seconds * policy.config.brownout_factor)
+            request.brownout = True
+            if self.measuring:
+                self.brownouts.inc()
         server = self.servers[assignment.server]
         channel = server.channels[assignment.channel]
         request.server = assignment.server
@@ -279,6 +357,20 @@ class Fleet:
                 self.spilled.inc()
         return self.sim.spawn(self._serve(request, server, channel, route))
 
+    def _shed_expired(self, request: Request, station: str) -> bool:
+        """Deadline check at a station dequeue; count the shed if due."""
+        policy = self.overload
+        if policy is None or not policy.expired(self.sim.now, request.deadline_s):
+            return False
+        request.outcome = "shed-" + station
+        if self.measuring:
+            self.shed[station].inc()
+        return True
+
+    def _observe_wait(self, station: str, wait_s: float) -> None:
+        if self.overload is not None:
+            self.overload.observe(station, self.sim.now, wait_s)
+
     def _serve(self, request: Request, server: ServerSim, channel: Channel,
                route: RouteCosts):
         sim = self.sim
@@ -287,6 +379,16 @@ class Fleet:
         enqueued = sim.now
         yield server.cpu.acquire()
         request.waits["cpu"] = sim.now - enqueued
+        self._observe_wait("cpu", request.waits["cpu"])
+        if self._shed_expired(request, "cpu"):
+            # Dead on dequeue: don't burn a worker on work the client has
+            # already given up on.  Refund both backlogs — the request
+            # never reaches its DSA queue either.
+            server.cpu.release()
+            server.cpu_backlog_seconds -= route.cpu_seconds
+            if route.dsa_seconds > 0.0:
+                channel.backlog_seconds -= route.dsa_seconds
+            return request
         started = sim.now
         yield route.cpu_seconds
         server.cpu.release()
@@ -302,6 +404,11 @@ class Fleet:
             enqueued = sim.now
             yield channel.resource.acquire()
             request.waits["dsa"] = sim.now - enqueued
+            self._observe_wait("dsa", request.waits["dsa"])
+            if self._shed_expired(request, "dsa"):
+                channel.resource.release()
+                channel.backlog_seconds -= route.dsa_seconds
+                return request
             started = sim.now
             dsa_seconds = route.dsa_seconds
             if self.fault_injector is not None:
@@ -323,6 +430,9 @@ class Fleet:
                         TRACE_TID_CHANNEL0 + channel.index)
         # Link stage: the response leaves through the NIC.
         yield server.link.acquire()
+        if self._shed_expired(request, "link"):
+            server.link.release()
+            return request
         started = sim.now
         yield route.link_seconds
         server.link.release()
@@ -339,6 +449,11 @@ class Fleet:
             self.wait_cpu.record(request.waits.get("cpu", 0.0))
             if "dsa" in request.waits:
                 self.wait_dsa.record(request.waits["dsa"])
+            if self.overload is not None:
+                if request.met_deadline:
+                    self.deadline_met.inc()
+                else:
+                    self.deadline_missed.inc()
         return request
 
     def _trace(self, request: Request, stage: str, started: float,
@@ -363,3 +478,26 @@ class Fleet:
     def cpu_utilisations(self, since: float) -> list:
         """Per-server CPU worker-pool utilisation over [since, now]."""
         return [server.cpu.utilisation(since) for server in self.servers]
+
+    def overload_report(self, window_s: float) -> dict:
+        """Overload-control accounting for the measurement window.
+
+        Goodput counts only requests that completed *within their
+        deadline* — the metric that exposes metastable collapse, which
+        raw throughput hides.
+        """
+        out = self.overload.summary()
+        out.update({
+            "goodput_rps": (
+                self.deadline_met.value / window_s if window_s > 0 else 0.0),
+            "deadline_met": self.deadline_met.value,
+            "deadline_missed": self.deadline_missed.value,
+            "rejected_admission": self.rejected_admission.value,
+            "rejected_backpressure": self.rejected_backpressure.value,
+            "brownouts": self.brownouts.value,
+            "shed": {
+                station: counter.value
+                for station, counter in sorted(self.shed.items())
+            },
+        })
+        return out

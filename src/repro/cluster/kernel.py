@@ -105,19 +105,29 @@ class Resource:
     granted; `release()` hands the slot to the longest-waiting requester.
     Busy time is integrated continuously so utilisation over any window is
     exact, not sampled.
+
+    `max_queue` declares a bounded queue: :attr:`full` turns True once
+    `max_queue` waiters are queued.  The bound is advisory — callers
+    (the fleet's backpressure path) must check `full` *before* calling
+    `acquire()` and re-route or reject instead; `acquire()` itself never
+    refuses, so internal code that already holds an admission ticket
+    cannot deadlock on its own bound.
     """
 
-    __slots__ = ("sim", "name", "capacity", "busy", "_waiters",
+    __slots__ = ("sim", "name", "capacity", "busy", "max_queue", "_waiters",
                  "_busy_integral", "_last_change", "timeline")
 
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "",
-                 timeline=None):
+                 timeline=None, max_queue: int = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
         self.sim = sim
         self.name = name
         self.capacity = capacity
         self.busy = 0
+        self.max_queue = max_queue
         self._waiters = deque()
         self._busy_integral = 0.0
         self._last_change = sim.now
@@ -152,6 +162,11 @@ class Resource:
     @property
     def queue_depth(self) -> int:
         return len(self._waiters)
+
+    @property
+    def full(self) -> bool:
+        """Whether the bounded queue has reached its depth limit."""
+        return self.max_queue is not None and len(self._waiters) >= self.max_queue
 
     def reset_utilisation(self) -> None:
         """Restart busy-time integration (e.g. at the end of warmup)."""
@@ -214,9 +229,10 @@ class Simulator:
         """A child RNG derived deterministically from the master seed."""
         return random.Random((self.rng.getrandbits(48) << 16) ^ len(label))
 
-    def resource(self, capacity: int = 1, name: str = "", timeline=None) -> Resource:
+    def resource(self, capacity: int = 1, name: str = "", timeline=None,
+                 max_queue: int = None) -> Resource:
         """Create a FIFO :class:`Resource` bound to this simulator's clock."""
-        return Resource(self, capacity, name, timeline)
+        return Resource(self, capacity, name, timeline, max_queue)
 
     # -- running ----------------------------------------------------------------
 

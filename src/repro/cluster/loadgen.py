@@ -26,6 +26,7 @@ what makes identical seeds produce byte-identical runs.
 
 from __future__ import annotations
 
+import math
 import zlib
 from dataclasses import dataclass, field
 
@@ -111,10 +112,22 @@ class Request:
     channel: int = -1
     complete_s: float = -1.0
     waits: dict = field(default_factory=dict)
+    #: Absolute deadline stamped at admission (inf: no deadline in force).
+    deadline_s: float = math.inf
+    #: True when the request was served degraded (brownout).
+    brownout: bool = False
+    #: "" while in flight / completed; otherwise why the fleet dropped it
+    #: ("rejected-admission", "rejected-backpressure", "shed-<station>").
+    outcome: str = ""
 
     @property
     def latency_s(self) -> float:
         return self.complete_s - self.arrive_s
+
+    @property
+    def met_deadline(self) -> bool:
+        """Completed in time (goodput, not just throughput)."""
+        return self.complete_s >= 0.0 and self.complete_s <= self.deadline_s
 
 
 # -- arrival processes -------------------------------------------------------------
@@ -229,13 +242,17 @@ class ClosedLoopLoad(_LoadBase):
     """
 
     def __init__(self, sim, fleet, mix: RequestMix, connections: int,
-                 think_s: float = 0.0, stagger_s: float = 1e-4):
+                 think_s: float = 0.0, stagger_s: float = 1e-4,
+                 reject_backoff_s: float = 1e-3):
         super().__init__(sim, fleet, mix)
         if connections < 1:
             raise ValueError("need at least one connection")
+        if reject_backoff_s <= 0:
+            raise ValueError("reject_backoff_s must be positive")
         self.connections = connections
         self.think_s = think_s
         self.stagger_s = stagger_s
+        self.reject_backoff_s = reject_backoff_s
 
     def start(self) -> None:
         """Spawn every connection's request loop (call before Simulator.run)."""
@@ -248,6 +265,11 @@ class ClosedLoopLoad(_LoadBase):
         while True:
             request = self._make_request(connection)
             done = self.fleet.submit(request)
+            if done is None:
+                # Rejected at admission or by backpressure: back off before
+                # retrying so a think-free loop cannot spin at one instant.
+                yield self.reject_backoff_s
+                continue
             yield done
             if self.think_s > 0:
                 yield self.rng.expovariate(1.0 / self.think_s)

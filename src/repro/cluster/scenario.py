@@ -30,6 +30,7 @@ from repro.cluster.loadgen import (
 )
 from repro.cluster.metrics import MetricsRegistry, TraceRecorder
 from repro.cluster.sched import AdaptiveSpillScheduler, make_scheduler
+from repro.overload.policy import OverloadConfig, OverloadPolicy
 
 
 @dataclass
@@ -59,6 +60,15 @@ class ClusterScenario:
     scheduler: str = AdaptiveSpillScheduler.name
     spill_factor: float = 1.0
     dsa_bytes_per_sec: float = None  # None -> channel-bandwidth DSA (paper)
+    # overload control (all off by default; see repro.overload)
+    deadline_s: float = None  # per-request relative deadline
+    shed_expired: bool = True  # False: deadlines measured, never enforced
+    admission: str = "none"  # "none" | "codel"
+    codel_target_s: float = None  # None -> deadline_s / 5
+    codel_interval_s: float = None  # None -> 4 x target
+    dsa_queue_limit: int = None  # bounded DSA queues (per channel)
+    cpu_queue_limit: int = None  # bounded worker queues (per server)
+    brownout_factor: float = 1.0  # <1: degrade DSA stage under pressure
     # run control
     duration_s: float = 0.02
     warmup_s: float = 0.005
@@ -82,6 +92,21 @@ class ClusterScenario:
             dsa_bytes_per_sec=self.dsa_bytes_per_sec,
         )
 
+    def build_overload(self) -> OverloadPolicy:
+        """The scenario's overload policy, or None when every knob is off
+        (the pre-overload fast path: zero behaviour change)."""
+        config = OverloadConfig(
+            deadline_s=self.deadline_s,
+            shed_expired=self.shed_expired,
+            admission=self.admission,
+            codel_target_s=self.codel_target_s,
+            codel_interval_s=self.codel_interval_s,
+            dsa_queue_limit=self.dsa_queue_limit,
+            cpu_queue_limit=self.cpu_queue_limit,
+            brownout_factor=self.brownout_factor,
+        )
+        return OverloadPolicy(config) if config.enabled else None
+
 
 @dataclass
 class ClusterReport:
@@ -104,6 +129,7 @@ class ClusterReport:
     model_bottleneck: str
     events_processed: int
     chaos: dict = None  # FleetFaultInjector.report() when chaos was injected
+    overload: dict = None  # Fleet.overload_report() when control was enabled
 
     @property
     def spill_fraction(self) -> float:
@@ -131,6 +157,8 @@ class ClusterReport:
         }
         if self.chaos is not None:
             out["chaos"] = self.chaos
+        if self.overload is not None:
+            out["overload"] = self.overload
         return out
 
     def to_json(self) -> str:
@@ -241,10 +269,11 @@ def run_scenario(scenario: ClusterScenario, fault_injector=None) -> ClusterRepor
         else {}
     )
     policy = make_scheduler(scenario.scheduler, rng=sim.fork_rng("sched"), **kwargs)
+    overload_policy = scenario.build_overload()
     fleet = Fleet(
         sim, profile, policy,
         servers=scenario.servers, channels=scenario.channels,
-        registry=registry, trace=recorder,
+        registry=registry, trace=recorder, overload=overload_policy,
     )
     if fault_injector is not None:
         fault_injector.attach(sim, fleet)
@@ -309,6 +338,10 @@ def run_scenario(scenario: ClusterScenario, fault_injector=None) -> ClusterRepor
                 scenario.warmup_s, scenario.duration_s,
                 scenario.servers, scenario.channels)
             if fault_injector is not None else None
+        ),
+        overload=(
+            fleet.overload_report(window)
+            if overload_policy is not None else None
         ),
     )
     if recorder is not None:

@@ -40,6 +40,40 @@ class Scheduler:
         """Pick the (server, channel) pair and spill decision for `request`."""
         raise NotImplementedError
 
+    def reroute_full(self, fleet: Fleet, request: Request,
+                     assignment: Assignment) -> Assignment:
+        """Alternative placement when `assignment` hits a full bounded queue.
+
+        Backpressure escalation, cheapest first: another (server, channel)
+        with room on both stations; else any server with CPU room, spilling
+        the ULP to its workers (skipping the full DSA queues entirely);
+        else ``None`` — the fleet rejects the request at admission.
+
+        Deterministic: candidates are scanned least-backlogged-first with
+        index tie-breaks, the same total order the least-loaded policy
+        uses.  Shared by every scheduler; policies with better information
+        can override.
+        """
+        servers = sorted(fleet.servers, key=lambda s: (s.backlog_seconds, s.index))
+        for server in servers:
+            if not fleet.cpu_has_room(server):
+                continue
+            channels = sorted(server.channels,
+                              key=lambda c: (c.backlog_seconds, c.index))
+            for channel in channels:
+                candidate = Assignment(server=server.index,
+                                       channel=channel.index,
+                                       spill=assignment.spill)
+                if fleet.has_room(candidate):
+                    return candidate
+            if fleet.profile.can_spill:
+                # Every DSA queue is full but this server's CPU has room:
+                # onload the ULP (Observation 2's fallback, forced by
+                # backpressure instead of marginal cost).
+                return Assignment(server=server.index,
+                                  channel=channels[0].index, spill=True)
+        return None
+
 
 class StaticScheduler(Scheduler):
     """Connection-hashed fixed placement, never spills.

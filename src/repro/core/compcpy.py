@@ -29,6 +29,7 @@ from repro.core.scratchpad import ScratchpadFullError
 from repro.core.translation_table import CuckooInsertError
 from repro.core.dsa.base import Offload, UlpKind
 from repro.faults.checksum import verify_checksum
+from repro.overload.retry import RetryBudget
 
 
 class CompCpyError(Exception):
@@ -45,17 +46,23 @@ class CompCpyStats:
     flushed_dirty_lines: int = 0
     ordered_copies: int = 0
     registrations_retried: int = 0  # recoveries from full scratchpad/table
+    retries_denied: int = 0  # recoveries refused: shared retry budget dry
     checksums_verified: int = 0  # end-to-end read-back CRC comparisons
 
 
 class CompCpy:
     """The userspace CompCpy library bound to one SmartDIMM."""
 
-    def __init__(self, llc, memory_controller, driver: SmartDIMMDriver):
+    def __init__(self, llc, memory_controller, driver: SmartDIMMDriver,
+                 retry_budget: RetryBudget = None):
         self.llc = llc
         self.mc = memory_controller
         self.driver = driver
         self.stats = CompCpyStats()
+        # Force-Recycle registration retries draw from this shared bucket
+        # (typically the session's, so one storm cannot monopolise the
+        # recovery path); a private default keeps standalone use working.
+        self.retry_budget = retry_budget or RetryBudget()
         self._lock = threading.Lock()
         self._free_pages = -1  # global freePages variable of Algorithm 2
 
@@ -111,7 +118,15 @@ class CompCpy:
             # Scratchpad raced away despite the reservation, or the cuckoo
             # table had no path — either way the failed registration rolled
             # itself back; force-recycle (freeing pages *and* their
-            # translations) and retry once, exactly as Algorithm 2 would.
+            # translations) and retry once, exactly as Algorithm 2 would —
+            # but only while the shared retry budget holds tokens.  A dry
+            # bucket means registrations are failing faster than offloads
+            # succeed; piling force-recycles on top of that amplifies the
+            # overload, so fail fast instead (the session's resilience
+            # guard onloads the op to the CPU).
+            if not self.retry_budget.try_acquire():
+                self.stats.retries_denied += 1
+                raise
             self.stats.registrations_retried += 1
             self.force_recycle(pages)
             offload = self.driver.register_offload(kind, context, sbuf, dbuf, pages)
@@ -135,6 +150,7 @@ class CompCpy:
             self.mc.fence()
         self.stats.calls += 1
         self.stats.pages_offloaded += pages
+        self.retry_budget.on_success()  # completed copies refill the bucket
         return offload
 
     # -- Algorithm 1 -------------------------------------------------------------------

@@ -29,8 +29,9 @@ from repro.cache.llc import LLC
 from repro.core.compcpy import CompCpy, CompCpyError
 from repro.core.scratchpad import ScratchpadFullError
 from repro.core.translation_table import CuckooInsertError
-from repro.faults.errors import FaultError
+from repro.faults.errors import DeadlineExceededError, FaultError
 from repro.faults.health import CircuitBreaker, DsaHealthMonitor
+from repro.overload.retry import RetryBudget
 from repro.core.compute_dma import ComputeDMA
 from repro.core.direct_offload import DirectOffloadEngine
 from repro.core.driver import SmartDIMMDriver
@@ -76,6 +77,7 @@ class ResilienceStats:
     offloaded_ops: int = 0  # completed on the DSA
     onloaded_ops: int = 0  # completed on the CPU (spill or recovery)
     hw_failures: int = 0  # typed faults recovered by onloading
+    shed_ops: int = 0  # dropped: deadline expired before/while serving
 
 
 @dataclass
@@ -95,6 +97,9 @@ class SessionConfig:
     ecc: bool = True
     # Resilience guard; defaults on whenever a fault plan is attached.
     resilience: ResilienceConfig = None
+    # Shared retry budget for every retry loop under this session
+    # (CompCpy Force-Recycle today; None = a fresh default bucket).
+    retry_budget: RetryBudget = None
 
     def __post_init__(self):
         if self.smartdimm is None:
@@ -124,7 +129,9 @@ class SmartDIMMSession:
         )
         self.llc = LLC(self.mc, size=self.config.llc_bytes, ways=self.config.llc_ways)
         self.driver = SmartDIMMDriver(self.device, self.mc)
-        self.compcpy = CompCpy(self.llc, self.mc, self.driver)
+        self.retry_budget = self.config.retry_budget or RetryBudget()
+        self.compcpy = CompCpy(self.llc, self.mc, self.driver,
+                               retry_budget=self.retry_budget)
         self.compute_dma = ComputeDMA(self.llc, self.mc, self.driver)
         self.direct_offload = DirectOffloadEngine(self.llc, self.mc, self.driver)
         if self.config.fault_plan is not None:
@@ -148,14 +155,36 @@ class SmartDIMMSession:
 
     # -- resilience guard -------------------------------------------------------------
 
-    def _run_resilient(self, hardware, onload):
+    def _check_deadline(self, deadline_cycles, site: str) -> None:
+        """Shed with DeadlineExceededError when the budget is spent.
+
+        The deadline clock is the memory controller's cycle counter — the
+        micro stack's only notion of time — so identically-seeded runs shed
+        identically.
+        """
+        if deadline_cycles is not None and self.mc.cycle >= deadline_cycles:
+            self.resilience_stats.shed_ops += 1
+            raise DeadlineExceededError(
+                "offload deadline expired at %s (cycle %d >= %d)"
+                % (site, self.mc.cycle, deadline_cycles),
+                site=site, now=float(self.mc.cycle),
+                deadline=float(deadline_cycles),
+            )
+
+    def _run_resilient(self, hardware, onload, deadline_cycles=None):
         """Run one offload under the health monitor + circuit breaker.
 
         `hardware` performs the DSA path and must clean up after itself on a
         typed fault (abort the offload, free pages); `onload` is the
         bit-identical CPU implementation.  With no resilience configured the
         hardware path runs unguarded — faults propagate to the caller.
+
+        `deadline_cycles` is an absolute controller-cycle deadline: checked
+        at submission (shed instead of queueing dead work) and again before
+        the onload fallback (a recovery that would finish late is shed, not
+        served).
         """
+        self._check_deadline(deadline_cycles, "submit")
         if self.breaker is None:
             return hardware()
         self._ops += 1
@@ -168,6 +197,10 @@ class SmartDIMMSession:
         cycle_before = self.mc.cycle
         try:
             result = hardware()
+        except DeadlineExceededError:
+            # Already-shed work is not a hardware failure: don't count it
+            # against the breaker, and never fall back to a late onload.
+            raise
         except (FaultError, ScratchpadFullError, CuckooInsertError, CompCpyError):
             self.health.observe(
                 alerts=self.mc.stats.alerts - alerts_before,
@@ -176,6 +209,9 @@ class SmartDIMMSession:
             )
             self.breaker.record_failure(now)
             self.resilience_stats.hw_failures += 1
+            # Recovery costs CPU time too: re-check the budget before
+            # onloading so expired work is shed instead of served late.
+            self._check_deadline(deadline_cycles, "onload")
             self.resilience_stats.onloaded_ops += 1
             return onload()
         self.health.observe(
@@ -216,12 +252,20 @@ class SmartDIMMSession:
 
     # -- TLS offload (Sec. V-A) -----------------------------------------------------------
 
-    def tls_encrypt(self, key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
-        """Encrypt a record payload on SmartDIMM; returns ciphertext || tag."""
-        return self._tls_offload(key, nonce, plaintext, aad, decrypt=False)
+    def tls_encrypt(self, key: bytes, nonce: bytes, plaintext: bytes,
+                    aad: bytes = b"", deadline_cycles: int = None) -> bytes:
+        """Encrypt a record payload on SmartDIMM; returns ciphertext || tag.
+
+        `deadline_cycles` (absolute, on the memory controller's clock)
+        sheds the op with :class:`DeadlineExceededError` when the budget is
+        already spent at submission or when recovery would finish late.
+        """
+        return self._tls_offload(key, nonce, plaintext, aad, decrypt=False,
+                                 deadline_cycles=deadline_cycles)
 
     def tls_decrypt(
-        self, key: bytes, nonce: bytes, ciphertext: bytes, aad: bytes = b""
+        self, key: bytes, nonce: bytes, ciphertext: bytes, aad: bytes = b"",
+        deadline_cycles: int = None
     ) -> bytes:
         """Decrypt on SmartDIMM; returns plaintext || computed tag.
 
@@ -229,12 +273,15 @@ class SmartDIMMSession:
         the DIMM deposits the computed tag but the comparison stays on the
         CPU (the DIMM has no fault channel).
         """
-        return self._tls_offload(key, nonce, ciphertext, aad, decrypt=True)
+        return self._tls_offload(key, nonce, ciphertext, aad, decrypt=True,
+                                 deadline_cycles=deadline_cycles)
 
-    def _tls_offload(self, key, nonce, payload, aad, decrypt: bool) -> bytes:
+    def _tls_offload(self, key, nonce, payload, aad, decrypt: bool,
+                     deadline_cycles: int = None) -> bytes:
         return self._run_resilient(
             lambda: self._tls_hardware(key, nonce, payload, aad, decrypt),
             lambda: self._tls_onload(key, nonce, payload, aad, decrypt),
+            deadline_cycles=deadline_cycles,
         )
 
     def _tls_hardware(self, key, nonce, payload, aad, decrypt: bool) -> bytes:
@@ -283,7 +330,8 @@ class SmartDIMMSession:
 
     # -- compression offload (Sec. V-B) -----------------------------------------------------
 
-    def deflate_page(self, data: bytes, matcher: HardwareMatcher = None):
+    def deflate_page(self, data: bytes, matcher: HardwareMatcher = None,
+                     deadline_cycles: int = None):
         """Compress up to one 4 KB page; returns the DEFLATE stream or None
         when the hardware output did not fit (software falls back to CPU)."""
         if len(data) > PAGE_SIZE:
@@ -294,6 +342,7 @@ class SmartDIMMSession:
             # the hardware matcher's choices, but decodes to the same bytes,
             # which is all the deflate contract promises.
             lambda: deflate_compress(data),
+            deadline_cycles=deadline_cycles,
         )
 
     def _deflate_page_hw(self, data: bytes, matcher: HardwareMatcher = None):
@@ -331,7 +380,7 @@ class SmartDIMMSession:
             for offset in range(0, max(len(data), 1), PAGE_SIZE)
         ]
 
-    def inflate_page(self, stream: bytes):
+    def inflate_page(self, stream: bytes, deadline_cycles: int = None):
         """Decompress one page-framed DEFLATE stream on the DIMM (the RX
         direction of "(de)compression"); returns the decompressed bytes or
         None when the hardware fell back (corrupt stream or output larger
@@ -341,6 +390,7 @@ class SmartDIMMSession:
         return self._run_resilient(
             lambda: self._inflate_page_hw(stream),
             lambda: deflate_decompress(stream, max_output=2 * PAGE_SIZE),
+            deadline_cycles=deadline_cycles,
         )
 
     def _inflate_page_hw(self, stream: bytes):

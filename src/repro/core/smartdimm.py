@@ -27,6 +27,7 @@ from repro.dram.commands import CACHELINE_SIZE, LINES_PER_PAGE, PAGE_SIZE, Comma
 from repro.dram.memory_controller import CasResult
 from repro.dram.physical_memory import PhysicalMemory
 from repro.faults.checksum import payload_checksum
+from repro.faults.errors import DeviceBusyError
 from repro.faults.plan import FaultSite
 from repro.core.bank_table import BankTable
 from repro.core.config_memory import ConfigMemory
@@ -59,6 +60,10 @@ class SmartDIMMConfig:
     dsa_line_latency_cycles: int = 160
     finalize_latency_cycles: int = 320
     mmio_base: int = None  # defaults to the top page of the address space
+    #: Bounded offload queue: registrations beyond this many concurrently
+    #: live offloads raise DeviceBusyError (None: unbounded, the paper's
+    #: implicit assumption).  The backpressure half of repro.overload.
+    max_inflight_offloads: int = None
 
 
 @dataclass
@@ -83,6 +88,7 @@ class SmartDIMMStats:
     registrations_rolled_back: int = 0  # _register_pair unwinds
     injected_wedges: int = 0  # dsa.wedge faults fired on this device
     injected_storms: int = 0  # dsa.alert_storm faults fired on this device
+    busy_rejections: int = 0  # create_offload refused: inflight limit hit
 
 
 def pack_register_record(
@@ -206,7 +212,20 @@ class SmartDIMM:
         Models the burst of MMIO config writes the software performs before
         registering pages; the write count is charged to `stats.mmio_writes`
         according to the DSA's declared context footprint.
+
+        With ``config.max_inflight_offloads`` set, a full offload table
+        refuses new work with :class:`DeviceBusyError` — the device-level
+        backpressure signal the session's resilience guard turns into a
+        CPU onload.
         """
+        limit = self.config.max_inflight_offloads
+        if limit is not None and len(self._offloads) >= limit:
+            self.stats.busy_rejections += 1
+            raise DeviceBusyError(
+                "SmartDIMM offload queue full: %d in flight >= limit %d"
+                % (len(self._offloads), limit),
+                inflight=len(self._offloads), limit=limit,
+            )
         offload = Offload(
             offload_id=self._next_offload_id,
             kind=kind,

@@ -78,3 +78,38 @@ class CompletionLostError(FaultError):
         super().__init__(message)
         self.attempts = attempts
         self.wasted_seconds = wasted_seconds
+
+
+class DeadlineExceededError(FaultError):
+    """An operation's deadline passed before (or while) it was served.
+
+    Raised by deadline-aware layers (`repro.overload`) when checking the
+    remaining budget at a queueing station finds none left — shedding the
+    work beats burning service time on a result nobody will wait for.
+    `site` names the station; `now`/`deadline` are in that layer's clock
+    (controller cycles for the micro stack, seconds elsewhere).
+    """
+
+    def __init__(self, message: str, site: str = "", now: float = 0.0,
+                 deadline: float = 0.0):
+        super().__init__(message)
+        self.site = site
+        self.now = now
+        self.deadline = deadline
+
+
+class DeviceBusyError(FaultError):
+    """The device refused new work: its bounded offload queue is full.
+
+    The backpressure signal of the micro stack — a
+    :class:`~repro.core.smartdimm.SmartDIMM` with
+    ``max_inflight_offloads`` set raises this from registration instead
+    of queueing unboundedly.  It subclasses :class:`FaultError`, so the
+    session's resilience guard treats it like any recoverable hardware
+    condition and onloads the operation to the CPU.
+    """
+
+    def __init__(self, message: str, inflight: int = 0, limit: int = 0):
+        super().__init__(message)
+        self.inflight = inflight
+        self.limit = limit

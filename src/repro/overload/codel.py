@@ -1,0 +1,104 @@
+"""CoDel-style admission controller for fleet ingress.
+
+CoDel (Controlled Delay, Nichols & Jacobson 2012) distinguishes *good*
+queues (bursts that drain within an RTT) from *bad* queues (standing
+backlog) by watching the per-item sojourn time: if the minimum sojourn
+over an interval never falls below ``target``, the queue is standing and
+items are dropped at an increasing rate (``interval / sqrt(n)`` between
+drops) until it drains.
+
+Here the same state machine runs at the fleet's front door: every
+completed station dequeue reports its sojourn (wait) time via
+:meth:`observe`, and :meth:`should_shed` answers whether the *next
+arriving request* should be rejected at admission.  Shedding at ingress
+is strictly better than shedding in the middle of the pipeline — no
+service time is spent on work that will miss its deadline anyway.
+
+The controller also keeps an EWMA of recent sojourn times which the
+policy layer uses for *brownout* decisions (degrade service quality
+before dropping traffic).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class CoDelController:
+    """Sojourn-time controlled shedding, adapted from the CoDel AQM."""
+
+    def __init__(self, target_s: float, interval_s: float):
+        if target_s <= 0 or interval_s <= 0:
+            raise ValueError("target_s and interval_s must be positive")
+        self.target_s = target_s
+        self.interval_s = interval_s
+        # CoDel state machine.
+        self._first_above_s: float | None = None
+        self.dropping = False
+        self.drop_next_s = 0.0
+        self.drop_count = 0
+        self._last_drop_count = 0
+        # Telemetry.
+        self.min_sojourn_s = math.inf
+        self.ewma_sojourn_s = 0.0
+        self._ewma_alpha = 0.2
+        self.observed = 0
+        self.shed = 0
+
+    # -- sojourn feed -----------------------------------------------------------
+
+    def observe(self, now_s: float, sojourn_s: float) -> None:
+        """Feed one station dequeue's sojourn (queue-wait) time."""
+        self.observed += 1
+        self.min_sojourn_s = min(self.min_sojourn_s, sojourn_s)
+        self.ewma_sojourn_s += self._ewma_alpha * (sojourn_s - self.ewma_sojourn_s)
+        if sojourn_s < self.target_s:
+            # Below target: the queue is draining — leave dropping state.
+            self._first_above_s = None
+            if self.dropping:
+                self.dropping = False
+        elif self._first_above_s is None:
+            # First sojourn above target: arm the interval timer.
+            self._first_above_s = now_s + self.interval_s
+
+    # -- admission decision -----------------------------------------------------
+
+    def should_shed(self, now_s: float) -> bool:
+        """Whether the request arriving at `now_s` should be rejected."""
+        above = self._first_above_s is not None and now_s >= self._first_above_s
+        if not self.dropping:
+            if not above:
+                return False
+            # Sojourn stayed above target for a full interval: start dropping.
+            self.dropping = True
+            # Re-entering soon after the last dropping episode resumes at a
+            # similar rate instead of restarting slowly (standard CoDel).
+            if self.drop_count > 2 and now_s - self.drop_next_s < self.interval_s:
+                self.drop_count = self._last_drop_count - 2
+            else:
+                self.drop_count = 0
+            self.drop_count += 1
+            self._last_drop_count = self.drop_count
+            self.drop_next_s = now_s + self.interval_s / math.sqrt(self.drop_count)
+            self.shed += 1
+            return True
+        if now_s >= self.drop_next_s:
+            self.drop_count += 1
+            self._last_drop_count = self.drop_count
+            self.drop_next_s += self.interval_s / math.sqrt(self.drop_count)
+            self.shed += 1
+            return True
+        return False
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Deterministic JSON-ready snapshot of the controller state."""
+        return {
+            "target_s": self.target_s,
+            "interval_s": self.interval_s,
+            "observed": self.observed,
+            "shed": self.shed,
+            "drop_count": self.drop_count,
+            "ewma_sojourn_s": self.ewma_sojourn_s,
+        }

@@ -1,0 +1,167 @@
+"""Overload-control configuration and the per-run policy object.
+
+One :class:`OverloadPolicy` instance is threaded through a fleet run and
+owns the four mechanisms of the overload PR:
+
+* **deadlines** — :meth:`deadline_for` stamps every request with an
+  absolute deadline at admission; stations consult
+  :attr:`OverloadConfig.shed_expired` to decide whether expired work is
+  shed on dequeue (the fleet does the shedding, the policy the bookkeeping);
+* **admission control** — per-station :class:`~repro.overload.codel.
+  CoDelController` instances fed by :meth:`observe`; :meth:`admit`
+  rejects an arriving request when any station's controller is in its
+  dropping state and due for a drop;
+* **brownout** — when the smoothed sojourn of any station exceeds the
+  brownout threshold, :meth:`brownout` tells the fleet to degrade the
+  request (scale its DSA stage by ``brownout_factor`` — the "drop the
+  compression level" move) instead of dropping it;
+* **bounded queues** — the depth limits live here
+  (``cpu_queue_limit`` / ``dsa_queue_limit``); the fleet enforces them
+  and the scheduler re-routes around full stations.
+
+Everything is deterministic: no RNG, no wall clock; all state advances
+only on ``observe``/``admit`` calls driven by the seeded simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.overload.codel import CoDelController
+
+
+@dataclass
+class OverloadConfig:
+    """Knobs for one run's overload control (all optional, all off by default)."""
+
+    #: Relative deadline applied to every request (None: no deadline).
+    deadline_s: float = None
+    #: Shed expired work at station dequeues (False: deadlines are only
+    #: *measured* — the "control off" curve of the sweep).
+    shed_expired: bool = True
+    #: Ingress admission controller: "codel" or "none".
+    admission: str = "none"
+    #: CoDel target sojourn; None derives deadline_s / 5.
+    codel_target_s: float = None
+    #: CoDel interval; None derives 4 x target.
+    codel_interval_s: float = None
+    #: Per-channel DSA queue depth limit (None: unbounded).
+    dsa_queue_limit: int = None
+    #: Per-server CPU worker queue depth limit (None: unbounded).
+    cpu_queue_limit: int = None
+    #: DSA-stage service multiplier under brownout (1.0: brownout disabled).
+    brownout_factor: float = 1.0
+    #: Smoothed-sojourn threshold that triggers brownout; None derives
+    #: the CoDel target.
+    brownout_threshold_s: float = None
+
+    def __post_init__(self):
+        if self.admission not in ("none", "codel"):
+            raise ValueError("admission must be 'none' or 'codel'")
+        if not 0.0 < self.brownout_factor <= 1.0:
+            raise ValueError("brownout_factor must be in (0, 1]")
+        if self.admission == "codel" and self.deadline_s is None \
+                and self.codel_target_s is None:
+            raise ValueError("codel admission needs deadline_s or codel_target_s")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any overload mechanism (even measurement-only) is on."""
+        return (self.deadline_s is not None or self.admission != "none"
+                or self.dsa_queue_limit is not None
+                or self.cpu_queue_limit is not None
+                or self.brownout_factor < 1.0)
+
+    @property
+    def bounded(self) -> bool:
+        return self.dsa_queue_limit is not None or self.cpu_queue_limit is not None
+
+    def resolved_target_s(self) -> float:
+        """CoDel target sojourn: explicit knob, else deadline_s / 5."""
+        if self.codel_target_s is not None:
+            return self.codel_target_s
+        return self.deadline_s / 5.0
+
+    def resolved_interval_s(self) -> float:
+        """CoDel interval: explicit knob, else 4x the resolved target."""
+        if self.codel_interval_s is not None:
+            return self.codel_interval_s
+        return 4.0 * self.resolved_target_s()
+
+
+class OverloadPolicy:
+    """Run-time state for one fleet's overload control."""
+
+    #: Station names fed by the fleet, in deterministic evaluation order.
+    STATIONS = ("cpu", "dsa")
+
+    def __init__(self, config: OverloadConfig):
+        self.config = config
+        self.controllers = {}
+        if config.admission == "codel":
+            target = config.resolved_target_s()
+            interval = config.resolved_interval_s()
+            self.controllers = {
+                station: CoDelController(target, interval)
+                for station in self.STATIONS
+            }
+
+    # -- deadlines --------------------------------------------------------------
+
+    def deadline_for(self, arrive_s: float) -> float:
+        """Absolute deadline for a request arriving at `arrive_s`."""
+        if self.config.deadline_s is None:
+            return math.inf
+        return arrive_s + self.config.deadline_s
+
+    def expired(self, now_s: float, deadline_s: float) -> bool:
+        """Whether expired work should be shed at `now_s` (dequeue time)."""
+        return self.config.shed_expired and now_s >= deadline_s
+
+    # -- admission + sojourn feed -----------------------------------------------
+
+    def observe(self, station: str, now_s: float, sojourn_s: float) -> None:
+        """Feed one station dequeue's queueing wait to its controller."""
+        controller = self.controllers.get(station)
+        if controller is not None:
+            controller.observe(now_s, sojourn_s)
+
+    def admit(self, now_s: float) -> bool:
+        """Ingress decision for a request arriving now (False: reject)."""
+        for station in self.STATIONS:
+            controller = self.controllers.get(station)
+            if controller is not None and controller.should_shed(now_s):
+                return False
+        return True
+
+    # -- brownout ---------------------------------------------------------------
+
+    def brownout(self, now_s: float) -> bool:
+        """Whether arriving work should be served degraded instead of shed."""
+        if self.config.brownout_factor >= 1.0 or not self.controllers:
+            return False
+        threshold = self.config.brownout_threshold_s
+        if threshold is None:
+            threshold = self.config.resolved_target_s()
+        return any(controller.ewma_sojourn_s > threshold
+                   for controller in self.controllers.values())
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Deterministic JSON-ready snapshot: config plus controller state."""
+        out = {
+            "deadline_s": self.config.deadline_s,
+            "shed_expired": self.config.shed_expired,
+            "admission": self.config.admission,
+            "dsa_queue_limit": self.config.dsa_queue_limit,
+            "cpu_queue_limit": self.config.cpu_queue_limit,
+            "brownout_factor": self.config.brownout_factor,
+        }
+        if self.controllers:
+            out["stations"] = {
+                station: controller.summary()
+                for station, controller in sorted(self.controllers.items())
+            }
+        return out

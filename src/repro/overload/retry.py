@@ -1,0 +1,125 @@
+"""Shared token-bucket retry budgets with exponential backoff + jitter.
+
+The failure-handling PR gave every retry loop its own bounded count
+(``max_retries`` per operation).  Per-operation caps bound the *worst
+single request* but not the *aggregate*: under overload every operation
+fails, every operation retries, and the retry traffic multiplies the
+offered load by ``1 + max_retries`` — the classic retry storm that turns
+a 1.2x overload into a 3x collapse.
+
+:class:`RetryBudget` is the standard production counter-measure (gRPC /
+Envoy style): retries spend from a shared token bucket that only refills
+as *successful* operations complete, so the steady-state retry fraction
+is capped at ``refill_per_success`` of goodput no matter how hard the
+underlying layer is failing.  A drained bucket fails requests fast
+instead of amplifying the storm.
+
+Backoff between retries is exponential with deterministic jitter: the
+jitter is drawn from the budget's own seeded :class:`random.Random`, so
+identically-seeded runs back off identically (the repo-wide
+byte-identical-output guarantee) while still decorrelating retry trains
+within a run.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class RetryBudget:
+    """A token bucket shared by every retry loop of one subsystem.
+
+    Parameters
+    ----------
+    capacity:
+        Bucket size — the burst of retries allowed before the budget
+        drains (also the initial fill).
+    refill_per_success:
+        Tokens returned per successful operation (``on_success``).  The
+        long-run retry fraction is capped at this value: 0.5 means at
+        most one retry per two successes.
+    backoff_base_s / backoff_cap_s:
+        Exponential backoff schedule: attempt ``n`` waits
+        ``min(cap, base * 2**(n-1))`` scaled by the jitter draw.
+    jitter:
+        Fraction of full jitter: the backoff is multiplied by a value
+        uniform in ``[1 - jitter, 1]`` (decorrelates retry trains).
+    seed:
+        Seeds the jitter RNG; identical seeds reproduce identical
+        backoff sequences.
+    """
+
+    def __init__(self, capacity: float = 16.0, refill_per_success: float = 0.5,
+                 backoff_base_s: float = 50e-6, backoff_cap_s: float = 5e-3,
+                 jitter: float = 0.5, seed: int = 0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if refill_per_success < 0:
+            raise ValueError("refill_per_success must be >= 0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if backoff_base_s < 0 or backoff_cap_s < backoff_base_s:
+            raise ValueError("need 0 <= backoff_base_s <= backoff_cap_s")
+        self.capacity = float(capacity)
+        self.refill_per_success = float(refill_per_success)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.jitter = jitter
+        self.tokens = float(capacity)
+        self._rng = random.Random(seed)
+        # Accounting (deterministic; surfaced in overload reports).
+        self.granted = 0
+        self.denied = 0
+        self.successes = 0
+        self.backoff_total_s = 0.0
+
+    # -- the budget -------------------------------------------------------------
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend `tokens` for one retry; False means fail fast (no retry)."""
+        if self.tokens >= tokens:
+            self.tokens -= tokens
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
+
+    def on_success(self) -> None:
+        """One underlying operation succeeded: refill the bucket."""
+        self.successes += 1
+        self.tokens = min(self.capacity, self.tokens + self.refill_per_success)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the next single-token acquire would be denied."""
+        return self.tokens < 1.0
+
+    # -- backoff ----------------------------------------------------------------
+
+    def backoff_s(self, attempt: int) -> float:
+        """Jittered exponential backoff before retry number `attempt` (>= 1).
+
+        Deterministic given the seed and call sequence; the jitter draw
+        scales the exponential term into ``[1 - jitter, 1]`` of its
+        nominal value so synchronized retry trains spread out.
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        nominal = min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
+        scale = 1.0 - self.jitter * self._rng.random()
+        wait = nominal * scale
+        self.backoff_total_s += wait
+        return wait
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Deterministic JSON-ready snapshot of the budget state."""
+        return {
+            "capacity": self.capacity,
+            "tokens": self.tokens,
+            "granted": self.granted,
+            "denied": self.denied,
+            "successes": self.successes,
+            "backoff_total_s": self.backoff_total_s,
+        }

@@ -1,0 +1,113 @@
+"""Unit tests for the CoDel-style admission controller."""
+
+import math
+
+import pytest
+
+from repro.overload import CoDelController
+
+TARGET = 1e-3
+INTERVAL = 4e-3
+
+
+def make():
+    return CoDelController(target_s=TARGET, interval_s=INTERVAL)
+
+
+class TestGoodQueue:
+    def test_below_target_never_sheds(self):
+        codel = make()
+        for step in range(100):
+            now = step * 1e-3
+            codel.observe(now, 0.5 * TARGET)
+            assert not codel.should_shed(now)
+        assert codel.shed == 0
+
+    def test_short_burst_tolerated(self):
+        # Sojourn exceeds target but drains before a full interval elapses:
+        # a "good" queue, no drops.
+        codel = make()
+        codel.observe(0.0, 2 * TARGET)
+        assert not codel.should_shed(0.5 * INTERVAL)
+        codel.observe(0.6 * INTERVAL, 0.1 * TARGET)  # drained
+        assert not codel.should_shed(2 * INTERVAL)
+        assert codel.shed == 0
+
+
+class TestBadQueue:
+    def test_standing_queue_starts_dropping_after_interval(self):
+        codel = make()
+        codel.observe(0.0, 2 * TARGET)
+        assert not codel.should_shed(0.99 * INTERVAL)
+        assert codel.should_shed(INTERVAL)
+        assert codel.dropping
+        assert codel.drop_count == 1
+
+    def test_drop_rate_accelerates_by_sqrt(self):
+        codel = make()
+        codel.observe(0.0, 2 * TARGET)
+        assert codel.should_shed(INTERVAL)
+        first_next = codel.drop_next_s
+        assert first_next == pytest.approx(INTERVAL + INTERVAL / math.sqrt(1))
+        assert codel.should_shed(first_next)
+        assert codel.drop_next_s == pytest.approx(
+            first_next + INTERVAL / math.sqrt(2))
+        assert codel.drop_count == 2
+
+    def test_not_due_yet_admits_while_dropping(self):
+        codel = make()
+        codel.observe(0.0, 2 * TARGET)
+        assert codel.should_shed(INTERVAL)
+        assert not codel.should_shed(INTERVAL + 0.1 * INTERVAL)
+
+    def test_drain_leaves_dropping_state(self):
+        codel = make()
+        codel.observe(0.0, 2 * TARGET)
+        assert codel.should_shed(INTERVAL)
+        codel.observe(INTERVAL, 0.5 * TARGET)
+        assert not codel.dropping
+        assert not codel.should_shed(10 * INTERVAL)
+
+    def test_reentry_resumes_drop_rate(self):
+        # Standard CoDel: re-entering dropping shortly after an episode with
+        # drop_count > 2 resumes near the old rate instead of restarting.
+        codel = make()
+        codel.observe(0.0, 2 * TARGET)
+        now = INTERVAL
+        for _ in range(4):
+            assert codel.should_shed(now)
+            now = codel.drop_next_s  # the next drop is exactly due
+        assert codel.drop_count == 4
+        # The queue drains briefly and goes bad again *before* the old
+        # episode's drop_next + interval horizon passes...
+        drain_t = codel.drop_next_s - 0.3 * INTERVAL
+        codel.observe(drain_t, 0.5 * TARGET)
+        assert not codel.dropping
+        bad_t = drain_t + 0.05 * INTERVAL
+        codel.observe(bad_t, 2 * TARGET)
+        # ...so the new episode resumes near the old rate.
+        assert codel.should_shed(bad_t + INTERVAL)
+        assert codel.drop_count == 3  # (4 - 2) + 1, not restarted at 1
+
+
+class TestTelemetry:
+    def test_ewma_tracks_sojourn(self):
+        codel = make()
+        for _ in range(50):
+            codel.observe(0.0, 2e-3)
+        assert codel.ewma_sojourn_s == pytest.approx(2e-3, rel=0.01)
+        assert codel.min_sojourn_s == 2e-3
+        assert codel.observed == 50
+
+    def test_summary_keys(self):
+        codel = make()
+        codel.observe(0.0, 2 * TARGET)
+        assert set(codel.summary()) == {
+            "target_s", "interval_s", "observed", "shed", "drop_count",
+            "ewma_sojourn_s"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoDelController(target_s=0.0, interval_s=1.0)
+        with pytest.raises(ValueError):
+            CoDelController(target_s=1.0, interval_s=-1.0)

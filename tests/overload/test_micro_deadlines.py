@@ -1,0 +1,133 @@
+"""Micro-layer overload tests: session deadline sheds, QuickAssist
+deadline/budget enforcement, device busy backpressure, and the CompCpy
+Force-Recycle budget."""
+
+import pytest
+
+from repro.accel.quickassist import QuickAssist
+from repro.core.dsa.base import UlpKind
+from repro.core.offload_api import ResilienceConfig, SessionConfig, SmartDIMMSession
+from repro.core.scratchpad import ScratchpadFullError
+from repro.core.smartdimm import SmartDIMMConfig
+from repro.faults.errors import CompletionLostError, DeadlineExceededError
+from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
+from repro.overload import RetryBudget
+from repro.ulp.ctx_cache import cached_aesgcm
+
+KEY, NONCE = bytes(range(16)), bytes(12)
+PAYLOAD = bytes(range(256)) * 16  # one page
+
+
+class TestSessionDeadlines:
+    def test_expired_budget_sheds_at_submit(self):
+        session = SmartDIMMSession()
+        with pytest.raises(DeadlineExceededError) as err:
+            session.tls_encrypt(KEY, NONCE, PAYLOAD, deadline_cycles=0)
+        assert err.value.site == "submit"
+        assert session.resilience_stats.shed_ops == 1
+
+    def test_deadline_is_absolute_on_controller_clock(self):
+        session = SmartDIMMSession()
+        session.tls_encrypt(KEY, NONCE, PAYLOAD)  # advances mc.cycle
+        assert session.mc.cycle > 0
+        with pytest.raises(DeadlineExceededError):
+            session.deflate_page(bytes(4096),
+                                 deadline_cycles=session.mc.cycle)
+
+    def test_generous_deadline_is_invisible(self):
+        shed = SmartDIMMSession()
+        plain = SmartDIMMSession()
+        out = shed.tls_encrypt(KEY, NONCE, PAYLOAD, deadline_cycles=10**15)
+        assert out == plain.tls_encrypt(KEY, NONCE, PAYLOAD)
+        assert shed.resilience_stats.shed_ops == 0
+
+
+class TestDeviceBusy:
+    def test_full_offload_table_onloads_to_cpu(self):
+        # max_inflight_offloads=0: the device refuses all work; with the
+        # resilience guard on, the op still completes bit-exactly on the
+        # CPU — backpressure at the device becomes graceful onload.
+        session = SmartDIMMSession(SessionConfig(
+            smartdimm=SmartDIMMConfig(max_inflight_offloads=0),
+            resilience=ResilienceConfig(),
+        ))
+        out = session.tls_encrypt(KEY, NONCE, PAYLOAD)
+        ct, tag = cached_aesgcm(KEY).encrypt(NONCE, PAYLOAD)
+        assert out == ct + tag
+        assert session.device.stats.busy_rejections >= 1
+        assert session.resilience_stats.hw_failures >= 1
+        assert session.resilience_stats.onloaded_ops >= 1
+
+
+class TestQuickAssistDeadlines:
+    def test_submission_shed_before_any_work(self):
+        qat = QuickAssist()
+        with pytest.raises(DeadlineExceededError):
+            qat.tls_encrypt(KEY, NONCE, PAYLOAD, deadline_s=1e-12)
+        assert qat.deadline_sheds == 1
+        assert qat.completions_lost == 0
+
+    def test_lost_completion_sheds_instead_of_late_retry(self):
+        # First, measure the fault-free base latency...
+        clean = QuickAssist()
+        base = clean.tls_encrypt(KEY, NONCE, PAYLOAD).offload_latency_s
+        # ...then lose every completion with a deadline two bases long: the
+        # first loss burns more than the remaining budget, so the retry
+        # loop sheds rather than retrying into a guaranteed miss.
+        qat = QuickAssist()
+        qat.attach_fault_plan(FaultPlan(seed=3, specs=(
+            FaultSpec(FaultSite.ACCEL_COMPLETION_DROP, probability=1.0,
+                      params={"max_retries": 10}),
+        )))
+        with pytest.raises(DeadlineExceededError):
+            qat.tls_encrypt(KEY, NONCE, PAYLOAD, deadline_s=2.0 * base)
+        assert qat.deadline_sheds == 1
+        assert qat.completions_lost >= 1
+
+
+class TestQuickAssistRetryBudget:
+    def test_drained_budget_fails_fast(self):
+        budget = RetryBudget(capacity=1.0, refill_per_success=0.0)
+        qat = QuickAssist(retry_budget=budget)
+        qat.attach_fault_plan(FaultPlan(seed=3, specs=(
+            FaultSpec(FaultSite.ACCEL_COMPLETION_DROP, probability=1.0,
+                      params={"max_retries": 10}),
+        )))
+        with pytest.raises(CompletionLostError) as err:
+            qat.tls_encrypt(KEY, NONCE, PAYLOAD)
+        assert "budget" in str(err.value)
+        assert qat.budget_denials == 1
+        assert budget.exhausted
+
+    def test_successes_refill_the_bucket(self):
+        # A zero-probability plan keeps the lossy-completion machinery live
+        # (the plan-less path skips the budget entirely, by design: the
+        # disabled fault hooks must stay free).
+        budget = RetryBudget(capacity=4.0, refill_per_success=1.0)
+        qat = QuickAssist(retry_budget=budget)
+        qat.attach_fault_plan(FaultPlan(seed=3, specs=(
+            FaultSpec(FaultSite.ACCEL_COMPLETION_DROP, probability=0.0),
+        )))
+        for _ in range(3):
+            qat.tls_encrypt(KEY, NONCE, PAYLOAD)
+        assert budget.successes == 3
+        assert budget.tokens == budget.capacity  # refill capped, none spent
+
+
+class TestCompCpyRetryBudget:
+    def test_force_recycle_retry_denied_when_budget_dry(self, monkeypatch):
+        session = SmartDIMMSession()
+        compcpy = session.compcpy
+
+        def always_full(*args, **kwargs):
+            raise ScratchpadFullError("scratchpad full")
+
+        monkeypatch.setattr(compcpy.driver, "register_offload", always_full)
+        compcpy.retry_budget.tokens = 0.0  # drained by prior storms
+        src = session.alloc(4096)
+        dst = session.alloc(4096)
+        with pytest.raises(ScratchpadFullError):
+            compcpy.compcpy(dst, src, 4096, object(), UlpKind.TLS_ENCRYPT)
+        assert compcpy.stats.retries_denied == 1
+        assert compcpy.stats.registrations_retried == 0
+        assert compcpy.stats.force_recycles == 0  # denial precedes recycling

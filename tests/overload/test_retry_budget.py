@@ -1,0 +1,97 @@
+"""Unit tests for the shared token-bucket retry budget."""
+
+import pytest
+
+from repro.overload import RetryBudget
+
+
+class TestBucket:
+    def test_starts_full_and_grants_until_drained(self):
+        budget = RetryBudget(capacity=3.0, refill_per_success=0.0)
+        assert [budget.try_acquire() for _ in range(4)] == [True, True, True, False]
+        assert budget.granted == 3
+        assert budget.denied == 1
+        assert budget.exhausted
+
+    def test_refill_on_success_is_capped_at_capacity(self):
+        budget = RetryBudget(capacity=2.0, refill_per_success=0.5)
+        assert budget.try_acquire()
+        budget.on_success()
+        assert budget.tokens == pytest.approx(1.5)
+        for _ in range(10):
+            budget.on_success()
+        assert budget.tokens == pytest.approx(2.0)
+        assert budget.successes == 11
+
+    def test_retry_fraction_capped_by_refill_rate(self):
+        # Steady state: every success refills 0.5 tokens, so no more than
+        # one retry per two successes is sustainable once the burst drains.
+        budget = RetryBudget(capacity=2.0, refill_per_success=0.5)
+        granted = 0
+        for _ in range(100):
+            budget.on_success()
+            if budget.try_acquire():
+                granted += 1
+        # 2 (burst) + 100 * 0.5 (refill) tokens available in total.
+        assert granted <= 2 + 50
+
+    def test_fractional_acquire(self):
+        budget = RetryBudget(capacity=1.0, refill_per_success=0.0)
+        assert budget.try_acquire(0.5)
+        assert budget.exhausted  # 0.5 tokens left < 1.0
+        assert budget.try_acquire(0.5)
+        assert not budget.try_acquire(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=0.0)
+        with pytest.raises(ValueError):
+            RetryBudget(refill_per_success=-0.1)
+        with pytest.raises(ValueError):
+            RetryBudget(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryBudget(backoff_base_s=1.0, backoff_cap_s=0.5)
+
+
+class TestBackoff:
+    def test_exponential_growth_up_to_cap(self):
+        budget = RetryBudget(backoff_base_s=1e-3, backoff_cap_s=4e-3, jitter=0.0)
+        assert budget.backoff_s(1) == pytest.approx(1e-3)
+        assert budget.backoff_s(2) == pytest.approx(2e-3)
+        assert budget.backoff_s(3) == pytest.approx(4e-3)
+        assert budget.backoff_s(4) == pytest.approx(4e-3)  # capped
+        assert budget.backoff_total_s == pytest.approx(11e-3)
+
+    def test_jitter_stays_within_band(self):
+        budget = RetryBudget(backoff_base_s=1e-3, backoff_cap_s=1e-3, jitter=0.5)
+        for _ in range(50):
+            wait = budget.backoff_s(1)
+            assert 0.5e-3 <= wait <= 1e-3
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryBudget(seed=42)
+        b = RetryBudget(seed=42)
+        c = RetryBudget(seed=43)
+        seq_a = [a.backoff_s(n) for n in range(1, 6)]
+        seq_b = [b.backoff_s(n) for n in range(1, 6)]
+        seq_c = [c.backoff_s(n) for n in range(1, 6)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+
+    def test_attempt_numbers_start_at_one(self):
+        with pytest.raises(ValueError):
+            RetryBudget().backoff_s(0)
+
+
+def test_summary_is_json_ready():
+    budget = RetryBudget(capacity=4.0)
+    budget.try_acquire()
+    budget.on_success()
+    budget.backoff_s(1)
+    summary = budget.summary()
+    assert summary["capacity"] == 4.0
+    assert summary["granted"] == 1
+    assert summary["successes"] == 1
+    assert summary["backoff_total_s"] > 0.0
+    assert set(summary) == {"capacity", "tokens", "granted", "denied",
+                            "successes", "backoff_total_s"}
