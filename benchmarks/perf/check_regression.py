@@ -9,6 +9,9 @@ the committed baseline file it reads (``--list`` prints the table):
 * ``BENCH_cluster.json`` — cluster-simulator speed (``cluster_bench``):
   kernel events/sec must not drop, and end-to-end scenario wall time must
   not grow, by more than the same tolerance.
+* compcpy5x (machine-relative, no baseline): the 64 KB ``compcpy_e2e``
+  point must stay >= ``--compcpy-speedup-floor`` (default 5x) above the
+  recorded pre-fast-path seed throughput.
 * fault hooks (``faults_bench``, machine-relative, no baseline): the
   measured cost of the ``plan is not None`` guards on a plan-less session
   must stay under ``--faults-tolerance`` (default 2%) of one offload —
@@ -111,6 +114,26 @@ def compare_cluster(baseline: dict, fresh: dict, tolerance: float) -> list:
     return regressions
 
 
+def compare_compcpy_speedup(fresh: dict, floor: float) -> list:
+    """Machine-relative 5x gate for the batched line-op fast path.
+
+    ``speedup_vs_seed`` compares a fresh 64 KB compcpy_e2e run against the
+    recorded pre-fast-path throughput (``SEED_COMPCPY_MBPS``), so the gate
+    fails if the batched path's advantage erodes below the required floor.
+    """
+    entry = fresh.get("65536", {})
+    speedup = entry.get("speedup_vs_seed")
+    if speedup is None:
+        return ["compcpy5x: no speedup_vs_seed for the 65536 B point"]
+    if speedup < floor:
+        return [
+            "compcpy5x: 64 KB compcpy_e2e %.2fx vs seed < required %.1fx "
+            "(%.2f MB/s vs seed %.2f MB/s)"
+            % (speedup, floor, entry["after_mbps"], entry["seed_mbps"])
+        ]
+    return []
+
+
 def compare_faults(fresh: dict, tolerance: float) -> list:
     """Machine-relative fault-hook gate: disabled guards must be free."""
     if fresh["overhead_fraction"] > tolerance:
@@ -166,6 +189,15 @@ GATES = (
          verdict=lambda base, fresh, args: compare_cluster(base, fresh,
                                                            args.tolerance),
          points=lambda base: sum(1 for s in CLUSTER_GUARDS if s in base)),
+    Gate("compcpy5x", "batched fast path keeps 64 KB compcpy_e2e >= 5x seed",
+         None, datapath_bench,
+         # Best-of-3 minimum: this is a ratio against a fixed seed number,
+         # so it needs more noise immunity than the baseline-relative rows.
+         run=lambda args: datapath_bench.bench_compcpy(
+             sizes=(65536,), repeats=max(3, args.repeats)),
+         verdict=lambda base, fresh, args: compare_compcpy_speedup(
+             fresh, args.compcpy_speedup_floor),
+         points=lambda base: 1),
     Gate("faults", "disabled fault hooks stay under --faults-tolerance",
          None, faults_bench,
          run=lambda args: faults_bench.bench_disabled_overhead(
@@ -212,6 +244,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--repeats", type=int, default=3, help="timing repeats per point (default 3)"
+    )
+    parser.add_argument(
+        "--compcpy-speedup-floor",
+        type=float,
+        default=5.0,
+        help="required 64 KB compcpy_e2e speedup vs the recorded seed "
+             "throughput (default 5.0)",
     )
     parser.add_argument(
         "--faults-tolerance",

@@ -168,6 +168,18 @@ def bench_deflate(sizes=SIZES, repeats=3) -> dict:
     return results
 
 
+#: compcpy_e2e throughput recorded before the batched line-op fast path
+#: (per-line LLC/controller/DIMM simulation, per-block GHASH folding).
+#: These figures were measured on the same class of machine as the
+#: committed baselines; ``speedup_vs_seed`` below is gated machine-relative
+#: against them (the batched fast path must stay >= 5x at 64 KB).
+SEED_COMPCPY_MBPS = {
+    "4096": 0.3595809266881396,
+    "16384": 0.5459709797631729,
+    "65536": 0.6118922571059496,
+}
+
+
 def bench_compcpy(sizes=SIZES, repeats=2) -> dict:
     """A whole TLS record through the CompCpy pipeline (current path)."""
     from repro.core.offload_api import SmartDIMMSession
@@ -181,11 +193,43 @@ def bench_compcpy(sizes=SIZES, repeats=2) -> dict:
         if out != expected[0] + expected[1]:
             raise AssertionError("CompCpy TLS output diverged at %d bytes" % size)
         elapsed = _best_of(lambda: session.tls_encrypt(KEY, NONCE, payload, AAD), repeats)
-        results[str(size)] = {
+        entry = {
             "size_bytes": size,
             "after_s": elapsed,
             "after_mbps": size / elapsed / 1e6,
         }
+        seed_mbps = SEED_COMPCPY_MBPS.get(str(size))
+        if seed_mbps:
+            entry["seed_mbps"] = seed_mbps
+            entry["speedup_vs_seed"] = entry["after_mbps"] / seed_mbps
+        results[str(size)] = entry
+    return results
+
+
+def bench_slots_alloc(n=100_000, repeats=3) -> dict:
+    """Allocation cost of the hot micro-simulation records.
+
+    ``Command``/``TraceEntry``/``CasResult``/``DramCoordinate`` are created
+    on every simulated DRAM access, so their ``__slots__`` layout shows up
+    directly in datapath wall time; this section records ns/object for the
+    bench report (informational — not a gated section).
+    """
+    from repro.dram.address import DramCoordinate
+    from repro.dram.commands import Command, CommandType
+    from repro.dram.memory_controller import CasResult, TraceEntry
+
+    makers = {
+        "Command": lambda: [
+            Command(kind=CommandType.RDCAS, cycle=i, address=i << 6) for i in range(n)
+        ],
+        "TraceEntry": lambda: [TraceEntry(i, "rdCAS", i << 6) for i in range(n)],
+        "CasResult": lambda: [CasResult(data=b"") for _ in range(n)],
+        "DramCoordinate": lambda: [DramCoordinate(0, 0, 0, i, 0) for i in range(n)],
+    }
+    results = {}
+    for name, maker in makers.items():
+        elapsed = _best_of(maker, repeats)
+        results[name] = {"objects": n, "ns_per_object": 1e9 * elapsed / n}
     return results
 
 
@@ -197,6 +241,7 @@ def bench_all(sizes=SIZES, repeats=3) -> dict:
         "ghash": bench_ghash(sizes, repeats),
         "deflate": bench_deflate(sizes, repeats),
         "compcpy_e2e": bench_compcpy(sizes, max(1, repeats - 1)),
+        "slots_alloc": bench_slots_alloc(repeats=repeats),
     }
 
 
@@ -226,9 +271,17 @@ def main() -> None:
             )
     for size, entry in sorted(results["compcpy_e2e"].items(), key=lambda kv: int(kv[0])):
         print(
-            "%-16s %6d B  after %8.3f ms  %8.2f MB/s"
-            % ("compcpy_e2e", entry["size_bytes"], 1e3 * entry["after_s"], entry["after_mbps"])
+            "%-16s %6d B  after %8.3f ms  %8.2f MB/s  %5.1fx vs seed"
+            % (
+                "compcpy_e2e",
+                entry["size_bytes"],
+                1e3 * entry["after_s"],
+                entry["after_mbps"],
+                entry.get("speedup_vs_seed", 0.0),
+            )
         )
+    for name, entry in sorted(results.get("slots_alloc", {}).items()):
+        print("%-16s %6d objs  %8.1f ns/object" % (name, entry["objects"], entry["ns_per_object"]))
     print("wrote", path)
 
 

@@ -16,6 +16,9 @@ Commands:
   overload-control stack (deadlines, CoDel admission, bounded queues,
   retry budgets) on vs off; byte-identical reports per seed, exits
   non-zero if goodput at 2x falls below 70% of peak.
+* ``profile`` — cProfile one warmed TLS offload through the
+  micro-simulation (the instrument behind the batched fast path);
+  ``--reference`` profiles the per-line path for comparison.
 """
 
 from __future__ import annotations
@@ -188,6 +191,20 @@ def _cmd_overload(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.profiling import run_profile
+
+    print(
+        run_profile(
+            size=args.size,
+            top=args.top,
+            sort=args.sort,
+            fast_path=not args.reference,
+        )
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -254,6 +271,18 @@ def main(argv=None) -> int:
                           help="reduced sweep (3 load factors, short window)")
     overload.add_argument("--json-out", default=None,
                           help="write the BENCH_overload.json payload here")
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile one TLS offload through the micro-simulation",
+    )
+    profile.add_argument("--size", type=int, default=65536,
+                         help="record bytes (default 65536)")
+    profile.add_argument("--top", type=int, default=25,
+                         help="rows to print (default 25)")
+    profile.add_argument("--sort", default="cumulative",
+                         help="pstats sort key (default cumulative)")
+    profile.add_argument("--reference", action="store_true",
+                         help="profile the per-line reference path")
     args = parser.parse_args(argv)
     return {
         "demo": _cmd_demo,
@@ -263,6 +292,7 @@ def main(argv=None) -> int:
         "cluster": _cmd_cluster,
         "chaos": _cmd_chaos,
         "overload": _cmd_overload,
+        "profile": _cmd_profile,
     }[args.command](args)
 
 

@@ -82,6 +82,7 @@ class LLC:
         self.stats = CacheStats()
         self._sets = [dict() for _ in range(self.num_sets)]  # way -> _Line
         self._clock = 0
+        self._mask_ways = {}  # way-mask -> tuple of allowed ways, built lazily
 
     # -- configuration ----------------------------------------------------------
 
@@ -112,9 +113,21 @@ class LLC:
     def _allowed_ways(self, access: AccessClass) -> int:
         return self.cpu_way_mask if access is AccessClass.CPU else self.dma_way_mask
 
+    def _candidates(self, mask: int) -> tuple:
+        """Allowed ways for `mask`, cached (allocation order is way order)."""
+        candidates = self._mask_ways.get(mask)
+        if candidates is None:
+            candidates = tuple(w for w in range(self.ways) if (mask >> w) & 1)
+            self._mask_ways[mask] = candidates
+        return candidates
+
+    def _cpu_candidates(self) -> tuple:
+        """Allowed ways under the current CPU CAT mask."""
+        return self._candidates(self.cpu_way_mask)
+
     def _victim_way(self, set_index: int, mask: int) -> int:
         """Pick an allowed way: empty first, else LRU."""
-        candidates = [w for w in range(self.ways) if (mask >> w) & 1]
+        candidates = self._candidates(mask)
         occupied = self._sets[set_index]
         for way in candidates:
             if way not in occupied:
@@ -175,6 +188,293 @@ class LLC:
         line.last_use = self._clock
         line.dma_untouched = False
 
+    def load_range(self, address: int, count: int) -> bytes:
+        """CPU load of `count` consecutive lines (== a load loop).
+
+        Runs of consecutive misses are fetched with one
+        :meth:`MemoryController.read_lines` call.  Chunks are capped so a
+        write-queue drain can never fire mid-chunk (each fill queues at
+        most one eviction writeback), and chunk lines occupy distinct sets,
+        so prefetching cannot disturb any line the chunk still needs —
+        the command stream matches the per-line loop exactly.
+        """
+        mc = self.mc
+        # Masking once up front is identical to load()'s per-line masking.
+        address &= ~(CACHELINE_SIZE - 1)
+        sets = self._sets
+        num_sets = self.num_sets
+        stats = self.stats
+        candidates = self._cpu_candidates()
+        parts = []
+        i = 0
+        while i < count:
+            headroom = mc.WRITE_QUEUE_HIGH_WATERMARK - 1 - len(mc._write_queue)
+            if headroom < 1:
+                parts.append(self.load(address + (i << 6)))
+                i += 1
+                continue
+            chunk = min(count - i, headroom, num_sets)
+            base = address + (i << 6)
+            # Probe the chunk for miss runs (probing mutates nothing).
+            missing = []
+            for m in range(chunk):
+                line_number = (base >> 6) + m
+                tag = line_number // num_sets
+                for cand in sets[line_number % num_sets].values():
+                    if cand.tag == tag:
+                        break
+                else:
+                    missing.append(m)
+            fetched = {}
+            run_start = 0
+            while run_start < len(missing):
+                run_end = run_start + 1
+                while (
+                    run_end < len(missing)
+                    and missing[run_end] == missing[run_end - 1] + 1
+                ):
+                    run_end += 1
+                first = missing[run_start]
+                data = mc.read_lines(base + (first << 6), run_end - run_start)
+                for j in range(run_start, run_end):
+                    offset = (j - run_start) * CACHELINE_SIZE
+                    fetched[missing[j]] = data[offset : offset + CACHELINE_SIZE]
+                run_start = run_end
+            clock = self._clock
+            for m in range(chunk):
+                clock += 1
+                line_number = (base >> 6) + m
+                tag = line_number // num_sets
+                set_index = line_number % num_sets
+                occupied = sets[set_index]
+                line = None
+                for cand in occupied.values():
+                    if cand.tag == tag:
+                        line = cand
+                        break
+                if line is not None:
+                    stats.hits += 1
+                else:
+                    # Inlined _fill (CPU mask): same empty-first/LRU victim
+                    # choice and eviction writeback, minus per-miss calls.
+                    stats.misses += 1
+                    for way in candidates:
+                        if way not in occupied:
+                            break
+                    else:
+                        way = min(candidates, key=lambda w: occupied[w].last_use)
+                        old = occupied.pop(way)
+                        stats.evictions += 1
+                        if old.dma_untouched:
+                            stats.dma_leaks += 1
+                        if old.dirty:
+                            stats.writebacks += 1
+                            mc.write_line(
+                                (old.tag * num_sets + set_index) * CACHELINE_SIZE,
+                                bytes(old.data),
+                            )
+                    line = _Line(tag=tag, data=bytearray(fetched[m]), last_use=clock)
+                    occupied[way] = line
+                line.last_use = clock
+                line.dma_untouched = False
+                parts.append(bytes(line.data))
+            self._clock = clock
+            i += chunk
+        return b"".join(parts)
+
+    def store_range(self, address: int, data: bytes) -> None:
+        """CPU store of consecutive full lines (== a store loop)."""
+        if len(data) % CACHELINE_SIZE:
+            raise ValueError(
+                "range store must be whole %d-byte lines" % CACHELINE_SIZE
+            )
+        address &= ~(CACHELINE_SIZE - 1)  # identical to store()'s masking
+        mc = self.mc
+        sets = self._sets
+        num_sets = self.num_sets
+        stats = self.stats
+        candidates = self._cpu_candidates()
+        clock = self._clock
+        first_line = address >> 6
+        for m in range(len(data) // CACHELINE_SIZE):
+            clock += 1
+            line_number = first_line + m
+            tag = line_number // num_sets
+            set_index = line_number % num_sets
+            occupied = sets[set_index]
+            line = None
+            for cand in occupied.values():
+                if cand.tag == tag:
+                    line = cand
+                    break
+            if line is not None:
+                stats.hits += 1
+            else:
+                # Inlined _fill with a zero line (full-line store elides the
+                # ownership read); same victim choice and eviction order.
+                stats.misses += 1
+                for way in candidates:
+                    if way not in occupied:
+                        break
+                else:
+                    way = min(candidates, key=lambda w: occupied[w].last_use)
+                    old = occupied.pop(way)
+                    stats.evictions += 1
+                    if old.dma_untouched:
+                        stats.dma_leaks += 1
+                    if old.dirty:
+                        stats.writebacks += 1
+                        mc.write_line(
+                            (old.tag * num_sets + set_index) * CACHELINE_SIZE,
+                            bytes(old.data),
+                        )
+                line = _Line(tag=tag, data=bytearray(CACHELINE_SIZE), last_use=clock)
+                occupied[way] = line
+            line.data[:] = data[m * CACHELINE_SIZE : (m + 1) * CACHELINE_SIZE]
+            line.dirty = True
+            line.last_use = clock
+            line.dma_untouched = False
+        self._clock = clock
+
+    def copy_range(self, src: int, dst: int, count: int) -> None:
+        """Copy `count` lines through the cache (== store(dst, load(src))).
+
+        Source miss runs are prefetched in bulk; fills and stores then
+        replay per line in reference order, so eviction-writeback queue
+        order is preserved.  Chunks are sized so no drain fires mid-chunk,
+        and prefetch is skipped when the chunk's src and dst set ranges
+        overlap (a dst fill could then evict a still-needed src line).
+        """
+        mc = self.mc
+        num_sets = self.num_sets
+        sets = self._sets
+        stats = self.stats
+        candidates = self._cpu_candidates()
+        # Masking once up front is identical to load()/store() masking.
+        src &= ~(CACHELINE_SIZE - 1)
+        dst &= ~(CACHELINE_SIZE - 1)
+        i = 0
+        while i < count:
+            headroom = (mc.WRITE_QUEUE_HIGH_WATERMARK - 1 - len(mc._write_queue)) // 2
+            src_base = src + (i << 6)
+            dst_base = dst + (i << 6)
+            if headroom < 1:
+                self.store(dst_base, self.load(src_base))
+                i += 1
+                continue
+            chunk = min(count - i, headroom, num_sets)
+            src_set = (src_base >> 6) % num_sets
+            dst_set = (dst_base >> 6) % num_sets
+            gap = (dst_set - src_set) % num_sets
+            if gap < chunk or (num_sets - gap) < chunk:
+                # Set ranges overlap: run the reference per-line pairing.
+                for m in range(chunk):
+                    self.store(dst_base + (m << 6), self.load(src_base + (m << 6)))
+                i += chunk
+                continue
+            src_line = src_base >> 6
+            dst_line = dst_base >> 6
+            missing = []
+            for m in range(chunk):
+                tag = (src_line + m) // num_sets
+                for cand in sets[(src_line + m) % num_sets].values():
+                    if cand.tag == tag:
+                        break
+                else:
+                    missing.append(m)
+            fetched = {}
+            run_start = 0
+            while run_start < len(missing):
+                run_end = run_start + 1
+                while (
+                    run_end < len(missing)
+                    and missing[run_end] == missing[run_end - 1] + 1
+                ):
+                    run_end += 1
+                first = missing[run_start]
+                data = mc.read_lines(src_base + (first << 6), run_end - run_start)
+                for j in range(run_start, run_end):
+                    offset = (j - run_start) * CACHELINE_SIZE
+                    fetched[missing[j]] = data[offset : offset + CACHELINE_SIZE]
+                run_start = run_end
+            clock = self._clock
+            for m in range(chunk):
+                # load half
+                clock += 1
+                tag = (src_line + m) // num_sets
+                set_index = (src_line + m) % num_sets
+                occupied = sets[set_index]
+                line = None
+                for cand in occupied.values():
+                    if cand.tag == tag:
+                        line = cand
+                        break
+                if line is not None:
+                    stats.hits += 1
+                else:
+                    # Inlined _fill; see load_range.
+                    stats.misses += 1
+                    for way in candidates:
+                        if way not in occupied:
+                            break
+                    else:
+                        way = min(candidates, key=lambda w: occupied[w].last_use)
+                        old = occupied.pop(way)
+                        stats.evictions += 1
+                        if old.dma_untouched:
+                            stats.dma_leaks += 1
+                        if old.dirty:
+                            stats.writebacks += 1
+                            mc.write_line(
+                                (old.tag * num_sets + set_index) * CACHELINE_SIZE,
+                                bytes(old.data),
+                            )
+                    line = _Line(tag=tag, data=bytearray(fetched[m]), last_use=clock)
+                    occupied[way] = line
+                line.last_use = clock
+                line.dma_untouched = False
+                payload = bytes(line.data)
+                # store half
+                clock += 1
+                tag = (dst_line + m) // num_sets
+                set_index = (dst_line + m) % num_sets
+                occupied = sets[set_index]
+                line = None
+                for cand in occupied.values():
+                    if cand.tag == tag:
+                        line = cand
+                        break
+                if line is not None:
+                    stats.hits += 1
+                else:
+                    # Inlined _fill with a zero line; see store_range.
+                    stats.misses += 1
+                    for way in candidates:
+                        if way not in occupied:
+                            break
+                    else:
+                        way = min(candidates, key=lambda w: occupied[w].last_use)
+                        old = occupied.pop(way)
+                        stats.evictions += 1
+                        if old.dma_untouched:
+                            stats.dma_leaks += 1
+                        if old.dirty:
+                            stats.writebacks += 1
+                            mc.write_line(
+                                (old.tag * num_sets + set_index) * CACHELINE_SIZE,
+                                bytes(old.data),
+                            )
+                    line = _Line(
+                        tag=tag, data=bytearray(CACHELINE_SIZE), last_use=clock
+                    )
+                    occupied[way] = line
+                line.data[:] = payload
+                line.dirty = True
+                line.last_use = clock
+                line.dma_untouched = False
+            self._clock = clock
+            i += chunk
+
     def flush_line(self, address: int) -> bool:
         """clflush: write back if dirty and invalidate.  Returns True when a
         writeback actually travelled to memory (used by the flush cost model:
@@ -193,7 +493,41 @@ class LLC:
         return dirty
 
     def flush_range(self, address: int, length: int) -> int:
-        """Flush every line in [address, address+length); returns dirty count."""
+        """Flush every line in [address, address+length); returns dirty count.
+
+        Dirty resident lines at consecutive addresses are written back as
+        one :meth:`MemoryController.write_lines_now` run.  Queue pops emit
+        no commands and writeback issues never read the queue, so
+        pop-all-then-issue-run is command- and stats-identical to the
+        per-line :meth:`flush_range_reference` loop.
+        """
+        start = address & ~(CACHELINE_SIZE - 1)
+        dirty = 0
+        run_address = None
+        run_datas = []
+        for line_address in range(start, address + length, CACHELINE_SIZE):
+            _, set_index, tag = self._locate(line_address)
+            way, line = self._find(set_index, tag)
+            self.stats.flushes += 1
+            if line is None or not line.dirty:
+                if run_datas:
+                    self.mc.write_lines_now(run_address, run_datas)
+                    run_address, run_datas = None, []
+                if line is not None:
+                    del self._sets[set_index][way]
+                continue
+            self.stats.writebacks += 1
+            dirty += 1
+            if not run_datas:
+                run_address = line_address
+            run_datas.append(bytes(line.data))
+            del self._sets[set_index][way]
+        if run_datas:
+            self.mc.write_lines_now(run_address, run_datas)
+        return dirty
+
+    def flush_range_reference(self, address: int, length: int) -> int:
+        """Reference flush: the original per-line clflush loop."""
         start = address & ~(CACHELINE_SIZE - 1)
         dirty = 0
         for line_address in range(start, address + length, CACHELINE_SIZE):

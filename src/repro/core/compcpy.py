@@ -54,10 +54,11 @@ class CompCpy:
     """The userspace CompCpy library bound to one SmartDIMM."""
 
     def __init__(self, llc, memory_controller, driver: SmartDIMMDriver,
-                 retry_budget: RetryBudget = None):
+                 retry_budget: RetryBudget = None, use_fast_path: bool = True):
         self.llc = llc
         self.mc = memory_controller
         self.driver = driver
+        self.fast = use_fast_path
         self.stats = CompCpyStats()
         # Force-Recycle registration retries draw from this shared bucket
         # (typically the session's, so one storm cannot monopolise the
@@ -97,19 +98,22 @@ class CompCpy:
         pages = size // PAGE_SIZE
 
         with self._lock:
-            if self._free_pages <= pages:
+            # Registration allocates exactly `pages` scratchpad pages, so
+            # the reservation is viable whenever free >= pages; the guard,
+            # the post-recycle check, and the decrement all use that bound.
+            if self._free_pages < pages:
                 self._free_pages = self.driver.read_free_pages()
                 self.stats.free_page_refreshes += 1
-                if self._free_pages <= pages:  # unlikely
+                if self._free_pages < pages:  # unlikely
                     self.force_recycle(pages)
                     self._free_pages = self.driver.read_free_pages()
                     if self._free_pages < pages:
                         raise CompCpyError("scratchpad exhausted even after Force-Recycle")
-            self._free_pages -= 1 + pages
+            self._free_pages -= pages
 
         # Flush sbuf to DRAM so the copy's loads generate rdCAS commands the
         # DSA can observe (50% cheaper when the data already left the cache).
-        self.stats.flushed_dirty_lines += self.llc.flush_range(sbuf, size)
+        self.stats.flushed_dirty_lines += self._flush_range(sbuf, size)
         self.mc.fence()
 
         try:
@@ -137,6 +141,8 @@ class CompCpy:
                 line = self.llc.load(sbuf + offset)
                 self.llc.store(dbuf + offset, line)
                 self.mc.fence()  # membar between 64-byte segments
+        elif self.fast:
+            self.llc.copy_range(sbuf, dbuf, size // CACHELINE_SIZE)
         else:
             for offset in range(0, size, CACHELINE_SIZE):
                 line = self.llc.load(sbuf + offset)
@@ -146,7 +152,7 @@ class CompCpy:
         # plaintext copies the memcpy left dirty in the LLC.  The writebacks
         # this triggers are the self-recycle traffic of Sec. IV-B.
         if flush_destination:
-            self.llc.flush_range(dbuf, size)
+            self._flush_range(dbuf, size)
             self.mc.fence()
         self.stats.calls += 1
         self.stats.pages_offloaded += pages
@@ -169,7 +175,7 @@ class CompCpy:
         recycled_before = scratchpad.self_recycled_lines + scratchpad.force_recycled_lines
         for page_number in self.driver.read_pending_pages():
             base = page_number * PAGE_SIZE
-            self.llc.flush_range(base, PAGE_SIZE)
+            self._flush_range(base, PAGE_SIZE)
             self.mc.fence()
             for offset in range(0, PAGE_SIZE, CACHELINE_SIZE):
                 address = base + offset
@@ -206,23 +212,36 @@ class CompCpy:
 
     # -- buffer helpers ---------------------------------------------------------------------
 
+    def _flush_range(self, address: int, length: int) -> int:
+        if self.fast:
+            return self.llc.flush_range(address, length)
+        return self.llc.flush_range_reference(address, length)
+
     def write_buffer(self, address: int, data: bytes) -> None:
         """Application writes into a (page-aligned) buffer through the LLC."""
         if address % CACHELINE_SIZE:
             raise CompCpyError("buffer writes must be line aligned")
-        for offset in range(0, len(data), CACHELINE_SIZE):
-            chunk = data[offset : offset + CACHELINE_SIZE]
-            if len(chunk) < CACHELINE_SIZE:
-                line_address = address + offset
-                current = self.llc.load(line_address)
-                chunk = chunk + current[len(chunk) :]
-            self.llc.store(address + offset, chunk)
+        full = len(data) - len(data) % CACHELINE_SIZE
+        if self.fast and full:
+            self.llc.store_range(address, data[:full])
+        else:
+            for offset in range(0, full, CACHELINE_SIZE):
+                self.llc.store(address + offset, data[offset : offset + CACHELINE_SIZE])
+        if full < len(data):
+            # Partial tail line: read-modify-write through the cache.
+            chunk = data[full:]
+            current = self.llc.load(address + full)
+            self.llc.store(address + full, chunk + current[len(chunk) :])
 
     def read_buffer(self, address: int, size: int) -> bytes:
         """Application reads a buffer through the LLC (USE of Algorithm 2)."""
-        out = bytearray()
         start = address & ~(CACHELINE_SIZE - 1)
-        for line_address in range(start, address + size, CACHELINE_SIZE):
-            out.extend(self.llc.load(line_address))
+        lines = (address + size - start + CACHELINE_SIZE - 1) // CACHELINE_SIZE
         skew = address - start
+        if self.fast:
+            out = self.llc.load_range(start, lines)
+            return out[skew : skew + size]
+        out = bytearray()
+        for i in range(lines):
+            out.extend(self.llc.load(start + i * CACHELINE_SIZE))
         return bytes(out[skew : skew + size])

@@ -28,8 +28,9 @@ class SmartDIMMDriver:
         self.base_address = base_address
         limit = device.config.mmio_base
         self._free_pages = list(
-            range((limit - 1) // PAGE_SIZE, (base_address + PAGE_SIZE - 1) // PAGE_SIZE - 1, -1)
+            range((base_address + PAGE_SIZE - 1) // PAGE_SIZE, (limit - 1) // PAGE_SIZE + 1)
         )
+        self._free_dirty = False  # True after frees append out of order
         self._allocated = {}
 
     # -- page allocation ----------------------------------------------------------
@@ -42,18 +43,24 @@ class SmartDIMMDriver:
         """
         if count <= 0:
             raise ValueError("page count must be positive")
-        # The free list is kept sorted descending; scan for a contiguous run.
-        run = []
-        for page in sorted(self._free_pages):
-            if run and page != run[-1] + 1:
-                run = []
-            run.append(page)
-            if len(run) == count:
-                for p in run:
-                    self._free_pages.remove(p)
-                base = run[0] * PAGE_SIZE
+        # First fit over the ascending free list, re-sorted lazily after
+        # frees; the run is removed with one slice deletion.
+        free = self._free_pages
+        if self._free_dirty:
+            free.sort()
+            self._free_dirty = False
+        n = len(free)
+        i = 0
+        while i < n:
+            j = i + 1
+            while j < n and j - i < count and free[j] == free[j - 1] + 1:
+                j += 1
+            if j - i == count:
+                base = free[i] * PAGE_SIZE
+                del free[i:j]
                 self._allocated[base] = count
                 return base
+            i = j
         raise OutOfDeviceMemoryError("no run of %d free SmartDIMM pages" % count)
 
     def free_pages(self, base_address: int) -> None:
@@ -65,6 +72,7 @@ class SmartDIMMDriver:
         for page in range(first, first + count):
             self.reclaim_page(page)
         self._free_pages.extend(range(first, first + count))
+        self._free_dirty = True
 
     def reclaim_page(self, page_number: int) -> int:
         """Recycle any scratchpad lines still pending for `page_number`.

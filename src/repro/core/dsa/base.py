@@ -100,6 +100,15 @@ class ScratchpadWriter:
         index = self._offload.scratchpad_indices[page_position]
         self._scratchpad.write_line(index, line, data)
 
+    def write_line_run(self, first_global_line: int, data: bytes, count: int) -> None:
+        """Deposit `count` consecutive computed lines (single page) and mark
+        them VALID; equivalent to `count` :meth:`write_line` calls."""
+        page_position, line = divmod(first_global_line, LINES_PER_PAGE)
+        if line + count > LINES_PER_PAGE:
+            raise ValueError("line run crosses a page boundary")
+        index = self._offload.scratchpad_indices[page_position]
+        self._scratchpad.write_line_run(index, line, data, count)
+
     def write_bytes(self, offset: int, data: bytes) -> None:
         """Deposit bytes at an offload-wide offset without state changes."""
         while data:

@@ -15,10 +15,12 @@ order, and GHASH is serial.  The paper's hardware breaks the dependency by
 precomputing powers of H in strides of 4 so each cacheline's partial product
 commutes; :func:`weighted_tag_reference` implements that commutative
 formulation directly and the test suite proves it equals the serial GHASH
-for every arrival order.  The production path in this model keeps a small
-reorder buffer feeding a Horner pipeline — functionally identical, and the
-natural software rendering of the same idea (the hardware's H-power
-multiplier array plays the role of the buffer).
+for every arrival order.  The production path in this model stages each
+ciphertext block at its record offset (the on-DIMM memory already holds the
+ciphertext, so this is free in hardware) and runs one wide GHASH pass at
+finalisation — functionally identical, and the natural software rendering of
+the same idea (the hardware's H-power multiplier array is what makes the
+arrival order irrelevant).
 
 The output layout for a record of ``n`` payload bytes is ``n`` transformed
 bytes at offset 0 followed by the 16-byte tag at offset ``n``; the remainder
@@ -38,9 +40,11 @@ from repro.core.dsa.base import DSA, Offload, ScratchpadWriter
 BLOCKS_PER_LINE = CACHELINE_SIZE // 16  # 4: hence the paper's stride-4 H powers
 
 #: Keystream generation granularity: one batched CTR call covers this many
-#: cachelines (4 KB -> 256 AES blocks), amortising per-call overhead while a
-#: record's rdCAS commands drain line by line.
-KEYSTREAM_CHUNK_LINES = 64
+#: cachelines (16 KB -> 1024 AES blocks), amortising per-call overhead while
+#: a record's rdCAS commands drain line by line.  The keystream bytes are
+#: identical for any chunk size (the counter is derived from the absolute
+#: block index), so this is purely a batching knob.
+KEYSTREAM_CHUNK_LINES = 256
 
 
 def gf128_pow(h: int, exponent: int) -> int:
@@ -119,9 +123,13 @@ class TLSOffloadContext:
             for offset in range(0, len(padded_aad), 16):
                 block = int.from_bytes(padded_aad[offset : offset + 16], "big")
                 self._tag_accumulator = self.gcm.mul_h.mul(self._tag_accumulator ^ block)
-        # Reorder buffer for out-of-order cachelines (serial mode).
-        self._next_block = 0
-        self._pending_blocks = {}
+        # Ciphertext staging buffer (serial mode): out-of-order blocks land
+        # at their index and one wide GHASH pass folds them at finalisation —
+        # bit-identical to an incremental Horner because the buffer replays
+        # the blocks in index order (this is the software rendering of the
+        # hardware's H-power multiplier array, which makes arrival order
+        # irrelevant; see module docstring).
+        self._ct_buffer = bytearray(16 * self.ct_blocks) if not self.positional else None
 
     def _h_pow(self, exponent: int) -> int:
         # Memoised in the shared context, so the H-power ladder is built
@@ -154,12 +162,34 @@ class TLSOffloadContext:
         start = line_in_chunk * CACHELINE_SIZE
         return chunk[start : start + CACHELINE_SIZE]
 
+    def keystream_run(self, first_line: int, count: int) -> bytes:
+        """Keystream bytes for `count` consecutive full cachelines.
+
+        Byte-identical to concatenating :meth:`keystream_line` per line —
+        both slice the same batch-generated chunks; at most two chunks are
+        touched because a run never exceeds a DRAM page (64 lines).
+        """
+        parts = []
+        line = first_line
+        remaining = count
+        while remaining:
+            chunk_index, line_in_chunk = divmod(line, KEYSTREAM_CHUNK_LINES)
+            take = min(remaining, KEYSTREAM_CHUNK_LINES - line_in_chunk)
+            self.keystream_line(line)  # materialise the chunk on demand
+            chunk = self._keystream_chunks[chunk_index]
+            start = line_in_chunk * CACHELINE_SIZE
+            parts.append(chunk[start : start + take * CACHELINE_SIZE])
+            line += take
+            remaining -= take
+        return parts[0] if len(parts) == 1 else b"".join(parts)
+
     def fold_ciphertext_block(self, block_index: int, block: bytes) -> None:
         """Fold ciphertext block `block_index` (0-based) into the tag.
 
-        Serial mode accepts any order and drains into a Horner pipeline as
-        the sequence becomes contiguous; positional mode weights each block
-        by its power of H so arbitrary (even strided) subsets commute.
+        Serial mode accepts any order, staging each block at its record
+        offset for one wide GHASH pass at finalisation; positional mode
+        weights each block by its power of H so arbitrary (even strided)
+        subsets commute.
         """
         if self.positional:
             if block_index in self._folded_blocks:
@@ -168,13 +198,32 @@ class TLSOffloadContext:
             weight = self._h_pow(self.ct_blocks + 1 - block_index)
             self._positional_sum ^= gf128_mul(int.from_bytes(block, "big"), weight)
             return
-        if block_index < self._next_block or block_index in self._pending_blocks:
+        if not 0 <= block_index < self.ct_blocks:
+            raise ValueError("ciphertext block %d out of range" % block_index)
+        if block_index in self._folded_blocks:
             raise ValueError("ciphertext block %d folded twice" % block_index)
-        self._pending_blocks[block_index] = block
-        while self._next_block in self._pending_blocks:
-            value = int.from_bytes(self._pending_blocks.pop(self._next_block), "big")
-            self._tag_accumulator = self.gcm.mul_h.mul(self._tag_accumulator ^ value)
-            self._next_block += 1
+        self._folded_blocks.add(block_index)
+        self._ct_buffer[16 * block_index : 16 * block_index + 16] = block
+
+    def fold_ciphertext_run(self, first_block: int, data: bytes) -> None:
+        """Fold a run of whole ciphertext blocks (serial mode bulk form).
+
+        Identical to per-block :meth:`fold_ciphertext_block` calls in
+        ascending order: staging commutes, so one slice assignment plus a
+        range update of the folded set reproduces the same state.
+        """
+        count = len(data) // 16
+        if self.positional:
+            raise RuntimeError("bulk folds are a serial-mode path")
+        if first_block < 0 or first_block + count > self.ct_blocks:
+            raise ValueError("ciphertext run [%d, %d) out of range" % (first_block, first_block + count))
+        span = range(first_block, first_block + count)
+        if not self._folded_blocks.isdisjoint(span):
+            for block_index in span:
+                if block_index in self._folded_blocks:
+                    raise ValueError("ciphertext block %d folded twice" % block_index)
+        self._folded_blocks.update(span)
+        self._ct_buffer[16 * first_block : 16 * first_block + len(data)] = data
 
     @property
     def partial_tag_sum(self) -> int:
@@ -184,16 +233,20 @@ class TLSOffloadContext:
         return self._positional_sum
 
     def final_tag(self) -> bytes:
-        """Finish GHASH with the lengths block and mask with EIV."""
-        if self._pending_blocks or self._next_block != self.ct_blocks:
+        """GHASH the staged ciphertext, finish with the lengths block, and
+        mask with EIV."""
+        if self.positional:
+            raise RuntimeError("positional contexts expose partial_tag_sum, not final_tag")
+        if len(self._folded_blocks) != self.ct_blocks:
             raise RuntimeError(
                 "tag finalised with %d/%d ciphertext blocks folded"
-                % (self._next_block, self.ct_blocks)
+                % (len(self._folded_blocks), self.ct_blocks)
             )
+        y = self.gcm.ghash(bytes(self._ct_buffer), self._tag_accumulator)
         lengths = (8 * len(self.aad)).to_bytes(8, "big") + (
             8 * self.record_length
         ).to_bytes(8, "big")
-        s = self.gcm.mul_h.mul(self._tag_accumulator ^ int.from_bytes(lengths, "big"))
+        s = self.gcm.mul_h.mul(y ^ int.from_bytes(lengths, "big"))
         return xor_bytes(s.to_bytes(16, "big"), self.eiv)
 
 
@@ -262,6 +315,34 @@ class TLSDSA(DSA):
             # Partial final line: stage the bytes now, mark VALID at
             # finalisation once the tag completes the line.
             writer.write_bytes(byte_offset, output[:usable])
+
+    def process_run(
+        self,
+        offload: Offload,
+        writer: ScratchpadWriter,
+        first_global_line: int,
+        data: bytes,
+        count: int,
+    ) -> bool:
+        """Bulk form of :meth:`process_line` for `count` consecutive lines.
+
+        Returns False (caller falls back to the per-line path) when the run
+        cannot be processed wholesale: positional contexts fold block by
+        block, and runs touching the zero-padded tail need the partial-line
+        staging logic.  When it returns True the context, scratchpad bytes,
+        and line states are identical to `count` process_line calls.
+        """
+        context = offload.context
+        if context.positional:
+            return False
+        if (first_global_line + count) * CACHELINE_SIZE > context.record_length:
+            return False
+        keystream = context.keystream_run(first_global_line, count)
+        output = xor_bytes(data, keystream)
+        ghash_input = output if not context.decrypt else data
+        context.fold_ciphertext_run(first_global_line * BLOCKS_PER_LINE, ghash_input)
+        writer.write_line_run(first_global_line, output, count)
+        return True
 
     def finalize(self, offload: Offload, writer: ScratchpadWriter) -> None:
         """Write the tag into the trailer (serial mode) and validate the

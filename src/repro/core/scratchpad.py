@@ -40,6 +40,9 @@ class ScratchpadPage:
     # DRAM cycle at which each VALID line's computation completes; a CAS
     # arriving earlier hits the "unlikely" S7/S13 arbiter states.
     ready_cycles: list = field(default_factory=lambda: [None] * LINES_PER_PAGE)
+    # Maintained by the Scratchpad state-transition methods so the hot
+    # all-recycled check is O(1) instead of scanning 64 states per wrCAS.
+    recycled_count: int = 0
 
     def valid_lines(self) -> int:
         """Count of computed-but-unrecycled lines."""
@@ -47,7 +50,7 @@ class ScratchpadPage:
 
     def all_recycled(self) -> bool:
         """True when every line has been retired to DRAM (page freeable)."""
-        return all(s is LineState.RECYCLED for s in self.states)
+        return self.recycled_count == len(self.states)
 
 
 class ScratchpadFullError(Exception):
@@ -119,7 +122,22 @@ class Scratchpad:
         page = self._pages[index]
         offset = line * CACHELINE_SIZE
         page.data[offset : offset + CACHELINE_SIZE] = data
+        if page.states[line] is LineState.RECYCLED:
+            page.recycled_count -= 1
         page.states[line] = LineState.VALID
+
+    def write_line_run(self, index: int, line: int, data: bytes, count: int) -> None:
+        """DSA deposits `count` consecutive computed lines and marks them
+        VALID — the bulk form of :meth:`write_line`, state-identical to
+        calling it once per line."""
+        if len(data) != count * CACHELINE_SIZE:
+            raise ValueError("scratchpad run write must be %d bytes" % (count * CACHELINE_SIZE))
+        page = self._pages[index]
+        offset = line * CACHELINE_SIZE
+        page.data[offset : offset + len(data)] = data
+        states = page.states
+        page.recycled_count -= states[line : line + count].count(LineState.RECYCLED)
+        states[line : line + count] = [LineState.VALID] * count
 
     def write_bytes(self, index: int, offset: int, data: bytes) -> None:
         """DSA deposits an arbitrary byte range without changing line states
@@ -131,7 +149,17 @@ class Scratchpad:
 
     def mark_valid(self, index: int, line: int) -> None:
         """Mark a line VALID without changing its bytes."""
-        self._pages[index].states[line] = LineState.VALID
+        page = self._pages[index]
+        if page.states[line] is LineState.RECYCLED:
+            page.recycled_count -= 1
+        page.states[line] = LineState.VALID
+
+    def mark_foreign_recycled(self, index: int, line: int) -> None:
+        """Mark a never-computed line RECYCLED (host overwrote it first)."""
+        page = self._pages[index]
+        if page.states[line] is not LineState.RECYCLED:
+            page.recycled_count += 1
+        page.states[line] = LineState.RECYCLED
 
     def set_ready_cycle(self, index: int, line: int, cycle: int) -> None:
         """Record when the DSA finishes computing this line."""
@@ -171,10 +199,30 @@ class Scratchpad:
         offset = line * CACHELINE_SIZE
         data = bytes(page.data[offset : offset + CACHELINE_SIZE])
         page.states[line] = LineState.RECYCLED
+        page.recycled_count += 1
         if forced:
             self.force_recycled_lines += 1
         else:
             self.self_recycled_lines += 1
+        return data, page.all_recycled()
+
+    def recycle_line_run(self, index: int, line: int, count: int) -> tuple:
+        """Consume `count` consecutive VALID lines (bulk :meth:`recycle_line`).
+
+        Returns (data, page_now_free).  State-identical to per-line calls;
+        the page can only become free on the run's last line (every earlier
+        run line is still VALID when its predecessors recycle), so one
+        trailing :meth:`ScratchpadPage.all_recycled` check suffices.
+        """
+        page = self._pages[index]
+        states = page.states
+        if states[line : line + count].count(LineState.VALID) != count:
+            raise RuntimeError("recycling non-VALID scratchpad line run")
+        offset = line * CACHELINE_SIZE
+        data = bytes(page.data[offset : offset + count * CACHELINE_SIZE])
+        states[line : line + count] = [LineState.RECYCLED] * count
+        page.recycled_count += count
+        self.self_recycled_lines += count
         return data, page.all_recycled()
 
     # -- pending list (MMIO-readable, Algorithm 1) -------------------------------------

@@ -446,8 +446,7 @@ class SmartDIMM:
                 if self.mapping.decode(address).channel == self.channel:
                     offload.owned_lines.add(offload.global_line(position, line))
                 else:
-                    page = self.scratchpad.page(scratchpad_index)
-                    page.states[line] = LineState.RECYCLED
+                    self.scratchpad.mark_foreign_recycled(scratchpad_index, line)
         self._page_binding[sbuf_page] = (offload, position, True)
         self._page_binding[dbuf_page] = (offload, position, False)
         self.stats.pages_registered += 2
@@ -585,6 +584,200 @@ class SmartDIMM:
         # S13: computation pending — assert ALERT_N so the controller retries.
         self.stats.alerts += 1
         return CasResult(alert=True)
+
+    # -- batched fast path (MemoryController.read_lines/write_lines) --------------------
+
+    def bulk_ok(self, address: int) -> bool:
+        """Whether a same-row burst at `address` may skip Command decoding.
+
+        MMIO lines need the full per-command path, and an attached fault
+        plan needs the per-line reference path so every injection site
+        draws from its RNG stream in reference order.
+        """
+        return self.fault_plan is None and not self._in_mmio(address)
+
+    def read_line_run(self, address: int, count: int, first_cycle: int,
+                      step: int) -> tuple:
+        """Serve consecutive rdCAS bursts; stats-identical to the per-line
+        arbiter walk.  Returns ``(data, served, alerted)``: on S13 the run
+        stops at the pending line (its issue is counted here; the
+        controller owns the retry loop).  The run never crosses a page, so
+        one translation lookup covers every line.
+        """
+        stats = self.stats
+        entry = self.translation_table.lookup(address >> 12)
+        if entry is None:
+            stats.address_regenerations += count
+            stats.normal_reads += count
+            return self.memory.read_lines(address, count), count, False
+        if entry.is_source:
+            stats.address_regenerations += count
+            stats.normal_reads += count
+            data = self.memory.read_lines(address, count)
+            self._feed_dsa_run(
+                address, count, data, first_cycle, step, OffloadTrigger.SOURCE_READ
+            )
+            return data, count, False
+        index = entry.target_offset
+        line = (address & (PAGE_SIZE - 1)) // CACHELINE_SIZE
+        page = self.scratchpad.page(index)
+        states = page.states
+        ready_cycles = page.ready_cycles
+        parts = []
+        served = 0
+        for m in range(count):
+            line_m = line + m
+            state = states[line_m]
+            if state is LineState.RECYCLED:
+                stats.normal_reads += 1
+                parts.append(self.memory.read_line(address + (m << 6)))
+            elif state is LineState.VALID and (
+                ready_cycles[line_m] is None
+                or first_cycle + step * m >= ready_cycles[line_m]
+            ):
+                stats.scratchpad_serves += 1  # S10
+                offset = line_m * CACHELINE_SIZE
+                parts.append(bytes(page.data[offset : offset + CACHELINE_SIZE]))
+            else:
+                # S13: the alerting issue still regenerated its address.
+                stats.alerts += 1
+                stats.address_regenerations += served + 1
+                return b"".join(parts), served, True
+            served += 1
+        stats.address_regenerations += served
+        return b"".join(parts), served, False
+
+    def write_line_run(self, address: int, datas: list, first_cycle: int,
+                       step: int) -> None:
+        """Absorb consecutive wrCAS bursts (writes never alert)."""
+        count = len(datas)
+        stats = self.stats
+        stats.address_regenerations += count
+        entry = self.translation_table.lookup(address >> 12)
+        if entry is None:
+            stats.normal_writes += count
+            self.memory.write(address, b"".join(datas))
+            return
+        if entry.is_source:
+            stats.normal_writes += count
+            data = b"".join(datas)
+            self.memory.write(address, data)
+            self._feed_dsa_run(
+                address, count, data, first_cycle, step, OffloadTrigger.SOURCE_WRITE
+            )
+            return
+        index = entry.target_offset
+        line = (address & (PAGE_SIZE - 1)) // CACHELINE_SIZE
+        scratchpad = self.scratchpad
+        page = scratchpad.page(index)
+        states = page.states
+        ready_cycles = page.ready_cycles
+        # Segment the burst into maximal same-branch runs; each segment's
+        # bulk operation is state- and stats-identical to the per-line loop,
+        # and a page release can only fire on the last line of a recyclable
+        # segment (earlier lines leave later VALID segment lines in place).
+        m = 0
+        while m < count:
+            line_m = line + m
+            state = states[line_m]
+            if state is LineState.RECYCLED:
+                # Also reached after a mid-run page release: the held page
+                # object reads all-RECYCLED, which lands every remaining
+                # line in DRAM exactly like the reference's translation
+                # miss would.
+                r = m + 1
+                while r < count and states[line + r] is LineState.RECYCLED:
+                    r += 1
+                stats.normal_writes += r - m
+                self.memory.write(address + (m << 6), b"".join(datas[m:r]))
+                m = r
+                continue
+            ready = ready_cycles[line_m]
+            if state is LineState.VALID and (
+                ready is None or first_cycle + step * m >= ready
+            ):
+                r = m + 1
+                while r < count and states[line + r] is LineState.VALID:
+                    ready = ready_cycles[line + r]
+                    if ready is not None and first_cycle + step * r < ready:
+                        break
+                    r += 1
+                data, page_free = scratchpad.recycle_line_run(index, line_m, r - m)
+                self.memory.write(address + (m << 6), data)
+                stats.self_recycles += r - m
+                if page_free:
+                    binding = self._page_binding.get(entry.page_number)
+                    if binding is not None and binding[0].state is not OffloadState.FINALIZED:
+                        self._deferred_releases.add((entry.page_number, index))
+                    else:
+                        self._release_destination_page(entry.page_number, index)
+                m = r
+                continue
+            # S7: premature writeback — the scratchpad still owns the line.
+            stats.ignored_writes += 1
+            m += 1
+
+    def _feed_dsa_run(
+        self,
+        address: int,
+        count: int,
+        data: bytes,
+        first_cycle: int,
+        step: int,
+        trigger: OffloadTrigger,
+    ) -> None:
+        """Per-line DSA feed for a burst (== _maybe_feed_dsa in a loop)."""
+        binding = self._page_binding.get(address >> 12)
+        if binding is None:
+            return
+        offload, position, _ = binding
+        if offload.state is not OffloadState.IN_PROGRESS or offload.trigger is not trigger:
+            return
+        line = (address & (PAGE_SIZE - 1)) // CACHELINE_SIZE
+        dsa = self.dsas[offload.kind]
+        writer = ScratchpadWriter(self.scratchpad, offload)
+        processed = offload.processed_lines
+        latency = self.config.dsa_line_latency_cycles
+        process_run = getattr(dsa, "process_run", None)
+        if process_run is not None and count > 1:
+            # Bulk feed: valid only when every line of the run is fresh, so
+            # the reference loop would have processed exactly these lines in
+            # order with no mid-run skip, and completion (if any) would have
+            # fired on the run's last line.  global_line is linear, so the
+            # run's global indices are consecutive.
+            first_global = offload.global_line(position, line)
+            span = range(first_global, first_global + count)
+            if processed.isdisjoint(span) and process_run(
+                offload, writer, first_global, data, count
+            ):
+                processed.update(span)
+                self.stats.dsa_lines_processed += count
+                for m in range(count):
+                    self._set_line_ready(
+                        offload, first_global + m, first_cycle + step * m + latency
+                    )
+                if offload.complete():
+                    self._finalize_offload(offload, first_cycle + step * (count - 1))
+                return
+        view = memoryview(data)
+        for m in range(count):
+            if offload.state is not OffloadState.IN_PROGRESS:
+                return
+            global_line = offload.global_line(position, line + m)
+            if global_line in processed:
+                continue
+            cycle = first_cycle + step * m
+            dsa.process_line(
+                offload,
+                writer,
+                global_line,
+                bytes(view[m * CACHELINE_SIZE : (m + 1) * CACHELINE_SIZE]),
+            )
+            processed.add(global_line)
+            self.stats.dsa_lines_processed += 1
+            self._set_line_ready(offload, global_line, cycle + latency)
+            if offload.complete():
+                self._finalize_offload(offload, cycle)
 
     # -- abort (wedged-DSA recovery) ------------------------------------------------------------------------
 

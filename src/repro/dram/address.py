@@ -30,7 +30,7 @@ class InterleaveMode(enum.Enum):
     CACHELINE = "cacheline"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DramCoordinate:
     """Where a 64-byte line lives inside the memory system."""
 
@@ -81,10 +81,39 @@ class AddressMapping:
         self._bank_bits = _bits_for(banks_per_group)
         self._bg_bits = _bits_for(bank_groups)
         self._row_bits = _bits_for(rows)
-        if interleave is InterleaveMode.SINGLE_CHANNEL and channels > 1:
-            # Channel bits sit above everything else: each channel owns a
-            # contiguous region.
-            pass
+        # Precomputed absolute shift/mask per field so decode() is a flat
+        # chain of and/shift with no per-call recomputation.  Field order
+        # (LSB up): offset | [channel if CACHELINE] | column | bank |
+        # bank_group | row | [channel if SINGLE_CHANNEL].
+        shift = self._offset_bits
+        self._chan_lo_shift = shift  # CACHELINE-mode channel position
+        if interleave is InterleaveMode.CACHELINE and channels > 1:
+            shift += self._channel_bits
+        self._col_shift = shift
+        self._col_mask = columns_per_row - 1
+        shift += self._column_bits
+        self._bank_shift = shift
+        self._bank_mask = banks_per_group - 1
+        shift += self._bank_bits
+        self._bg_shift = shift
+        self._bg_mask = bank_groups - 1
+        shift += self._bg_bits
+        self._row_shift = shift
+        self._row_mask = rows - 1
+        shift += self._row_bits
+        self._chan_hi_shift = shift  # SINGLE_CHANNEL-mode channel position
+        self._chan_mask = channels - 1 if channels > 1 else 0
+        self._chan_is_low = interleave is InterleaveMode.CACHELINE and channels > 1
+        self._chan_is_high = (
+            interleave is InterleaveMode.SINGLE_CHANNEL and channels > 1
+        )
+        # Per-page decode cache: page number -> tuple of LINES_PER_PAGE
+        # coordinates.  Pages are revisited constantly (64 lines each) and
+        # the working set is small, so a bounded dict cleared on overflow
+        # beats LRU bookkeeping.
+        self._page_cache = {}
+        self._page_cache_limit = 4096
+        self._run_cache = {}
 
     @property
     def capacity_per_channel(self) -> int:
@@ -103,7 +132,30 @@ class AddressMapping:
     # -- forward mapping -----------------------------------------------------
 
     def decode(self, address: int) -> DramCoordinate:
-        """Physical address -> DRAM coordinate (line-aligned)."""
+        """Physical address -> DRAM coordinate (line-aligned).
+
+        Fast path: a flat shift/mask chain over fields precomputed in
+        ``__init__``.  Equivalence with :meth:`decode_reference` is
+        covered by tests.
+        """
+        if not 0 <= address < self.total_capacity:
+            raise ValueError("address 0x%x out of range" % address)
+        if self._chan_is_low:
+            channel = (address >> self._chan_lo_shift) & self._chan_mask
+        elif self._chan_is_high:
+            channel = (address >> self._chan_hi_shift) & self._chan_mask
+        else:
+            channel = 0
+        return DramCoordinate(
+            channel=channel,
+            bank_group=(address >> self._bg_shift) & self._bg_mask,
+            bank=(address >> self._bank_shift) & self._bank_mask,
+            row=(address >> self._row_shift) & self._row_mask,
+            column=(address >> self._col_shift) & self._col_mask,
+        )
+
+    def decode_reference(self, address: int) -> DramCoordinate:
+        """Reference decoder: the original sequential shift chain."""
         if not 0 <= address < self.total_capacity:
             raise ValueError("address 0x%x out of range" % address)
         bits = address >> self._offset_bits
@@ -125,6 +177,64 @@ class AddressMapping:
         return DramCoordinate(
             channel=channel, bank_group=bank_group, bank=bank, row=row, column=column
         )
+
+    def page_coordinates(self, page_number: int) -> tuple:
+        """Coordinates of every line of a 4 KB page, cached per page."""
+        cached = self._page_cache.get(page_number)
+        if cached is None:
+            if len(self._page_cache) >= self._page_cache_limit:
+                self._page_cache.clear()
+            decode = self.decode
+            cached = tuple(
+                decode(address) for address in self.lines_of_page(page_number)
+            )
+            self._page_cache[page_number] = cached
+        return cached
+
+    def line_coordinate(self, address: int) -> DramCoordinate:
+        """Cached decode: coordinate of the line containing `address`."""
+        return self.page_coordinates(address >> 12)[(address >> 6) & 63]
+
+    def page_runs(self, page_number: int) -> tuple:
+        """Runs of consecutive page lines sharing (channel, bank, row).
+
+        Returns ``((start_line, count), ...)`` over the page's 64 lines.
+        SINGLE_CHANNEL mode with >=64 columns per row yields one run per
+        page; CACHELINE interleave degenerates to length-1 runs (correct,
+        just not batched).
+        """
+        runs = self._run_cache.get(page_number)
+        if runs is None:
+            coords = self.page_coordinates(page_number)
+            banks = self.banks_per_group
+            out = []
+            start = 0
+            key = None
+            for index, coord in enumerate(coords):
+                this = (coord.channel, coord.bank_index(banks), coord.row)
+                if key is None:
+                    key = this
+                elif this != key or coord.column != coords[index - 1].column + 1:
+                    out.append((start, index - start))
+                    start, key = index, this
+            out.append((start, len(coords) - start))
+            if len(self._run_cache) >= self._page_cache_limit:
+                self._run_cache.clear()
+            runs = self._run_cache[page_number] = tuple(out)
+        return runs
+
+    def run_length(self, address: int) -> int:
+        """Lines from `address` to the end of its same-row run (>= 1).
+
+        A batch issuer may coalesce up to this many consecutive lines into
+        one open-row burst without changing the ACT/PRE stream.  Runs never
+        cross a 4 KB page boundary (callers re-query per page).
+        """
+        line = (address >> 6) & 63
+        for start, count in self.page_runs(address >> 12):
+            if start <= line < start + count:
+                return start + count - line
+        raise AssertionError("line %d not covered by page runs" % line)
 
     # -- inverse mapping (the Addr Remap module) ------------------------------
 

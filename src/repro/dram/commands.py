@@ -38,7 +38,7 @@ class CommandType(enum.Enum):
     SPAD_WB = "spadWB"  # scratchpad line -> DRAM, buffer-device internal
 
 
-@dataclass
+@dataclass(slots=True)
 class Command:
     """One DDR command as decoded by the slot decoder.
 

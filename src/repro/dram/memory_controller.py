@@ -28,7 +28,7 @@ from repro.dram.physical_memory import PhysicalMemory
 from repro.faults.errors import DsaWedgedError
 
 
-@dataclass
+@dataclass(slots=True)
 class CasResult:
     """Outcome of a CAS command at the DIMM."""
 
@@ -51,6 +51,22 @@ class PlainDIMM:
             self.memory.write_line(command.address, command.data)
             return CasResult()
         return CasResult()  # ACT/PRE maintain bank state only
+
+    # -- batched fast path (MemoryController.read_lines/write_lines) --------
+
+    def bulk_ok(self, address: int) -> bool:
+        """A plain DIMM can always serve a same-row CAS burst."""
+        return True
+
+    def read_line_run(self, address: int, count: int, first_cycle: int,
+                      step: int) -> tuple:
+        """Serve `count` consecutive rdCAS bursts; never alerts."""
+        return self.memory.read_lines(address, count), count, False
+
+    def write_line_run(self, address: int, datas: list, first_cycle: int,
+                       step: int) -> None:
+        """Absorb consecutive wrCAS bursts into the DRAM devices."""
+        self.memory.write(address, b"".join(datas))
 
 
 @dataclass
@@ -96,7 +112,7 @@ class ControllerStats:
         return self.bytes_read + self.bytes_written
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEntry:
     cycle: int
     kind: str  # "rdCAS" or "wrCAS"
@@ -104,7 +120,16 @@ class TraceEntry:
 
 
 class MemoryController:
-    """Schedules line-granular reads/writes onto per-channel DIMM devices."""
+    """Schedules line-granular reads/writes onto per-channel DIMM devices.
+
+    `batch=True` (the default) enables the range-granular fast path: the
+    batch APIs (:meth:`read_lines`, :meth:`write_lines`,
+    :meth:`write_lines_now`) coalesce same-row CAS bursts into one
+    open-row check + one turnaround check per run, and the write-queue
+    drain issues runs instead of single lines.  The command stream, cycle
+    counts, stats, and trace are identical to the per-line reference path
+    (`batch=False`), which the equivalence tests assert.
+    """
 
     WRITE_QUEUE_HIGH_WATERMARK = 48
     WRITE_QUEUE_DRAIN_TO = 16
@@ -115,6 +140,7 @@ class MemoryController:
         dimms: dict,
         timing: TimingParams = None,
         trace: bool = False,
+        batch: bool = True,
     ):
         self.mapping = mapping
         self.dimms = dict(dimms)
@@ -122,6 +148,7 @@ class MemoryController:
         if missing:
             raise ValueError("no DIMM bound to channels %s" % sorted(missing))
         self.timing = timing or TimingParams()
+        self.batch = batch
         self.cycle = 0
         self.stats = ControllerStats()
         self.trace = [] if trace else None
@@ -169,6 +196,156 @@ class MemoryController:
         self._write_queue.pop(address, None)
         self._issue_write(address, data)
 
+    # -- batch line interface (fast path; equivalent to per-line loops) ---------
+
+    def read_lines(self, address: int, count: int) -> bytes:
+        """Read `count` consecutive cachelines (== joining read_line calls).
+
+        Queued writes are forwarded per line exactly as :meth:`read_line`
+        does; the non-forwarded spans between them are issued as same-row
+        CAS bursts through the DIMM's ``read_line_run`` fast path.
+        """
+        self._check_aligned(address)
+        if count <= 0:
+            return b""
+        if not self.batch or count == 1:
+            return b"".join(
+                self.read_line(address + (i << 6)) for i in range(count)
+            )
+        parts = []
+        queue = self._write_queue
+        i = 0
+        while i < count:
+            line_address = address + (i << 6)
+            queued = queue.get(line_address)
+            if queued is not None:
+                # Store-to-load forwarding, same as the per-line path.
+                self.stats.forwarded_reads += 1
+                parts.append(queued)
+                i += 1
+                continue
+            j = i + 1
+            while j < count and (address + (j << 6)) not in queue:
+                j += 1
+            self._read_span(line_address, j - i, parts)
+            i = j
+        return b"".join(parts)
+
+    def _read_span(self, address: int, count: int, parts: list) -> None:
+        """Issue reads for `count` lines known to miss the write queue."""
+        timing = self.timing
+        cas = timing.cas_cycles
+        while count:
+            run = min(count, self.mapping.run_length(address))
+            coordinate = self.mapping.line_coordinate(address)
+            device = self.dimms[coordinate.channel]
+            bulk = run > 1 and getattr(device, "bulk_ok", None)
+            if not (bulk and device.bulk_ok(address)):
+                # Reference single-line issue (also the MMIO/foreign-device
+                # path): identical to read_line minus the forwarding check.
+                result = self._issue_with_alert_retry(address, CommandType.RDCAS)
+                self.stats.reads += 1
+                self.stats.bytes_read += CACHELINE_SIZE
+                parts.append(result.data)
+                address += CACHELINE_SIZE
+                count -= 1
+                continue
+            direct = type(device) is PlainDIMM
+            while run:
+                coordinate = self.mapping.line_coordinate(address)
+                self._open_row(coordinate, device, direct=direct)
+                if self._last_direction not in (None, "read"):
+                    self.cycle += timing.turnaround_cycles
+                self._last_direction = "read"
+                first_cycle = self.cycle + cas
+                data, served, alerted = device.read_line_run(
+                    address, run, first_cycle, cas
+                )
+                issued = served + (1 if alerted else 0)
+                self.stats.row_hits += issued - 1
+                self.cycle += cas * issued
+                if self.trace is not None:
+                    for m in range(issued):
+                        self.trace.append(
+                            TraceEntry(first_cycle + cas * m, "rdCAS",
+                                       address + (m << 6))
+                        )
+                if served:
+                    parts.append(data)
+                    self.stats.reads += served
+                    self.stats.bytes_read += served * CACHELINE_SIZE
+                    address += served << 6
+                    run -= served
+                    count -= served
+                if alerted:
+                    # The alerting issue is already charged above; continue
+                    # the reference backoff/reissue loop for that line.
+                    result = self._alert_retry_continue(address, CommandType.RDCAS)
+                    self.stats.reads += 1
+                    self.stats.bytes_read += CACHELINE_SIZE
+                    parts.append(result.data)
+                    address += CACHELINE_SIZE
+                    run -= 1
+                    count -= 1
+
+    def write_lines(self, address: int, data: bytes) -> None:
+        """Queue consecutive cacheline writes (== a write_line loop)."""
+        self._check_aligned(address)
+        if len(data) % CACHELINE_SIZE:
+            raise ValueError(
+                "bulk write must be a multiple of %d bytes" % CACHELINE_SIZE
+            )
+        queue = self._write_queue
+        watermark = self.WRITE_QUEUE_HIGH_WATERMARK
+        view = memoryview(data)
+        for offset in range(0, len(data), CACHELINE_SIZE):
+            queue[address + offset] = bytes(view[offset:offset + CACHELINE_SIZE])
+            if len(queue) >= watermark:
+                self._drain_writes(target=self.WRITE_QUEUE_DRAIN_TO)
+
+    def write_lines_now(self, address: int, datas: list) -> None:
+        """Flush writebacks for consecutive lines, bypassing the queue
+        (== a write_line_now loop: queued copies are removed first)."""
+        self._check_aligned(address)
+        queue = self._write_queue
+        for i in range(len(datas)):
+            queue.pop(address + (i << 6), None)
+        self._write_run(address, datas)
+
+    def _write_run(self, address: int, datas: list) -> None:
+        """Issue consecutive wrCAS bursts, coalescing same-row runs."""
+        timing = self.timing
+        cas = timing.cas_cycles
+        i = 0
+        n = len(datas)
+        while i < n:
+            line_address = address + (i << 6)
+            run = min(n - i, self.mapping.run_length(line_address))
+            coordinate = self.mapping.line_coordinate(line_address)
+            device = self.dimms[coordinate.channel]
+            bulk = self.batch and run > 1 and getattr(device, "bulk_ok", None)
+            if not (bulk and device.bulk_ok(line_address)):
+                self._issue_write(line_address, datas[i])
+                i += 1
+                continue
+            self._open_row(coordinate, device, direct=type(device) is PlainDIMM)
+            if self._last_direction not in (None, "write"):
+                self.cycle += timing.turnaround_cycles
+            self._last_direction = "write"
+            first_cycle = self.cycle + cas
+            self.stats.row_hits += run - 1
+            self.cycle += cas * run
+            if self.trace is not None:
+                for m in range(run):
+                    self.trace.append(
+                        TraceEntry(first_cycle + cas * m, "wrCAS",
+                                   line_address + (m << 6))
+                    )
+            device.write_line_run(line_address, datas[i:i + run], first_cycle, cas)
+            self.stats.writes += run
+            self.stats.bytes_written += run * CACHELINE_SIZE
+            i += run
+
     # -- Sec. IV-E command extensions (used by DirectOffload, not plain CPUs) ----
 
     def compute_read_line(self, address: int) -> None:
@@ -184,8 +361,10 @@ class MemoryController:
 
     def scratchpad_writeback_line(self, address: int) -> bool:
         """Tell the buffer device to retire a staged scratchpad line to
-        DRAM internally.  Returns False (with a retry consumed) while the
-        DSA has not finished that line."""
+        DRAM internally.  Always returns True: the ALERT_N retry loop
+        either completes the writeback (backing off while the DSA has not
+        finished that line) or raises :class:`DsaWedgedError` — it never
+        reports partial failure to the caller."""
         self._check_aligned(address)
         self._issue_with_alert_retry(address, CommandType.SPAD_WB)
         self.stats.scratchpad_writebacks += 1
@@ -228,16 +407,71 @@ class MemoryController:
             result = self._issue_cas(address, kind, b"")
         return result
 
+    def _alert_retry_continue(self, address: int, kind: CommandType) -> CasResult:
+        """Resume the ALERT_N retry loop after a batched issue alerted.
+
+        The alerting issue itself was already charged by the caller
+        (cycle + trace entry), so this enters
+        :meth:`_issue_with_alert_retry`'s loop body directly: count the
+        alert, back off, reissue — until the line serves or the DSA wedges.
+        """
+        retries = 0
+        backoff = 0
+        while True:
+            self.stats.alerts += 1
+            retries += 1
+            if retries > self.timing.max_alert_retries:
+                self.stats.wedges += 1
+                raise DsaWedgedError(
+                    "%s retry limit (%d) exceeded at 0x%x; DSA wedged"
+                    % (kind.value, self.timing.max_alert_retries, address),
+                    site=kind.value, address=address, retries=retries - 1,
+                    backoff_cycles=backoff,
+                )
+            step = self.timing.alert_retry_cycles * min(
+                1 << (retries - 1), self.timing.alert_backoff_cap
+            )
+            self.cycle += step
+            backoff += step
+            self.stats.alert_backoff_cycles += step
+            result = self._issue_cas(address, kind, b"")
+            if not result.alert:
+                return result
+
     @staticmethod
     def _check_aligned(address: int) -> None:
         if address % CACHELINE_SIZE:
             raise ValueError("unaligned line access at 0x%x" % address)
 
     def _drain_writes(self, target: int) -> None:
-        while len(self._write_queue) > target:
-            address, data = next(iter(self._write_queue.items()))
-            del self._write_queue[address]
-            self._issue_write(address, data)
+        if not self.batch:
+            while len(self._write_queue) > target:
+                address, data = next(iter(self._write_queue.items()))
+                del self._write_queue[address]
+                self._issue_write(address, data)
+            return
+        # Batched drain: pop runs of entries that are consecutive both in
+        # insertion order and in address, then issue each run as one
+        # same-row burst.  Identical pop order to the reference loop.
+        queue = self._write_queue
+        while len(queue) > target:
+            items = iter(queue.items())
+            address, data = next(items)
+            max_pop = min(len(queue) - target, self.mapping.run_length(address))
+            datas = [data]
+            expected = address + CACHELINE_SIZE
+            while len(datas) < max_pop:
+                try:
+                    next_address, next_data = next(items)
+                except StopIteration:
+                    break
+                if next_address != expected:
+                    break
+                datas.append(next_data)
+                expected += CACHELINE_SIZE
+            for i in range(len(datas)):
+                del queue[address + (i << 6)]
+            self._write_run(address, datas)
 
     def _issue_write(self, address: int, data: bytes) -> None:
         result = self._issue_cas(address, CommandType.WRCAS, data)
@@ -249,8 +483,39 @@ class MemoryController:
             pass
 
     def _issue_cas(self, address: int, kind: CommandType, data: bytes) -> CasResult:
-        coordinate = self.mapping.decode(address)
+        coordinate = self.mapping.line_coordinate(address)
         device = self.dimms[coordinate.channel]
+        if (
+            self.batch
+            and type(device) is PlainDIMM
+            and kind in (CommandType.RDCAS, CommandType.WRCAS)
+        ):
+            # Plain-DIMM direct path: no Command objects.  ACT/PRE/CAS at a
+            # plain DIMM carry no device-side state (handle_command only
+            # touches DRAM for CAS), so the burst goes straight to the
+            # backing memory with identical cycle/stats/trace accounting.
+            self._open_row(coordinate, device, direct=True)
+            if kind is CommandType.RDCAS:
+                if self._last_direction not in (None, "read"):
+                    self.cycle += self.timing.turnaround_cycles
+                self._last_direction = "read"
+                self.cycle += self.timing.cas_cycles
+                if self.trace is not None:
+                    self.trace.append(TraceEntry(self.cycle, "rdCAS", address))
+                return CasResult(data=device.memory.read_line(address))
+            if self._last_direction not in (None, "write"):
+                self.cycle += self.timing.turnaround_cycles
+            self._last_direction = "write"
+            self.cycle += self.timing.cas_cycles
+            if self.trace is not None:
+                self.trace.append(TraceEntry(self.cycle, "wrCAS", address))
+            if len(data) != CACHELINE_SIZE:
+                raise ValueError(
+                    "wrCAS data burst must be %d bytes, got %d"
+                    % (CACHELINE_SIZE, len(data))
+                )
+            device.memory.write_line(address, data)
+            return CasResult()
         self._open_row(coordinate, device)
         direction = "read" if kind in (CommandType.RDCAS, CommandType.CMP_RDCAS) else "write"
         if self._last_direction not in (None, direction):
@@ -275,7 +540,7 @@ class MemoryController:
             self.trace.append(TraceEntry(self.cycle, kind.value, address))
         return device.handle_command(command)
 
-    def _open_row(self, coordinate: DramCoordinate, device) -> None:
+    def _open_row(self, coordinate: DramCoordinate, device, direct: bool = False) -> None:
         key = (coordinate.channel, coordinate.bank_index(self.mapping.banks_per_group))
         open_row = self._open_rows.get(key)
         if open_row == coordinate.row:
@@ -291,26 +556,28 @@ class MemoryController:
         if open_row is not None:
             self.cycle += self.timing.precharge_cycles
             self.stats.precharges += 1
+            if not direct:
+                device.handle_command(
+                    Command(
+                        kind=CommandType.PRE,
+                        cycle=self.cycle,
+                        bank_group=coordinate.bank_group,
+                        bank=coordinate.bank,
+                        row=open_row,
+                    )
+                )
+        self.cycle += self.timing.activate_cycles
+        self.stats.activates += 1
+        if not direct:
             device.handle_command(
                 Command(
-                    kind=CommandType.PRE,
+                    kind=CommandType.ACT,
                     cycle=self.cycle,
                     bank_group=coordinate.bank_group,
                     bank=coordinate.bank,
-                    row=open_row,
+                    row=coordinate.row,
                 )
             )
-        self.cycle += self.timing.activate_cycles
-        self.stats.activates += 1
-        device.handle_command(
-            Command(
-                kind=CommandType.ACT,
-                cycle=self.cycle,
-                bank_group=coordinate.bank_group,
-                bank=coordinate.bank,
-                row=coordinate.row,
-            )
-        )
         self._open_rows[key] = coordinate.row
         self._bank_busy_until[key] = self.cycle + self.timing.bank_busy_cycles
 

@@ -131,6 +131,31 @@ class PhysicalMemory:
             raise ValueError("line write must be %d bytes" % CACHELINE_SIZE)
         self.write(address, data)
 
+    def read_lines(self, address: int, count: int) -> bytes:
+        """Read `count` consecutive cachelines (== joining read_line calls).
+
+        With a fault plan attached this falls back to the per-line loop so
+        the ``dram.corrupt`` RNG stream sees one decision per line in the
+        same order as the reference path.
+        """
+        if address % CACHELINE_SIZE:
+            raise ValueError("unaligned line read at 0x%x" % address)
+        if self._fault_plan is not None:
+            return b"".join(
+                self.read_line(address + (i << 6)) for i in range(count)
+            )
+        return self.read(address, count * CACHELINE_SIZE)
+
+    def write_lines(self, address: int, data: bytes) -> None:
+        """Write consecutive cachelines in one span."""
+        if address % CACHELINE_SIZE:
+            raise ValueError("unaligned line write at 0x%x" % address)
+        if len(data) % CACHELINE_SIZE:
+            raise ValueError(
+                "bulk line write must be a multiple of %d bytes" % CACHELINE_SIZE
+            )
+        self.write(address, data)
+
     @property
     def resident_bytes(self) -> int:
         """Bytes actually materialised (for tests and memory accounting)."""

@@ -367,6 +367,10 @@ class AESGCM:
 
     # -- bulk GHASH ----------------------------------------------------------
 
+    def ghash(self, data: bytes, y: int = 0) -> int:
+        """Public bulk-GHASH entry point (accumulator in, accumulator out)."""
+        return self._ghash_bulk(data, y)
+
     def _ghash_bulk(self, data: bytes, y: int = 0) -> int:
         """GHASH `data` (zero-padded to a block) into accumulator `y`.
 

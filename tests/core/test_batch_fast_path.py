@@ -1,0 +1,181 @@
+"""Batched line-op fast path vs the per-line reference path.
+
+The fast path (``SessionConfig(fast_path=True)``, the default) must be
+*bit-identical* to the retained reference path: same output bytes, same
+controller stats and final cycle, same rdCAS/wrCAS trace stream, same LLC
+and device stats.  Every test here drives a twin pair of sessions — one per
+path — through the same workload and diffs the complete observable state.
+"""
+
+import pytest
+
+from repro.core.offload_api import SessionConfig, SmartDIMMSession
+from repro.core.dsa.base import UlpKind
+from repro.core.dsa.tls_dsa import TLSOffloadContext
+from repro.core.smartdimm import SmartDIMMConfig
+from repro.dram.commands import CACHELINE_SIZE, PAGE_SIZE
+from repro.ulp.ctx_cache import cached_aesgcm
+
+KEY = bytes(range(16))
+NONCE = bytes(range(12))
+AAD = b"\x17\x03\x03\x12\x34"
+
+
+def _payload(size: int) -> bytes:
+    return bytes((13 * i + 7) & 0xFF for i in range(size))
+
+
+def _twins(**config):
+    ref = SmartDIMMSession(SessionConfig(fast_path=False, trace=True, **config))
+    fast = SmartDIMMSession(SessionConfig(fast_path=True, trace=True, **config))
+    return ref, fast
+
+
+def _assert_state_identical(ref, fast):
+    assert fast.mc.stats == ref.mc.stats
+    assert fast.mc.cycle == ref.mc.cycle
+    assert fast.mc.trace == ref.mc.trace
+    assert fast.llc.stats == ref.llc.stats
+    assert fast.device.stats == ref.device.stats
+    assert fast.device.scratchpad.self_recycled_lines == (
+        ref.device.scratchpad.self_recycled_lines
+    )
+
+
+@pytest.mark.parametrize("size", [PAGE_SIZE, 3 * PAGE_SIZE, 16 * PAGE_SIZE])
+def test_tls_unordered_copy_is_bit_identical(size):
+    """The bulk copy_range/read_lines/write_lines pipeline reproduces the
+    reference TLS offload exactly — output, stats, cycle, and trace."""
+    ref, fast = _twins()
+    payload = _payload(size)
+    out_ref = ref.tls_encrypt(KEY, NONCE, payload, AAD)
+    out_fast = fast.tls_encrypt(KEY, NONCE, payload, AAD)
+    expected = cached_aesgcm(KEY).encrypt(NONCE, payload, AAD)
+    assert out_fast == out_ref == expected[0] + expected[1]
+    _assert_state_identical(ref, fast)
+
+
+def test_tls_decrypt_is_bit_identical():
+    payload = _payload(2 * PAGE_SIZE)
+    ciphertext, tag = cached_aesgcm(KEY).encrypt(NONCE, payload, AAD)
+    ref, fast = _twins()
+    out_ref = ref.tls_decrypt(KEY, NONCE, ciphertext, AAD)
+    out_fast = fast.tls_decrypt(KEY, NONCE, ciphertext, AAD)
+    assert out_fast == out_ref == payload + tag
+    _assert_state_identical(ref, fast)
+
+
+def test_deflate_ordered_copy_is_bit_identical():
+    """The ordered (fenced, per-line) copy also matches across paths —
+    flushes and buffer reads still use the range ops."""
+    data = (b"smartdimm deflates html " * 200)[:PAGE_SIZE]
+    ref, fast = _twins()
+    out_ref = ref.deflate_page(data)
+    out_fast = fast.deflate_page(data)
+    assert out_fast == out_ref
+    _assert_state_identical(ref, fast)
+
+
+def test_multiple_records_per_session_stay_identical():
+    """State equality must hold across back-to-back offloads, where the LLC
+    and write queue start each record warm, not empty."""
+    ref, fast = _twins()
+    for size in (PAGE_SIZE, 4 * PAGE_SIZE, PAGE_SIZE):
+        payload = _payload(size)
+        assert fast.tls_encrypt(KEY, NONCE, payload, AAD) == ref.tls_encrypt(
+            KEY, NONCE, payload, AAD
+        )
+    _assert_state_identical(ref, fast)
+
+
+def _compcpy_offload(session, size, flush_destination):
+    sbuf = session.driver.alloc_pages(size // PAGE_SIZE)
+    dbuf = session.driver.alloc_pages(size // PAGE_SIZE + 1)
+    session.compcpy.write_buffer(sbuf, _payload(size))
+    # Leave room for the 16-byte tag inside the registered pages.
+    context = TLSOffloadContext(key=KEY, nonce=NONCE, record_length=size - 16, aad=AAD)
+    offload = session.compcpy.compcpy(
+        dbuf, sbuf, size, context, UlpKind.TLS_ENCRYPT,
+        flush_destination=flush_destination,
+    )
+    return sbuf, dbuf, offload
+
+
+def test_deferred_flush_and_force_recycle_are_bit_identical():
+    """flush_destination=False leaves dirty plaintext in the LLC; the
+    explicit Force-Recycle (Algorithm 1) must behave identically on both
+    paths, including its flush_range and per-line recycle traffic."""
+    size = 2 * PAGE_SIZE
+    ref, fast = _twins()
+    for session in (ref, fast):
+        _compcpy_offload(session, size, flush_destination=False)
+        session.compcpy.force_recycle(size // PAGE_SIZE)
+    assert fast.compcpy.stats == ref.compcpy.stats
+    assert fast.compcpy.stats.force_recycles == 1
+    _assert_state_identical(ref, fast)
+
+
+def test_explicit_flush_after_deferred_use_is_bit_identical():
+    size = 3 * PAGE_SIZE
+    ref, fast = _twins()
+    outputs = []
+    for session in (ref, fast):
+        sbuf, dbuf, _ = _compcpy_offload(session, size, flush_destination=False)
+        session.compcpy._flush_range(dbuf, size)
+        session.mc.fence()
+        outputs.append(session.compcpy.read_buffer(dbuf, size))
+    assert outputs[0] == outputs[1]
+    _assert_state_identical(ref, fast)
+
+
+# -- satellite regressions ------------------------------------------------------
+
+
+def test_free_page_accounting_exact_fit():
+    """S1: a copy needing exactly the scratchpad's capacity must register
+    without a Force-Recycle — the guard and the decrement both use the
+    `pages` bound, not an off-by-one."""
+    pages = 4
+    config = SmartDIMMConfig(scratchpad_pages=pages)
+    session = SmartDIMMSession(SessionConfig(smartdimm=config))
+    # len(plaintext) + 16-byte tag exactly fills `pages` registered pages.
+    payload = _payload(pages * PAGE_SIZE - 16)
+    out = session.tls_encrypt(KEY, NONCE, payload, AAD)
+    assert session.compcpy.stats.force_recycles == 0
+    assert session.compcpy.stats.free_page_refreshes == 1
+    expected = cached_aesgcm(KEY).encrypt(NONCE, payload, AAD)
+    assert out == expected[0] + expected[1]
+
+
+def test_scratchpad_writeback_reports_completion():
+    """S2: scratchpad_writeback_line returns True even when the DSA has not
+    finished the line yet — the ALERT_N retry loop backs off and completes
+    the writeback rather than reporting partial failure."""
+    session = SmartDIMMSession(SessionConfig())
+    size = PAGE_SIZE
+    sbuf, dbuf, offload = _compcpy_offload(session, size, flush_destination=False)
+    # Pick a destination line the DSA has computed; its ready cycle may
+    # still be in the future, which is exactly the retry-loop case.
+    assert session.mc.scratchpad_writeback_line(dbuf) is True
+    assert session.mc.stats.scratchpad_writebacks == 1
+
+
+def test_address_decode_matches_reference():
+    session = SmartDIMMSession(SessionConfig())
+    mapping = session.mapping
+    for address in range(0, 1 << 20, 4096 + 64):
+        assert mapping.decode(address) == mapping.decode_reference(address)
+
+
+def test_run_length_covers_page_runs():
+    """run_length(addr) must equal the remaining lines of the page run that
+    contains addr, for every line of several pages."""
+    session = SmartDIMMSession(SessionConfig())
+    mapping = session.mapping
+    for page_number in (0, 1, 7):
+        runs = mapping.page_runs(page_number)
+        assert sum(count for _, count in runs) == PAGE_SIZE // CACHELINE_SIZE
+        for start, count in runs:
+            for line in range(start, start + count):
+                address = page_number * PAGE_SIZE + line * CACHELINE_SIZE
+                assert mapping.run_length(address) == start + count - line
