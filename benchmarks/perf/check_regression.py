@@ -12,6 +12,10 @@ the committed baseline file it reads (``--list`` prints the table):
 * compcpy5x (machine-relative, no baseline): the 64 KB ``compcpy_e2e``
   point must stay >= ``--compcpy-speedup-floor`` (default 5x) above the
   recorded pre-fast-path seed throughput.
+* fleetvec (machine-relative, no baseline): the vector fleet tier must
+  stay >= ``--fleetvec-speedup-floor`` (default 20x) faster than the
+  event kernel on the fleet-scale spill scenario, and its replay-stream
+  crosscheck against the kernel must pass.
 * fault hooks (``faults_bench``, machine-relative, no baseline): the
   measured cost of the ``plan is not None`` guards on a plan-less session
   must stay under ``--faults-tolerance`` (default 2%) of one offload —
@@ -54,6 +58,7 @@ CLUSTER_GUARDS = {
     "kernel_process": ("events_per_sec", "min"),
     "scenario_closed_tls": ("wall_s", "max"),
     "scenario_open_spill": ("wall_s", "max"),
+    "fleet_vector": ("speedup_vs_des", "min"),
 }
 
 
@@ -134,6 +139,33 @@ def compare_compcpy_speedup(fresh: dict, floor: float) -> list:
     return []
 
 
+def compare_fleetvec(fresh: dict, floor: float) -> list:
+    """Machine-relative 20x gate for the vector fleet tier.
+
+    Times the event kernel and the vector tier on the same fleet-scale
+    spill scenario in this run (no committed baseline — both walls come
+    from the same machine moments apart), requires the speedup to hold
+    the floor, and requires the replay-stream crosscheck to still pass —
+    a fast tier that no longer matches the kernel is not a speedup.
+    """
+    perf = fresh["fleet_vector"]
+    agree = fresh["vector_crosscheck"]
+    regressions = []
+    speedup = perf["speedup_vs_des"]
+    if speedup < floor:
+        regressions.append(
+            "fleetvec: vector tier %.1fx vs DES < required %.1fx "
+            "(event %.2fs, vector %.3fs)"
+            % (speedup, floor, perf["event_wall_s"], perf["vector_wall_s"])
+        )
+    if not agree["passed"]:
+        regressions.append(
+            "fleetvec: tier crosscheck FAILED (latency L1 %.3f, tol %.2f)"
+            % (agree["latency_bucket_l1_frac"], agree["latency_bucket_tol"])
+        )
+    return regressions
+
+
 def compare_faults(fresh: dict, tolerance: float) -> list:
     """Machine-relative fault-hook gate: disabled guards must be free."""
     if fresh["overhead_fraction"] > tolerance:
@@ -198,6 +230,16 @@ GATES = (
          verdict=lambda base, fresh, args: compare_compcpy_speedup(
              fresh, args.compcpy_speedup_floor),
          points=lambda base: 1),
+    Gate("fleetvec", "vector fleet tier stays >= 20x the DES kernel + agrees",
+         None, cluster_bench,
+         run=lambda args: {
+             "fleet_vector": cluster_bench.bench_fleet_vector(
+                 repeats=max(3, args.repeats)),
+             "vector_crosscheck": cluster_bench.bench_vector_crosscheck(),
+         },
+         verdict=lambda base, fresh, args: compare_fleetvec(
+             fresh, args.fleetvec_speedup_floor),
+         points=lambda base: 2),
     Gate("faults", "disabled fault hooks stay under --faults-tolerance",
          None, faults_bench,
          run=lambda args: faults_bench.bench_disabled_overhead(
@@ -251,6 +293,13 @@ def main(argv=None) -> int:
         default=5.0,
         help="required 64 KB compcpy_e2e speedup vs the recorded seed "
              "throughput (default 5.0)",
+    )
+    parser.add_argument(
+        "--fleetvec-speedup-floor",
+        type=float,
+        default=20.0,
+        help="required vector-tier speedup over the event kernel on the "
+             "fleet spill scenario (default 20.0)",
     )
     parser.add_argument(
         "--faults-tolerance",

@@ -46,12 +46,32 @@ def test_scenario_event_counts_are_deterministic(results):
     assert fresh["completed"] == results["scenario_closed_tls"]["completed"]
 
 
+def test_fleet_vector_speedup(results):
+    """The vector tier must beat the DES kernel decisively on the fleet
+    spill scenario.  The floor here is deliberately loose (shared runner);
+    check_regression.py's fleetvec gate holds the tight 20x same-machine
+    line."""
+    entry = results["fleet_vector"]
+    assert entry["speedup_vs_des"] >= 10.0
+    assert entry["vector_completed"] > 0
+    assert entry["event_spilled"] > 0  # the scenario must exercise spilling
+
+
+def test_vector_crosscheck_agrees(results):
+    """The recorded fidelity verdict must hold when the bench regenerates."""
+    entry = results["vector_crosscheck"]
+    assert entry["passed"]
+    assert entry["latency_bucket_l1_frac"] <= entry["latency_bucket_tol"]
+
+
 def test_write_baseline(results, tmp_path):
     """The sweep serialises cleanly where check_regression expects it."""
     path = cluster_bench.write_results(results, str(tmp_path / "BENCH_cluster.json"))
     with open(path) as handle:
         decoded = json.load(handle)
     assert set(decoded) >= {"kernel_timeout", "kernel_process",
-                            "scenario_closed_tls", "scenario_open_spill"}
+                            "scenario_closed_tls", "scenario_open_spill",
+                            "fleet_vector", "vector_crosscheck"}
     for entry in decoded.values():
-        assert entry["wall_s"] > 0
+        if "wall_s" in entry:  # vector_crosscheck records a verdict, not a time
+            assert entry["wall_s"] > 0

@@ -121,7 +121,9 @@ def _cmd_power(args) -> int:
 
 
 def _cmd_cluster(args) -> int:
-    from repro.cluster import ClusterScenario, run_scenario
+    import json
+
+    from repro.cluster import ClusterScenario, crosscheck_tiers, run_scenario
 
     scenario = ClusterScenario(
         servers=args.servers,
@@ -140,7 +142,19 @@ def _cmd_cluster(args) -> int:
         warmup_s=args.warmup,
         seed=args.seed,
         trace_path=args.trace_out,
+        tier=args.tier,
+        epoch_s=args.epoch_s,
+        vector_backend=args.vector_backend,
+        arrival_stream=args.arrival_stream,
     )
+    if args.crosscheck:
+        verdict = crosscheck_tiers(scenario)
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+        if not verdict["passed"]:
+            print("FAIL: vector tier diverged from the event kernel")
+            return 1
+        print("crosscheck passed: tiers agree within tolerance")
+        return 0
     report = run_scenario(scenario)
     print(report.table())
     if args.trace_out:
@@ -246,6 +260,25 @@ def main(argv=None) -> int:
                          help="simulated seconds (default 0.02)")
     cluster.add_argument("--warmup", type=float, default=0.005)
     cluster.add_argument("--seed", type=int, default=1)
+    cluster.add_argument("--tier", choices=["event", "vector"],
+                         default="event",
+                         help="event = exact DES kernel; vector = "
+                              "batched-epoch fleet tier (~20x faster at "
+                              "fleet scale)")
+    cluster.add_argument("--epoch-s", type=float, default=None,
+                         help="vector-tier epoch length in seconds "
+                              "(default: duration / 50)")
+    cluster.add_argument("--vector-backend",
+                         choices=["auto", "numpy", "python"], default="auto",
+                         help="vector-tier array backend (default auto)")
+    cluster.add_argument("--arrival-stream", choices=["replay", "batch"],
+                         default="replay",
+                         help="vector-tier open-loop arrivals: replay the "
+                              "event tier's RNG draw-for-draw, or batch-"
+                              "generate the same process with bulk numpy")
+    cluster.add_argument("--crosscheck", action="store_true",
+                         help="run BOTH tiers and verify they agree; "
+                              "prints the verdict, exits 1 on divergence")
     cluster.add_argument("--trace-out", default=None,
                          help="write a Chrome-trace JSON here")
     cluster.add_argument("--json-out", default=None,

@@ -32,6 +32,10 @@ Modules:
 * :mod:`repro.cluster.scenario` — scenario config, runner, and report.
 * :mod:`repro.cluster.chaos` — scheduled node/channel fault windows,
   per-channel circuit breakers, MTTR/availability/goodput accounting.
+* :mod:`repro.cluster.epoch` — struct-of-arrays max-plus scan primitives
+  (numpy-optional) behind the batched-epoch fleet tier.
+* :mod:`repro.cluster.vector` — the vector fleet tier: the same scenarios
+  at ~10^6-connection scale, crosschecked against the event kernel.
 """
 
 from repro.cluster.chaos import ChaosCounters, FaultWindow, FleetFaultInjector
@@ -63,7 +67,9 @@ from repro.cluster.metrics import (
     Timeline,
     TraceRecorder,
 )
+from repro.cluster.epoch import Station, fifo_scan, make_ops, resolve_backend
 from repro.cluster.scenario import ClusterReport, ClusterScenario, run_scenario
+from repro.cluster.vector import crosscheck_tiers, run_vector_scenario
 from repro.cluster.sched import (
     SCHEDULERS,
     AdaptiveSpillScheduler,
@@ -89,6 +95,9 @@ __all__ = [
     "MetricsRegistry",
     # scenarios
     "ClusterScenario", "ClusterReport", "run_scenario",
+    # vector tier
+    "run_vector_scenario", "crosscheck_tiers", "Station", "fifo_scan",
+    "make_ops", "resolve_backend",
     # chaos
     "FaultWindow", "FleetFaultInjector", "ChaosCounters",
 ]

@@ -77,6 +77,50 @@ class FaultWindow:
         }
 
 
+def epoch_fault_state(windows, start_s: float, end_s: float) -> tuple:
+    """Fault windows projected onto one epoch, as cohort masks.
+
+    Returns ``(down, wedged)`` for the epoch ``[start_s, end_s)``: the set
+    of server indices with an overlapping ``node_down`` window, and a
+    ``(server, channel) -> slowdown`` dict from overlapping
+    ``channel_wedge`` windows (overlapping wedges on one channel compound,
+    matching the injector's behaviour of the last writer winning being
+    irrelevant — wedges on the same channel never overlap in practice, so
+    the max slowdown is kept deterministically).
+
+    This is the vector tier's view of :class:`FleetFaultInjector`: the
+    whole window machinery collapses to per-epoch masks, applied to every
+    request *assigned* during the epoch.  Detection latency, circuit
+    breakers, and probation re-admission are event-tier fidelity — the
+    epoch tier applies the raw fault, not the control loop around it.
+    """
+    down = set()
+    wedged = {}
+    for window in windows:
+        if window.start_s >= end_s or window.end_s <= start_s:
+            continue
+        if window.kind == "node_down":
+            down.add(window.server)
+        else:
+            key = (window.server, window.channel)
+            wedged[key] = max(wedged.get(key, 1.0), window.dsa_slowdown)
+    return frozenset(down), wedged
+
+
+def reroute_down(server: int, down, nservers: int) -> int:
+    """The injector's deterministic failover walk, as a free function.
+
+    Identical to :meth:`FleetFaultInjector._reroute`: the next live server
+    scanning forward (wrapping), or the original index when every node is
+    down.  Shared so both tiers fail over to the same replacement.
+    """
+    for step in range(1, nservers):
+        candidate = (server + step) % nservers
+        if candidate not in down:
+            return candidate
+    return server
+
+
 @dataclass
 class ChaosCounters:
     """Aggregate injector activity over one run."""
@@ -181,11 +225,7 @@ class FleetFaultInjector:
         return Assignment(server=server, channel=assignment.channel, spill=spill)
 
     def _reroute(self, server: int, nservers: int) -> int:
-        for step in range(1, nservers):
-            candidate = (server + step) % nservers
-            if candidate not in self._down:
-                return candidate
-        return server  # every node down: nowhere better to go
+        return reroute_down(server, self._down, nservers)
 
     # -- DSA service path -----------------------------------------------------------
 

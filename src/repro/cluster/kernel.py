@@ -195,6 +195,12 @@ class Simulator:
     # -- scheduling -------------------------------------------------------------
 
     def _push(self, time: float, callback, argument) -> None:
+        # Heap entries are (time, sequence, callback, argument).  The
+        # sequence is strictly monotonic and unique per push, so heapq's
+        # tuple comparison NEVER reaches the callback/argument slots: events
+        # with colliding timestamps pop in submission order, and payloads
+        # need not be orderable (lambdas, dicts, Events are all fine).
+        # Pinned by tests/cluster/test_kernel.py::TestTimestampCollisions.
         self._sequence += 1
         heapq.heappush(self._heap, (time, self._sequence, callback, argument))
 

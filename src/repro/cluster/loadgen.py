@@ -89,13 +89,48 @@ class RequestMix:
         total = sum(entry.weight for entry in self.entries)
         return sum(entry.size * entry.weight for entry in self.entries) / total
 
+    def sample_index(self, rng) -> int:
+        """Draw one entry *index*, consuming exactly the same RNG stream as
+        :meth:`sample` (one ``rng.random()`` call) — the contract the
+        vector tier's batched arrival generator relies on to stay
+        draw-for-draw identical with the event-tier load generators."""
+        point = rng.random()
+        for index, cumulative in enumerate(self._cumulative):
+            if point <= cumulative:
+                return index
+        return len(self.entries) - 1
+
     def sample(self, rng) -> MixEntry:
         """Draw one entry, weighted, from the supplied seeded RNG."""
-        point = rng.random()
-        for entry, cumulative in zip(self.entries, self._cumulative):
-            if point <= cumulative:
-                return entry
-        return self.entries[-1]
+        return self.entries[self.sample_index(rng)]
+
+    def sample_indices_batch(self, uniforms) -> list:
+        """Map pre-drawn uniforms in [0, 1) to entry indices (inverse CDF).
+
+        `uniforms` may be a numpy array (vectorized ``searchsorted``) or any
+        iterable of floats; both produce the same indices the scalar
+        :meth:`sample_index` would for the same draws.  Used by the closed-
+        loop vector tier, whose per-connection draw interleaving cannot (and
+        need not) match the event tier's.
+        """
+        try:
+            import numpy as np
+        except ImportError:
+            np = None
+        if np is not None and hasattr(uniforms, "__len__"):
+            points = np.asarray(uniforms, dtype=np.float64)
+            edges = np.asarray(self._cumulative, dtype=np.float64)
+            indices = np.searchsorted(edges, points, side="left")
+            return np.minimum(indices, len(self.entries) - 1)
+        out = []
+        for point in uniforms:
+            for index, cumulative in enumerate(self._cumulative):
+                if point <= cumulative:
+                    out.append(index)
+                    break
+            else:
+                out.append(len(self.entries) - 1)
+        return out
 
 
 @dataclass
@@ -184,6 +219,54 @@ class TraceArrivals:
         gap = max(0.0, self.times[self._index] - now)
         self._index += 1
         return gap
+
+
+class OpenArrivalBatcher:
+    """Batched open-loop arrival generation for the vector fleet tier.
+
+    Produces, per epoch, the arrival times and mix-entry indices of every
+    request arriving in ``(last, until]`` — consuming the RNG in *exactly*
+    the order :class:`OpenLoopLoad` does (gap draw, then mix draw, per
+    request), so a vector-tier run and an event-tier run with the same seed
+    see the identical arrival realisation.  The one draw that crosses an
+    epoch boundary is carried, not re-drawn.
+    """
+
+    def __init__(self, arrivals, mix: RequestMix, rng):
+        self.arrivals = arrivals
+        self.mix = mix
+        self.rng = rng
+        self._now = 0.0
+        self._carry = None  # (time, entry_index) overflowing the last epoch
+        self._exhausted = False
+        self.generated = 0
+
+    def next_batch(self, until: float):
+        """(times, entry_indices) for every arrival at or before `until`."""
+        times, entries = [], []
+        if self._exhausted:
+            return times, entries
+        if self._carry is not None:
+            time, entry = self._carry
+            if time > until:
+                return times, entries
+            times.append(time)
+            entries.append(entry)
+            self._carry = None
+        while True:
+            gap = self.arrivals.next_gap(self._now, self.rng)
+            if gap is None:
+                self._exhausted = True
+                break
+            self._now += gap
+            entry = self.mix.sample_index(self.rng)
+            if self._now > until:
+                self._carry = (self._now, entry)
+                break
+            times.append(self._now)
+            entries.append(entry)
+        self.generated += len(times)
+        return times, entries
 
 
 # -- load drivers -----------------------------------------------------------------

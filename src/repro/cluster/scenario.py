@@ -75,6 +75,14 @@ class ClusterScenario:
     seed: int = 1
     timeline_windows: int = 10
     trace_path: str = None
+    # fidelity tier: "event" (DES kernel) | "vector" (batched-epoch columns)
+    tier: str = "event"
+    epoch_s: float = None  # vector tier epoch length; None -> duration / 50
+    vector_backend: str = "auto"  # "auto" | "numpy" | "python"
+    # vector-tier open-loop arrivals: "replay" consumes the RNG draw-for-draw
+    # like the event tier (crosscheckable); "batch" generates the same
+    # process with bulk numpy draws (fast, statistically equivalent)
+    arrival_stream: str = "replay"
 
     def resolved_mix(self) -> RequestMix:
         """The explicit mix, or a single-size mix of `message_bytes`."""
@@ -247,21 +255,40 @@ def _build_arrivals(scenario: ClusterScenario, capacity_rps: float):
     raise ValueError("unknown arrival process %r" % scenario.arrival)
 
 
-def run_scenario(scenario: ClusterScenario, fault_injector=None) -> ClusterReport:
+def run_scenario(scenario: ClusterScenario, fault_injector=None,
+                 registry: MetricsRegistry = None) -> ClusterReport:
     """Simulate one scenario and report its telemetry.
 
     `fault_injector` (a :class:`repro.cluster.chaos.FleetFaultInjector`)
     layers scheduled node failures and channel wedges onto the run; the
     resulting MTTR/availability/goodput accounting lands in
     :attr:`ClusterReport.chaos`.
+
+    `registry` (optional) receives the run's raw instruments — callers
+    that need bucket-level histograms (the tier crosscheck) pass one in;
+    the report itself only carries summaries.
+
+    ``scenario.tier == "vector"`` dispatches to the batched-epoch fleet
+    tier (:func:`repro.cluster.vector.run_vector_scenario`); chaos there
+    takes fault *windows*, not an injector.
     """
+    if scenario.tier == "vector":
+        if fault_injector is not None:
+            raise ValueError(
+                "the vector tier takes fault windows, not an injector: call "
+                "run_vector_scenario(scenario, fault_windows=...) directly")
+        from repro.cluster.vector import run_vector_scenario
+
+        return run_vector_scenario(scenario, registry=registry)
+    if scenario.tier != "event":
+        raise ValueError("tier must be 'event' or 'vector'")
     if min(scenario.servers, scenario.channels, scenario.threads) < 1:
         raise ValueError("servers, channels, and threads must all be >= 1")
     if scenario.warmup_s >= scenario.duration_s:
         raise ValueError("warmup must be shorter than the run")
     sim = Simulator(scenario.seed)
     profile = scenario.build_profile()
-    registry = MetricsRegistry()
+    registry = registry if registry is not None else MetricsRegistry()
     recorder = TraceRecorder() if scenario.trace_path else None
     kwargs = (
         {"spill_factor": scenario.spill_factor}
@@ -317,6 +344,7 @@ def run_scenario(scenario: ClusterScenario, fault_injector=None) -> ClusterRepor
             "duration_s": scenario.duration_s,
             "warmup_s": scenario.warmup_s,
             "seed": scenario.seed,
+            "tier": "event",
         },
         rps=fleet.completed.value / window,
         completed=fleet.completed.value,

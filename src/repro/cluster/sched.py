@@ -28,6 +28,23 @@ from repro.cluster.fleet import Assignment, Fleet
 from repro.cluster.loadgen import Request
 
 
+def spill_decision(dsa_backlog_s: float, cpu_backlog_s: float, threads: int,
+                   offload_cpu_s: float, onload_cpu_s: float,
+                   spill_factor: float = 1.0) -> bool:
+    """The Observation-2 marginal-cost rule, shared by both fleet tiers.
+
+    Onloading trades the DSA queue for extra worker time
+    ``delta = cpu(onload) - cpu(offload)``; spill when the DSA backlog
+    exceeds the per-worker CPU backlog by more than ``spill_factor * delta``.
+    Kept as a free function so the vectorized epoch tier prices its cohort
+    spill splits with *exactly* the same arithmetic the per-request
+    :class:`AdaptiveSpillScheduler` uses.
+    """
+    delta = max(onload_cpu_s - offload_cpu_s, 0.0)
+    cpu_wait = cpu_backlog_s / threads
+    return dsa_backlog_s > cpu_wait + spill_factor * delta
+
+
 class Scheduler:
     """Base policy: subclasses implement :meth:`assign`."""
 
@@ -149,10 +166,10 @@ class AdaptiveSpillScheduler(LeastLoadedScheduler):
             offload = profile.route(request.size, request.kind, spill=False)
             if offload.dsa_seconds > 0.0:
                 onload = profile.route(request.size, request.kind, spill=True)
-                delta = max(onload.cpu_seconds - offload.cpu_seconds, 0.0)
-                cpu_wait = server.cpu_backlog_seconds / server.threads
-                spill = channel.backlog_seconds > (
-                    cpu_wait + self.spill_factor * delta)
+                spill = spill_decision(
+                    channel.backlog_seconds, server.cpu_backlog_seconds,
+                    server.threads, offload.cpu_seconds, onload.cpu_seconds,
+                    self.spill_factor)
         return Assignment(server=server.index, channel=channel.index, spill=spill)
 
 

@@ -1,0 +1,875 @@
+"""The vector fleet tier: batched-epoch, struct-of-arrays simulation.
+
+``run_vector_scenario`` simulates the *same* :class:`ClusterScenario` the
+event tier runs, but advances time in fixed epochs: every request arriving
+within an epoch is a columnar cohort, and each FIFO station (CPU pool,
+memory bus, per-channel DSA, NIC) advances its cohort with one max-plus
+scan (:mod:`repro.cluster.epoch`) instead of ~16 heap events per request.
+Pricing (:class:`ServiceProfile` / :class:`RouteCosts`), placement policy
+names, the Observation-2 :func:`spill_decision`, and the overload tier's
+deadline/shed semantics are all *shared* with the event tier — the two
+tiers disagree only where batching genuinely loses information.
+
+Fidelity contract (crosschecked by :func:`crosscheck_tiers`):
+
+* **exact** — open-loop arrivals (draw-for-draw the event tier's RNG
+  stream via :class:`OpenArrivalBatcher`), static placement, single-class
+  mixes, FIFO waits, deadline shedding, measurement-window accounting,
+  busy-time integrals;
+* **bounded delta** — least-loaded / adaptive-spill placement (the
+  per-request backlog race becomes a per-epoch water-fill plus the shared
+  marginal-cost spill rule), multi-class service interleaving (capacity-c
+  chain decomposition), closed-loop arrival draws (same distributions,
+  independent stream);
+* **unsupported** (raises ``ValueError``) — CoDel admission, bounded
+  queues, brownout, Chrome-trace emission: behaviours defined by
+  event-granular feedback that an epoch tier cannot honestly batch.
+
+Scale: connection state is a handful of parallel columns, so a
+10^6-connection, 100-server sweep is ~10 MB of arrays and completes in
+seconds (see ``benchmarks/perf/cluster_bench.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import replace
+
+from repro.cluster.chaos import epoch_fault_state, reroute_down
+from repro.cluster.epoch import (
+    Station,
+    interleave_targets,
+    make_ops,
+    overlap_sum,
+    resolve_backend,
+    water_fill,
+    window_overlaps,
+)
+from repro.cluster.fleet import DSA_PLACEMENTS, ServiceProfile
+from repro.cluster.kernel import Simulator
+from repro.cluster.loadgen import OpenArrivalBatcher
+from repro.cluster.metrics import MetricsRegistry
+from repro.overload.policy import OverloadConfig, OverloadPolicy
+
+try:  # optional acceleration; the 'python' backend never touches numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the forced fallback
+    _np = None
+
+#: Closed-loop connection stagger, matching ClosedLoopLoad's default.
+STAGGER_S = 1e-4
+
+
+def _unsupported(scenario) -> None:
+    """Reject scenario knobs whose semantics need event-granular feedback."""
+    if scenario.trace_path:
+        raise ValueError("vector tier cannot emit Chrome traces; use tier='event'")
+    if scenario.admission != "none":
+        raise ValueError("vector tier does not model CoDel admission; "
+                         "use tier='event'")
+    if scenario.dsa_queue_limit is not None or scenario.cpu_queue_limit is not None:
+        raise ValueError("vector tier does not model bounded queues; "
+                         "use tier='event'")
+    if scenario.brownout_factor != 1.0:
+        raise ValueError("vector tier does not model brownout; use tier='event'")
+    if scenario.mode not in ("closed", "open"):
+        raise ValueError("mode must be 'closed' or 'open'")
+    if min(scenario.servers, scenario.channels, scenario.threads) < 1:
+        raise ValueError("servers, channels, and threads must all be >= 1")
+    if scenario.warmup_s >= scenario.duration_s:
+        raise ValueError("warmup must be shorter than the run")
+
+
+class _RouteTable:
+    """Route costs as columns indexed by mix-entry id (one row per class).
+
+    Index ``[0]`` is the normal (offload) route, ``[1]`` the CPU-onload
+    spill route, both priced by the *same* :class:`ServiceProfile` the
+    event tier uses.
+    """
+
+    def __init__(self, profile: ServiceProfile, mix, ops):
+        def column(attr, spill, kind="f"):
+            return ops.asarray(
+                [getattr(profile.route(e.size, e.kind, spill=spill), attr)
+                 for e in mix.entries], kind)
+
+        self.cpu = (column("cpu_seconds", False), column("cpu_seconds", True))
+        self.mem = (column("mem_seconds", False), column("mem_seconds", True))
+        self.link = (column("link_seconds", False), column("link_seconds", True))
+        self.bytes = (column("output_bytes", False, "i"),
+                      column("output_bytes", True, "i"))
+        self.dsa = column("dsa_seconds", False)  # spill route never queues DSA
+        # Stacked [offload-rows | spill-rows] twins: one gather with index
+        # ``entry + nclasses * spill`` replaces a where() + two takes per
+        # column in the hot cohort path.
+        self.nclasses = len(mix.entries)
+        self.cpu2 = ops.concat([self.cpu[0], self.cpu[1]])
+        self.mem2 = ops.concat([self.mem[0], self.mem[1]])
+        self.link2 = ops.concat([self.link[0], self.link[1]])
+        self.bytes2 = ops.concat([self.bytes[0], self.bytes[1]])
+        self.dsa2 = ops.concat([self.dsa, ops.full(self.nclasses, 0.0)])
+        total = sum(e.weight for e in mix.entries)
+        weights = [e.weight / total for e in mix.entries]
+
+        def mean(col):
+            return sum(w * v for w, v in zip(weights, ops.tolist(col)))
+
+        self.mean_cpu_off = mean(self.cpu[0])
+        self.mean_cpu_on = mean(self.cpu[1])
+        self.mean_dsa = mean(self.dsa)
+
+
+class _Backlog:
+    """Outstanding station work, summed at epoch starts.
+
+    The vector tier's stand-in for the event tier's per-request
+    ``backlog_seconds`` counters: a job contributes its service time from
+    submission until its station departure, so sampling at an epoch start
+    sees exactly what the event tier's scheduler would.
+
+    ``at`` is only ever queried at epoch boundaries, and monotonically —
+    so costs are bucketed at ``add`` time against the runner's boundary
+    grid (a job lands in the first boundary at or after its departure)
+    and a query is an amortized-O(1) cursor advance over expired buckets.
+    The grid holds the *same float objects* the runner queries with, so
+    "departed by boundary t" matches the exact comparison ``depart <= t``
+    a per-job heap would make: for a boundary t, ``depart <= t`` iff the
+    first boundary >= depart is itself <= t."""
+
+    __slots__ = ("ops", "_grid", "_bins", "_cursor", "_total")
+
+    def __init__(self, ops):
+        self.ops = ops
+        self._grid = []  # ascending epoch boundaries (set before first add)
+        self._bins = []  # cost landing in each boundary (+1 overflow slot)
+        self._cursor = 0
+        self._total = 0.0
+
+    def set_grid(self, grid) -> None:
+        """Install the run's epoch-boundary times (ascending floats)."""
+        if self.ops.name == "numpy":
+            self._grid = _np.asarray(grid, dtype=_np.float64)
+            self._bins = _np.zeros(len(grid) + 1)
+        else:
+            self._grid = list(grid)
+            self._bins = [0.0] * (len(grid) + 1)
+        self._cursor = 0
+        self._total = 0.0
+
+    def add(self, departs, costs) -> None:
+        n = len(departs)
+        if n == 0:
+            return
+        if self.ops.name == "numpy":
+            index = _np.searchsorted(self._grid, departs, side="left")
+            self._bins += _np.bincount(index, weights=costs,
+                                       minlength=len(self._bins))
+            self._total += float(_np.sum(costs))
+        else:
+            bins = self._bins
+            total = 0.0
+            grid = self._grid
+            for depart, cost in zip(departs, costs):
+                bins[bisect.bisect_left(grid, depart)] += cost
+                total += cost
+            self._total += total
+
+    def at(self, t: float) -> float:
+        """Backlog seconds still outstanding at time `t` (prunes the past)."""
+        grid, bins = self._grid, self._bins
+        cursor, total = self._cursor, self._total
+        while cursor < len(grid) and grid[cursor] <= t:
+            total -= float(bins[cursor])
+            cursor += 1
+        self._cursor, self._total = cursor, total
+        return total
+
+
+class _VectorServer:
+    """One server's stations, backlog trackers, and busy-interval logs.
+
+    Busy intervals are appended per cohort and integrated *once* at report
+    time (:func:`_station_busy`) — a (start, depart) pair is immutable the
+    moment the station scan produces it, so deferring the overlap integrals
+    removes thousands of tiny per-epoch reductions from the hot loop."""
+
+    def __init__(self, threads: int, channels: int, windows: int, backend, ops):
+        self.cpu = Station(threads, backend)
+        self.membus = Station(1, backend)
+        self.link = Station(1, backend)
+        self.dsa = [Station(1, backend) for _ in range(channels)]
+        self.cpu_backlog = _Backlog(ops)
+        self.chan_backlog = [_Backlog(ops) for _ in range(channels)]
+        self.cpu_intervals = []  # (start, depart) column pairs
+        self.chan_intervals = [[] for _ in range(channels)]
+
+
+class _VectorFleet:
+    """Counters, histograms, and the per-wave cohort pipeline."""
+
+    def __init__(self, scenario, profile: ServiceProfile, mix, ops, backend,
+                 registry: MetricsRegistry):
+        self.ops = ops
+        self.profile = profile
+        self.mix = mix
+        self.table = _RouteTable(profile, mix, ops)
+        self.nservers = scenario.servers
+        self.nchannels = scenario.channels
+        self.threads = scenario.threads
+        self.scheduler = scenario.scheduler
+        self.spill_factor = scenario.spill_factor
+        self.warmup = scenario.warmup_s
+        self.duration = scenario.duration_s
+        self.windows = scenario.timeline_windows
+        self.deadline_s = scenario.deadline_s
+        self.shed_on = scenario.deadline_s is not None and scenario.shed_expired
+        self.can_spill = (profile.can_spill
+                          and profile.placement in DSA_PLACEMENTS
+                          and self.scheduler == "adaptive-spill")
+        self.servers = [
+            _VectorServer(scenario.threads, scenario.channels, self.windows,
+                          backend, ops)
+            for _ in range(scenario.servers)
+        ]
+        self.registry = registry
+        self.latency = registry.histogram("latency_s")
+        self.spill_latency = registry.histogram("latency_spilled_s")
+        self.wait_cpu = registry.histogram("wait_cpu_s")
+        self.wait_dsa = registry.histogram("wait_dsa_s")
+        # Histogram samples are batched per run: cohorts append raw sample
+        # columns here and :meth:`flush_samples` bulk-ingests each series
+        # once, instead of paying record_many's fixed cost every cohort.
+        self._samples = {name: [] for name in
+                         ("latency", "spill_latency", "wait_cpu", "wait_dsa")}
+        self.completed = registry.counter("completed")
+        self.submitted = registry.counter("submitted")
+        self.spilled = registry.counter("spilled")
+        self.dsa_served = registry.counter("dsa_served")
+        self.bytes_out = registry.counter("bytes_out")
+        self.events = 0
+        if self.deadline_s is not None:
+            self.deadline_met = registry.counter("deadline_met")
+            self.deadline_missed = registry.counter("deadline_missed")
+            self.shed = {
+                station: registry.counter("shed_" + station)
+                for station in ("cpu", "dsa", "link")
+            }
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def set_epoch_grid(self, grid) -> None:
+        """Give every backlog tracker the run's epoch-boundary times."""
+        for server in self.servers:
+            server.cpu_backlog.set_grid(grid)
+            for backlog in server.chan_backlog:
+                backlog.set_grid(grid)
+
+    def _in_window(self, times):
+        ops = self.ops
+        return ops.and_(ops.ge(times, self.warmup), ops.le(times, self.duration))
+
+    def _place_servers(self, t0: float, n: int, keys, down):
+        """The server column for a cohort (and the channel column, static)."""
+        ops = self.ops
+        total = self.nservers * self.nchannels
+        if self.scheduler == "static":
+            # Exactly StaticScheduler.assign: hash the connection (closed
+            # loop) or request id (open loop) to a fixed (server, channel).
+            if ops.name == "numpy":
+                slot = keys % total
+                server_col = slot // self.nchannels
+                channel_col = slot % self.nchannels
+            else:
+                slot = [k % total for k in keys]
+                server_col = [s // self.nchannels for s in slot]
+                channel_col = [s % self.nchannels for s in slot]
+            if down:
+                remap = ops.asarray(
+                    [reroute_down(s, down, self.nservers)
+                     for s in range(self.nservers)], "i")
+                server_col = ops.take(remap, server_col)
+            return server_col, channel_col
+        # least-loaded / adaptive-spill: cohort water-fill over the same
+        # backlog-seconds signal the per-request schedulers race on.
+        backlogs = []
+        for index, server in enumerate(self.servers):
+            if index in down:
+                backlogs.append(math.inf)
+                continue
+            backlogs.append(server.cpu_backlog.at(t0)
+                            + sum(b.at(t0) for b in server.chan_backlog))
+        per_job = self.table.mean_cpu_off + self.table.mean_dsa
+        counts = water_fill(backlogs, n, per_job)
+        return interleave_targets(counts, ops), None
+
+    def _spill_plan(self, server: _VectorServer, t0: float, horizon: float,
+                    entries):
+        """Which of a server's cohort the Observation-2 rule spills, as a
+        boolean mask in cohort order.
+
+        The event tier's rule is per *request*: job j spills iff the
+        DSA-vs-CPU wait gap exceeds ``spill_factor * delta_j`` where
+        ``delta_j = cpu(onload_j) - cpu(offload_j)`` is that job's own
+        onload premium (:func:`repro.cluster.sched.spill_decision`).  With
+        a heterogeneous mix the rule is therefore *selective* — cheap-to-
+        onload classes spill long before expensive ones — so a single
+        mean-delta threshold over-spills by integer factors under burst.
+
+        The cohort plan reproduces the selectivity: sort jobs by their own
+        delta (cheapest first) and find the equilibrium prefix.  Spilling
+        the k cheapest jobs removes their DSA work from the accelerator
+        queues and adds their deltas to the worker pool; prefix sums give
+        the projected end-of-epoch waits as a function of k, with the
+        `horizon` of drain each side earns floored at zero (an idle CPU
+        stops draining, a backed-up DSA doesn't — the floors are why the
+        drain terms don't cancel).  Job k spills iff the projected gap
+        still exceeds its own ``spill_factor * delta_k``; the first job
+        that declines ends the prefix, exactly as the per-request rule
+        stops firing once the gap closes."""
+        ops = self.ops
+        table = self.table
+        m = len(entries)
+        cpu_b = server.cpu_backlog.at(t0)
+        dsa_b = sum(b.at(t0) for b in server.chan_backlog)
+        off = ops.take(table.cpu[0], entries)
+        on = ops.take(table.cpu[1], entries)
+        dsa = ops.take(table.dsa, entries)
+        delta = ops.maximum(ops.sub(on, off), 0.0)
+        # Jobs whose offload route never queues the DSA can't spill; an
+        # infinite delta parks them at the end of the sort and the gap
+        # test can never pick them.
+        delta = ops.where(ops.gt(dsa, 0.0), delta, math.inf)
+        order = ops.argsort(delta)
+        d_sorted = ops.take(delta, order)
+        dsa_sorted = ops.take(dsa, order)
+        removed = ops.sub(ops.cumsum(dsa_sorted), dsa_sorted)  # exclusive
+        added = ops.sub(ops.cumsum(d_sorted), d_sorted)
+        base_dsa = dsa_b + ops.total(dsa)
+        base_cpu = cpu_b + ops.total(off)
+        dsa_wait = ops.maximum(
+            ops.sub(ops.mul(ops.sub(base_dsa, removed), 1.0 / self.nchannels),
+                    horizon), 0.0)
+        cpu_wait = ops.mul(
+            ops.maximum(ops.sub(ops.add(base_cpu, added),
+                                horizon * self.threads), 0.0),
+            1.0 / self.threads)
+        fire = ops.gt(dsa_wait,
+                      ops.add(cpu_wait, ops.mul(d_sorted, self.spill_factor)))
+        declined = ops.nonzero(ops.not_(fire))
+        picks = int(declined[0]) if len(declined) else m
+        spill = ops.full(m, False, "b")
+        if picks:
+            chosen = ops.take(order, ops.arange(picks))
+            ops.put(spill, chosen, ops.full(picks, True, "b"))
+        return spill
+
+    # -- the cohort pipeline -----------------------------------------------------
+
+    def serve_wave(self, t0: float, t1: float, arrive, entries, keys,
+                   down, wedged):
+        """Run one arrival cohort through the rack; returns per-job finish
+        times (completion, or the instant the job was shed).  ``t1`` is the
+        epoch's end — the drain horizon the spill planner projects over."""
+        ops = self.ops
+        n = len(arrive)
+        finish = ops.full(n, math.inf)
+        server_col, channel_col = self._place_servers(t0, n, keys, down)
+        # Group by server with one stable sort; within a group the cohort
+        # stays in arrival order (= station grant order).
+        if ops.name == "numpy":
+            counts = _np.bincount(server_col, minlength=self.nservers).tolist()
+            order = _np.argsort(server_col, kind="stable")
+        else:
+            counts = [0] * self.nservers
+            for s in server_col:
+                counts[s] += 1
+            order = sorted(range(n), key=server_col.__getitem__)
+        offset = 0
+        for index in range(self.nservers):
+            m = counts[index]
+            if m == 0:
+                continue
+            cohort = order[offset:offset + m]
+            offset += m
+            done = self._serve_cohort(
+                index, t0, t1,
+                ops.take(arrive, cohort),
+                ops.take(entries, cohort),
+                None if channel_col is None else ops.take(channel_col, cohort),
+                wedged)
+            ops.put(finish, cohort, done)
+        return finish
+
+    def _serve_cohort(self, index: int, t0: float, t1: float, arrive,
+                      entries, channel_col, wedged):
+        """One server's four-station pipeline over its cohort slice."""
+        ops = self.ops
+        server = self.servers[index]
+        table = self.table
+        m = len(arrive)
+        # -- routes + spill split
+        spill = ops.full(m, False, "b")
+        if self.can_spill and table.mean_dsa > 0.0:
+            spill = self._spill_plan(server, t0, t1 - t0, entries)
+        row = ops.add(entries, ops.where(spill, table.nclasses, 0))
+        cpu_s = ops.take(table.cpu2, row)
+        mem_s = ops.take(table.mem2, row)
+        link_s = ops.take(table.link2, row)
+        out_b = ops.take(table.bytes2, row)
+        dsa_s = ops.take(table.dsa2, row)
+        deadline = None
+        if self.deadline_s is not None:
+            deadline = ops.add(arrive, self.deadline_s)
+        shed_deadline = deadline if self.shed_on else None
+        measured = self._in_window(arrive)
+        self.submitted.inc(ops.count(measured))
+        self.spilled.inc(ops.count(ops.and_(spill, measured)))
+        # -- CPU pool
+        start_cpu, dep_cpu, shed_cpu = server.cpu.drain(
+            arrive, cpu_s, shed_deadline)
+        self.events += m
+        server.cpu_intervals.append((start_cpu, dep_cpu))
+        server.cpu_backlog.add(dep_cpu, cpu_s)
+        finish = ops.add(dep_cpu, 0.0)
+        if shed_cpu is not None:
+            self.shed["cpu"].inc(ops.count(ops.and_(
+                shed_cpu, self._in_window(start_cpu))))
+            alive = ops.nonzero(ops.not_(shed_cpu))
+        else:
+            alive = ops.arange(m)
+        # -- memory bus (grant order = CPU departure order)
+        dep_alive = ops.take(dep_cpu, alive)
+        pos = ops.take(alive, ops.argsort(dep_alive))
+        _, dep_mem, _ = server.membus.drain(
+            ops.take(dep_cpu, pos), ops.take(mem_s, pos), None)
+        self.events += len(pos)
+        ops.put(finish, pos, dep_mem)
+        # -- DSA channels (dep_mem is already non-decreasing: grant order)
+        routed = ops.gt(ops.take(dsa_s, pos), 0.0)
+        dsa_pick = ops.nonzero(routed)
+        dsa_wait = ops.full(m, 0.0)
+        link_pos = [ops.take(pos, ops.nonzero(ops.not_(routed)))]
+        link_arrive = [ops.take(dep_mem, ops.nonzero(ops.not_(routed)))]
+        if len(dsa_pick) > 0:
+            dsa_pos = ops.take(pos, dsa_pick)
+            dsa_arrive = ops.take(dep_mem, dsa_pick)
+            if channel_col is not None:
+                assigned = ops.take(channel_col, dsa_pos)
+            else:
+                chan_counts = water_fill(
+                    [b.at(t0) for b in server.chan_backlog],
+                    len(dsa_pick), table.mean_dsa)
+                assigned = interleave_targets(chan_counts, ops)
+            # Group by channel with one stable sort instead of an
+            # equality scan per channel.
+            if ops.name == "numpy":
+                assigned_col = _np.asarray(assigned, dtype=_np.int64)
+                chan_order = _np.argsort(assigned_col, kind="stable")
+                chan_counts_all = _np.bincount(
+                    assigned_col, minlength=self.nchannels).tolist()
+            else:
+                chan_order = sorted(range(len(assigned)),
+                                    key=assigned.__getitem__)
+                chan_counts_all = [0] * self.nchannels
+                for a in assigned:
+                    chan_counts_all[a] += 1
+            chan_offset = 0
+            for chan in range(self.nchannels):
+                span = chan_counts_all[chan]
+                if span == 0:
+                    continue
+                sel = chan_order[chan_offset:chan_offset + span]
+                chan_offset += span
+                c_pos = ops.take(dsa_pos, sel)
+                c_arrive = ops.take(dsa_arrive, sel)
+                service = ops.take(dsa_s, c_pos)
+                factor = wedged.get((index, chan), 1.0)
+                if factor != 1.0:
+                    service = ops.mul(service, factor)
+                c_deadline = (None if shed_deadline is None
+                              else ops.take(shed_deadline, c_pos))
+                start_d, dep_d, shed_d = server.dsa[chan].drain(
+                    c_arrive, service, c_deadline)
+                self.events += len(sel)
+                ops.put(dsa_wait, c_pos, ops.sub(start_d, c_arrive))
+                ops.put(finish, c_pos, dep_d)
+                server.chan_intervals[chan].append((start_d, dep_d))
+                server.chan_backlog[chan].add(dep_d, service)
+                if shed_d is not None:
+                    self.shed["dsa"].inc(ops.count(ops.and_(
+                        shed_d, self._in_window(start_d))))
+                    ok = ops.nonzero(ops.not_(shed_d))
+                else:
+                    ok = ops.arange(len(sel))
+                dep_ok = ops.take(dep_d, ok)
+                self.dsa_served.inc(ops.count(self._in_window(dep_ok)))
+                link_pos.append(ops.take(c_pos, ok))
+                link_arrive.append(dep_ok)
+        # -- link / NIC (merge direct + per-channel survivors by time)
+        l_pos = ops.concat(link_pos)
+        l_arrive = ops.concat(link_arrive)
+        merge = ops.argsort(l_arrive)
+        l_pos = ops.take(l_pos, merge)
+        l_arrive = ops.take(l_arrive, merge)
+        l_deadline = (None if shed_deadline is None
+                      else ops.take(shed_deadline, l_pos))
+        start_l, dep_l, shed_l = server.link.drain(
+            l_arrive, ops.take(link_s, l_pos), l_deadline)
+        self.events += len(l_pos)
+        ops.put(finish, l_pos, dep_l)
+        if shed_l is not None:
+            self.shed["link"].inc(ops.count(ops.and_(
+                shed_l, self._in_window(start_l))))
+            served = ops.nonzero(ops.not_(shed_l))
+        else:
+            served = ops.arange(len(l_pos))
+        # -- completion accounting, identical window semantics to Fleet
+        dep_served = ops.take(dep_l, served)
+        done = ops.nonzero(self._in_window(dep_served))
+        comp_pos = ops.take(ops.take(l_pos, served), done)
+        comp_t = ops.take(dep_served, done)
+        if len(comp_pos) > 0:
+            self.completed.inc(len(comp_pos))
+            self.bytes_out.inc(int(ops.total(ops.take(out_b, comp_pos))))
+            comp_arrive = ops.take(arrive, comp_pos)
+            self._samples["latency"].append(ops.sub(comp_t, comp_arrive))
+            self._samples["wait_cpu"].append(
+                ops.sub(ops.take(start_cpu, comp_pos), comp_arrive))
+            spilled = ops.nonzero(ops.take(spill, comp_pos))
+            if len(spilled) > 0:
+                self._samples["spill_latency"].append(ops.take(
+                    ops.sub(comp_t, comp_arrive), spilled))
+            with_dsa = ops.nonzero(ops.gt(ops.take(dsa_s, comp_pos), 0.0))
+            if len(with_dsa) > 0:
+                self._samples["wait_dsa"].append(
+                    ops.take(ops.take(dsa_wait, comp_pos), with_dsa))
+            if self.deadline_s is not None:
+                met = ops.count(ops.le(comp_t, ops.take(deadline, comp_pos)))
+                self.deadline_met.inc(met)
+                self.deadline_missed.inc(len(comp_pos) - met)
+        return finish
+
+    def flush_samples(self) -> None:
+        """Bulk-ingest every deferred histogram sample column (idempotent)."""
+        ops = self.ops
+        sinks = {"latency": self.latency, "spill_latency": self.spill_latency,
+                 "wait_cpu": self.wait_cpu, "wait_dsa": self.wait_dsa}
+        for name, parts in self._samples.items():
+            if parts:
+                sinks[name].record_many(ops.concat(parts))
+                parts.clear()
+
+
+def _station_busy(ops, pairs, warmup: float, duration: float,
+                  windows: int = 0):
+    """Busy seconds (and optional per-window split) for logged intervals."""
+    if not pairs:
+        return 0.0, [0.0] * windows
+    start = ops.concat([p[0] for p in pairs])
+    depart = ops.concat([p[1] for p in pairs])
+    busy = overlap_sum(start, depart, warmup, duration, ops)
+    if windows <= 0:
+        return busy, []
+    return busy, window_overlaps(start, depart, warmup, duration, windows, ops)
+
+
+def _batch_open_arrivals(scenario, arrivals, mix, load_rng, duration: float):
+    """Every open-loop arrival in (0, duration] as numpy columns.
+
+    The "batch" arrival stream: the same stochastic process the event
+    tier draws per request (Poisson, or modulated Poisson realised by
+    thinning a peak-rate stream), generated a whole run at a time with
+    bulk numpy draws.  NOT draw-for-draw identical to the event tier —
+    crosschecks use the default "replay" stream; this one exists so
+    headline perf runs aren't bottlenecked on a per-request pure-Python
+    RNG loop.  Deterministic given the scenario seed.
+    """
+    from repro.cluster.loadgen import (BurstyArrivals, PoissonArrivals,
+                                       TraceArrivals)
+
+    rng = _np.random.default_rng(load_rng.getrandbits(64))
+    if isinstance(arrivals, TraceArrivals):
+        times = _np.asarray(
+            [t for t in arrivals.times if t <= duration], dtype=_np.float64)
+    else:
+        if isinstance(arrivals, PoissonArrivals):
+            peak = arrivals.rate_rps
+        elif isinstance(arrivals, BurstyArrivals):
+            peak = max(arrivals.base_rps, arrivals.burst_rps)
+        else:
+            raise ValueError(
+                "arrival_stream='batch' supports poisson/bursty/trace "
+                "arrivals, not %r" % type(arrivals).__name__)
+        chunks = []
+        now = 0.0
+        size = max(1024, int(peak * duration * 0.6))
+        while now <= duration:
+            t = now + _np.cumsum(rng.exponential(1.0 / peak, size=size))
+            chunks.append(t)
+            now = float(t[-1])
+        times = _np.concatenate(chunks)
+        times = times[times <= duration]
+        if isinstance(arrivals, BurstyArrivals):
+            phase = times % (arrivals.base_s + arrivals.burst_s)
+            rate = _np.where(phase < arrivals.base_s,
+                             arrivals.base_rps, arrivals.burst_rps)
+            times = times[rng.random(times.size) * peak < rate]
+    entries = _np.asarray(mix.sample_indices_batch(rng.random(times.size)),
+                          dtype=_np.int64)
+    return times, entries
+
+
+# -- the runner ---------------------------------------------------------------------
+
+
+def run_vector_scenario(scenario, fault_windows=None,
+                        registry: MetricsRegistry = None):
+    """Simulate `scenario` on the vector tier; returns a ClusterReport.
+
+    `fault_windows` takes :class:`repro.cluster.chaos.FaultWindow`-style
+    entries (node_down / dsa_wedge), applied per epoch via
+    :func:`epoch_fault_state`.  `registry` (optional) receives the raw
+    histograms/counters — the crosscheck uses it to compare bucket-level
+    distributions, not just summaries.
+    """
+    from repro.cluster.scenario import ClusterReport, _build_arrivals
+
+    _unsupported(scenario)
+    backend = resolve_backend(getattr(scenario, "vector_backend", "auto"))
+    ops = make_ops(backend)
+    profile = scenario.build_profile()
+    mix = scenario.resolved_mix()
+    registry = registry if registry is not None else MetricsRegistry()
+    # RNG derivation mirrors run_scenario's fork order exactly: "sched" is
+    # forked first (and discarded — vector policies are deterministic), so
+    # the "loadgen" child sees the identical seed stream.
+    seed_source = Simulator(scenario.seed)
+    seed_source.fork_rng("sched")
+    load_rng = seed_source.fork_rng("loadgen")
+    fleet = _VectorFleet(scenario, profile, mix, ops, backend, registry)
+    duration = scenario.duration_s
+    epoch = getattr(scenario, "epoch_s", None) or duration / 50.0
+    fault_windows = fault_windows or ()
+    # Pre-walk the epoch grid with the loop's own arithmetic so backlog
+    # bucketing compares against the exact floats `at` will be called with.
+    grid = []
+    t_walk = 0.0
+    while t_walk < duration:
+        t_walk = min(duration, t_walk + epoch)
+        grid.append(t_walk)
+    fleet.set_epoch_grid(grid)
+
+    if scenario.mode == "open":
+        capacity = profile.model_metrics.rps * scenario.servers
+        stream = getattr(scenario, "arrival_stream", "replay")
+        if stream not in ("replay", "batch"):
+            raise ValueError("arrival_stream must be 'replay' or 'batch'")
+        batcher = all_times = all_entries = None
+        cursor = 0
+        if stream == "batch":
+            if ops.name != "numpy":
+                raise ValueError(
+                    "arrival_stream='batch' needs the numpy backend")
+            all_times, all_entries = _batch_open_arrivals(
+                scenario, _build_arrivals(scenario, capacity), mix,
+                load_rng, duration)
+        else:
+            batcher = OpenArrivalBatcher(
+                _build_arrivals(scenario, capacity), mix, load_rng)
+        next_id = 0
+        t0 = 0.0
+        while t0 < duration:
+            t1 = min(duration, t0 + epoch)
+            down, wedged = epoch_fault_state(fault_windows, t0, t1)
+            if batcher is not None:
+                times, entry_ids = batcher.next_batch(t1)
+                arrive = ops.asarray(times)
+                entries = ops.asarray(entry_ids, "i")
+            else:
+                hi = int(_np.searchsorted(all_times, t1, side="right"))
+                arrive = all_times[cursor:hi]
+                entries = all_entries[cursor:hi]
+                cursor = hi
+            if len(arrive):
+                keys = ops.add(ops.arange(len(arrive)), next_id)
+                next_id += len(arrive)
+                fleet.serve_wave(t0, t1, arrive, entries, keys, down, wedged)
+            t0 = t1
+    else:
+        count = scenario.connections
+        if count < 1:
+            raise ValueError("need at least one connection")
+        if ops.name == "numpy":
+            next_arrival = STAGGER_S * _np.arange(count, dtype=_np.float64) / count
+            draw = _np.random.default_rng(load_rng.getrandbits(64))
+        else:
+            next_arrival = [STAGGER_S * c / count for c in range(count)]
+            draw = None
+        single = len(mix.entries) == 1
+        think = scenario.think_s
+        t0 = 0.0
+        while t0 < duration:
+            t1 = min(duration, t0 + epoch)
+            down, wedged = epoch_fault_state(fault_windows, t0, t1)
+            while True:
+                ready = ops.nonzero(ops.le(next_arrival, t1))
+                if len(ready) == 0:
+                    break
+                times = ops.take(next_arrival, ready)
+                order = ops.argsort(times)
+                ready = ops.take(ready, order)
+                times = ops.take(times, order)
+                m = len(ready)
+                if single:
+                    entries = ops.full(m, 0, "i")
+                elif draw is not None:
+                    entries = ops.asarray(
+                        mix.sample_indices_batch(draw.random(m)), "i")
+                else:
+                    entries = [mix.sample_index(load_rng) for _ in range(m)]
+                finish = fleet.serve_wave(t0, t1, times, entries, ready,
+                                          down, wedged)
+                if think > 0.0:
+                    if draw is not None:
+                        finish = finish + draw.exponential(think, m)
+                    else:
+                        finish = [f + load_rng.expovariate(1.0 / think)
+                                  for f in finish]
+                ops.put(next_arrival, ready, finish)
+            t0 = t1
+
+    # -- report (field-for-field the event tier's shape)
+    fleet.flush_samples()
+    window = scenario.duration_s - scenario.warmup_s
+    width = window / scenario.timeline_windows
+    servers = fleet.servers
+    chan_util, chan_timeline, cpu_util = [], [], []
+    for server in servers:
+        row_util, row_timeline = [], []
+        for chan in range(scenario.channels):
+            busy, per_window = _station_busy(
+                ops, server.chan_intervals[chan], scenario.warmup_s,
+                scenario.duration_s, scenario.timeline_windows)
+            row_util.append(busy / window)
+            row_timeline.append([b / width for b in per_window])
+        chan_util.append(row_util)
+        chan_timeline.append(row_timeline)
+        cpu_busy, _ = _station_busy(ops, server.cpu_intervals,
+                                    scenario.warmup_s, scenario.duration_s)
+        cpu_util.append(cpu_busy / (window * scenario.threads))
+    overload = None
+    if scenario.deadline_s is not None:
+        policy = OverloadPolicy(OverloadConfig(
+            deadline_s=scenario.deadline_s,
+            shed_expired=scenario.shed_expired))
+        overload = policy.summary()
+        overload.update({
+            "goodput_rps": (fleet.deadline_met.value / window
+                            if window > 0 else 0.0),
+            "deadline_met": fleet.deadline_met.value,
+            "deadline_missed": fleet.deadline_missed.value,
+            "rejected_admission": 0,
+            "rejected_backpressure": 0,
+            "brownouts": 0,
+            "shed": {name: counter.value
+                     for name, counter in sorted(fleet.shed.items())},
+        })
+    return ClusterReport(
+        scenario={
+            "servers": scenario.servers,
+            "channels": scenario.channels,
+            "threads": scenario.threads,
+            "ulp": scenario.ulp,
+            "placement": profile.placement.value,
+            "mode": scenario.mode,
+            "arrival": scenario.arrival,
+            "connections": scenario.connections,
+            "think_s": scenario.think_s,
+            "scheduler": scenario.scheduler,
+            "duration_s": scenario.duration_s,
+            "warmup_s": scenario.warmup_s,
+            "seed": scenario.seed,
+            "tier": "vector",
+            "epoch_s": epoch,
+            "backend": backend,
+        },
+        rps=fleet.completed.value / window,
+        completed=fleet.completed.value,
+        submitted=fleet.submitted.value,
+        spilled=fleet.spilled.value,
+        dsa_served=fleet.dsa_served.value,
+        bytes_out=fleet.bytes_out.value,
+        latency=fleet.latency.summary(),
+        wait_cpu=fleet.wait_cpu.summary(),
+        wait_dsa=fleet.wait_dsa.summary(),
+        channel_utilisation=chan_util,
+        cpu_utilisation=cpu_util,
+        channel_util_timeline=chan_timeline,
+        model_rps_per_server=profile.model_metrics.rps,
+        model_bottleneck=profile.model_metrics.bottleneck,
+        events_processed=fleet.events,
+        overload=overload,
+    )
+
+
+# -- crosscheck ---------------------------------------------------------------------
+
+
+def crosscheck_tiers(scenario, count_rel_tol: float = 0.05,
+                     count_abs_tol: float = 5.0,
+                     bucket_frac_tol: float = 0.15) -> dict:
+    """Run `scenario` on both tiers and compare their telemetry.
+
+    Counters (submitted / completed / spilled / dsa_served, plus total
+    shed when deadlines are on) must agree within
+    ``count_abs_tol + count_rel_tol * max``; the latency histograms must
+    agree bucket-for-bucket within an L1 distance of ``bucket_frac_tol``
+    of the event tier's sample count.  Returns a JSON-ready verdict dict
+    with per-metric deltas; ``result["passed"]`` is the gate.
+    """
+    event_reg, vector_reg = MetricsRegistry(), MetricsRegistry()
+    from repro.cluster.scenario import run_scenario
+
+    event = run_scenario(replace(scenario, tier="event"), registry=event_reg)
+    vector = run_vector_scenario(replace(scenario, tier="vector"),
+                                 registry=vector_reg)
+    counts = {}
+    passed = True
+    names = ["submitted", "completed", "spilled", "dsa_served"]
+    for name in names:
+        a, b = getattr(event, name), getattr(vector, name)
+        tolerance = count_abs_tol + count_rel_tol * max(a, b)
+        ok = abs(a - b) <= tolerance
+        passed = passed and ok
+        counts[name] = {"event": a, "vector": b, "delta": b - a,
+                        "tolerance": tolerance, "passed": ok}
+    if event.overload is not None and vector.overload is not None:
+        a = sum(event.overload["shed"].values())
+        b = sum(vector.overload["shed"].values())
+        tolerance = count_abs_tol + count_rel_tol * max(a, b)
+        ok = abs(a - b) <= tolerance
+        passed = passed and ok
+        counts["shed_total"] = {"event": a, "vector": b, "delta": b - a,
+                                "tolerance": tolerance, "passed": ok}
+    event_hist = event_reg.histograms["latency_s"]
+    vector_hist = vector_reg.histograms["latency_s"]
+    indices = set(event_hist.buckets) | set(vector_hist.buckets)
+    l1 = sum(abs(event_hist.buckets.get(i, 0) - vector_hist.buckets.get(i, 0))
+             for i in indices)
+    frac = l1 / max(1, event_hist.count)
+    bucket_ok = frac <= bucket_frac_tol
+    passed = passed and bucket_ok
+    return {
+        "passed": passed,
+        "counts": counts,
+        "latency_bucket_l1": l1,
+        "latency_bucket_l1_frac": frac,
+        "latency_bucket_tol": bucket_frac_tol,
+        "latency_buckets_passed": bucket_ok,
+        "event_rps": event.rps,
+        "vector_rps": vector.rps,
+        "event_events_processed": event.events_processed,
+        "vector_events_processed": vector.events_processed,
+    }

@@ -162,6 +162,52 @@ def test_queue_depth_tracks_waiters():
     assert resource.queue_depth == 1
 
 
+# -- timestamp collisions ----------------------------------------------------------
+
+
+class TestTimestampCollisions:
+    """The heap key is (time, sequence, ...): colliding timestamps must pop
+    in submission order, and payloads must never be reached by heapq's
+    tuple comparison — non-orderable callbacks/arguments are fine."""
+
+    def test_colliding_timestamps_pop_in_submission_order(self):
+        sim = Simulator()
+        log = []
+        # Interleave two distinct instants, submitted out of time order;
+        # within each instant, submission order must be preserved.
+        for tag in range(8):
+            time = 1.0 if tag % 2 == 0 else 0.5
+            sim.schedule(time, lambda _, tag=tag: log.append(tag))
+        sim.run()
+        assert log == [1, 3, 5, 7, 0, 2, 4, 6]
+
+    def test_uncomparable_payloads_do_not_break_the_heap(self):
+        # Lambdas and dicts define no ordering: if time+sequence ever tied
+        # (or the sequence were dropped), heapq would raise TypeError when
+        # comparing the callback/argument slots.  Same instant, many
+        # distinct callables and unorderable arguments.
+        sim = Simulator()
+        seen = []
+        for tag in range(50):
+            sim.schedule(2.0, (lambda t: (lambda arg: seen.append((t, arg))))(tag),
+                         {"payload": tag})
+        sim.run()  # must not raise
+        assert [tag for tag, _ in seen] == list(range(50))
+        assert seen[0][1] == {"payload": 0}
+
+    def test_timeout_events_at_same_instant_fire_in_creation_order(self):
+        sim = Simulator()
+        order = []
+        first = sim.timeout(0.25, "first")
+        second = sim.timeout(0.25, "second")
+        second.wait(lambda e: order.append(e.value))
+        first.wait(lambda e: order.append(e.value))
+        sim.run()
+        # Trigger order follows timeout creation (push) order, not the
+        # order callbacks were attached.
+        assert order == ["first", "second"]
+
+
 # -- determinism -------------------------------------------------------------------
 
 

@@ -119,6 +119,54 @@ def test_mean_min_max_are_exact():
 # -- counters / gauges / registry ---------------------------------------------------
 
 
+# -- bulk ingest -------------------------------------------------------------------
+
+
+def _mixed_samples():
+    """Boundary-heavy sample set: exact bucket edges, sub-base values,
+    zero, and a log-spaced sweep — everything that could diverge between
+    the scalar and vectorized bucket-index paths."""
+    hist = LogHistogram(base=1e-6, growth=2 ** 0.25)
+    samples = [0.0, 1e-9, 1e-6, 2e-6, 5e-4, 1.0]
+    samples += [hist.bucket_bounds(i)[1] for i in range(0, 40, 3)]  # exact edges
+    samples += [1e-6 * 1.37 ** k for k in range(60)]
+    samples += [3.3e-5] * 7  # repeats collapse into one bucket
+    return samples
+
+
+def test_record_many_matches_one_at_a_time():
+    samples = _mixed_samples()
+    one_by_one = LogHistogram(base=1e-6, growth=2 ** 0.25)
+    for value in samples:
+        one_by_one.record(value)
+    bulk = LogHistogram(base=1e-6, growth=2 ** 0.25)
+    bulk.record_many(samples)
+    assert bulk.buckets == one_by_one.buckets
+    assert bulk.count == one_by_one.count
+    assert bulk.min == one_by_one.min
+    assert bulk.max == one_by_one.max
+    # Summation order differs (pairwise vs left-to-right): mean agrees to
+    # float precision, and every percentile — which reads only buckets and
+    # exact min/max — is identical.
+    assert bulk.mean == pytest.approx(one_by_one.mean, rel=1e-12)
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0):
+        assert bulk.percentile(q) == one_by_one.percentile(q)
+
+
+def test_record_many_accepts_numpy_arrays_and_accumulates():
+    numpy = pytest.importorskip("numpy")
+    hist = LogHistogram(base=1e-6, growth=2 ** 0.25)
+    hist.record(5e-5)  # pre-existing scalar sample
+    hist.record_many(numpy.asarray([1e-5, 2e-5, 5e-5, 5e-5]))
+    hist.record_many(numpy.asarray([], dtype=float))  # empty batch is a no-op
+    reference = LogHistogram(base=1e-6, growth=2 ** 0.25)
+    for value in (5e-5, 1e-5, 2e-5, 5e-5, 5e-5):
+        reference.record(value)
+    assert hist.buckets == reference.buckets
+    assert hist.count == 5
+    assert hist.summary()["p50"] == reference.summary()["p50"]
+
+
 def test_counter_and_gauge():
     counter, gauge = Counter("c"), Gauge("g")
     counter.inc()
