@@ -24,6 +24,11 @@ the committed baseline file it reads (``--list`` prints the table):
   controlled goodput at 2x offered load must stay >= 70% of peak, the
   uncontrolled curve must still demonstrate collapse, and capacity /
   goodput must stay within tolerance of the baseline.
+* ``BENCH_replication.json`` — replicated storage (``replication_bench``):
+  the consistency checker must report zero violations, SmartDIMM hop
+  placement must beat CPU onload on goodput under fault at 16 KB values,
+  and the headline goodput figures must stay within tolerance of the
+  baseline.
 
 Any regression fails the gate with exit code 1 — use it in CI or before
 merging changes to any layer::
@@ -47,6 +52,7 @@ import cluster_bench
 import datapath_bench
 import faults_bench
 import overload_bench
+import replication_bench
 
 #: Datapath sections whose `after_mbps` is guarded per record size.
 GUARDED_SECTIONS = ("aes_gcm_encrypt", "ghash", "deflate", "compcpy_e2e")
@@ -255,6 +261,16 @@ GATES = (
          points=lambda base: 2 + sum(
              1 for m in overload_bench.GUARDED_METRICS
              if m in base.get("sweep", {}).get("summary", {}))),
+    Gate("replication",
+         "replicated storage: zero violations + smartdimm beats cpu "
+         "goodput under fault + floors",
+         "--replication-baseline", replication_bench,
+         run=lambda args: replication_bench.bench_all(repeats=args.repeats),
+         verdict=lambda base, fresh, args: replication_bench.compare(
+             base, fresh, args.tolerance),
+         points=lambda base: 2 + sum(
+             1 for m in replication_bench.GUARDED_METRICS
+             if m in base.get("summary", {}))),
 )
 
 

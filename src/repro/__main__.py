@@ -19,6 +19,11 @@ Commands:
 * ``profile`` — cProfile one warmed TLS offload through the
   micro-simulation (the instrument behind the batched fast path);
   ``--reference`` profiles the per-line path for comparison.
+* ``replicate`` — replicated storage on the fleet: ABD quorum or chain
+  replication with SmartDIMM-priced compress+encrypt hops, optional
+  node_down/channel_wedge chaos, and a post-run consistency audit
+  (exits non-zero on any violation); ``--sweep`` runs the placement
+  comparison behind ``BENCH_replication.json``.
 """
 
 from __future__ import annotations
@@ -205,6 +210,51 @@ def _cmd_overload(args) -> int:
     return 0
 
 
+def _cmd_replicate(args) -> int:
+    from repro.cluster.chaos import FleetFaultInjector
+    from repro.replication import sweep
+    from repro.replication.scenario import run_replication
+
+    if args.sweep:
+        report = sweep.run_replication_suite(seed=args.seed, quick=args.quick)
+        print(sweep.render(report))
+        if args.json_out:
+            with open(args.json_out, "w") as handle:
+                handle.write(sweep.to_json(report))
+            print("replication report JSON written to %s" % args.json_out)
+        summary = report["summary"]
+        if summary["total_violations"]:
+            print("FAIL: %d consistency violations"
+                  % summary["total_violations"])
+            return 1
+        ratio = summary["smartdimm_over_cpu_goodput_fault"] or 0.0
+        if ratio <= 1.0:
+            print("FAIL: smartdimm goodput under fault is %.2fx cpu (<= 1x)"
+                  % ratio)
+            return 1
+        return 0
+    scenario = sweep.replication_scenario(
+        args.placement, args.protocol, args.seed,
+        value_bytes=args.value_bytes,
+        duration_s=args.duration, warmup_s=args.warmup)
+    scenario.replicas = args.replicas
+    scenario.servers = max(scenario.servers, args.replicas)
+    injector = (
+        FleetFaultInjector(sweep.standard_windows(args.duration, args.warmup))
+        if args.chaos else None)
+    report = run_replication(scenario, fault_injector=injector)
+    print(report.table())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print("replication report JSON written to %s" % args.json_out)
+    violations = report.consistency["violation_count"]
+    if violations:
+        print("FAIL: %d consistency violations" % violations)
+        return 1
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.profiling import run_profile
 
@@ -304,6 +354,32 @@ def main(argv=None) -> int:
                           help="reduced sweep (3 load factors, short window)")
     overload.add_argument("--json-out", default=None,
                           help="write the BENCH_overload.json payload here")
+    replicate = sub.add_parser(
+        "replicate",
+        help="replicated storage on the fleet: ABD/chain with SmartDIMM hops",
+    )
+    replicate.add_argument("--protocol", choices=["abd", "chain"],
+                           default="abd")
+    replicate.add_argument("--replicas", type=int, default=3)
+    replicate.add_argument("--placement",
+                           choices=["smartdimm", "cpu", "quickassist"],
+                           default="smartdimm",
+                           help="where every hop's compress+encrypt runs")
+    replicate.add_argument("--value-bytes", type=int, default=16384)
+    replicate.add_argument("--chaos", action="store_true",
+                           help="inject the standard node_down + "
+                                "channel_wedge windows")
+    replicate.add_argument("--sweep", action="store_true",
+                           help="run the full placement x protocol sweep "
+                                "(the BENCH_replication.json payload)")
+    replicate.add_argument("--quick", action="store_true",
+                           help="shorter sweep window")
+    replicate.add_argument("--duration", type=float, default=0.03,
+                           help="simulated seconds (default 0.03)")
+    replicate.add_argument("--warmup", type=float, default=0.005)
+    replicate.add_argument("--seed", type=int, default=7)
+    replicate.add_argument("--json-out", default=None,
+                           help="write the report JSON here")
     profile = sub.add_parser(
         "profile",
         help="cProfile one TLS offload through the micro-simulation",
@@ -325,6 +401,7 @@ def main(argv=None) -> int:
         "cluster": _cmd_cluster,
         "chaos": _cmd_chaos,
         "overload": _cmd_overload,
+        "replicate": _cmd_replicate,
         "profile": _cmd_profile,
     }[args.command](args)
 

@@ -1,9 +1,17 @@
-"""Storage device DMA source.
+"""Storage device DMA source and the versioned KV interface.
 
 Models the first hop of Fig. 1: content read from a storage device is
 DMAed toward the CPU.  With Direct Cache Access (DDIO) the lines land in
 the LLC's restricted DMA ways; under contention they leak to DRAM before
 the ULP consumes them — the "usage distance" problem of Observation 3.
+
+For the replication layer (``repro.replication``) the device additionally
+exposes a *versioned* key-value interface: every value carries a totally
+ordered timestamp and writes apply last-writer-wins, which is exactly the
+register semantics ABD quorum replication and chain replication need from
+their backing store.  :class:`VersionedKV` holds that logic on its own so
+replica state machines can embed one without instantiating a cache
+hierarchy.
 """
 
 from __future__ import annotations
@@ -17,6 +25,61 @@ from repro.dram.commands import CACHELINE_SIZE
 class StorageStats:
     reads: int = 0
     bytes_dma: int = 0
+    kv_puts: int = 0  # put() calls accepted (timestamp newer than stored)
+    kv_stale_puts: int = 0  # put() calls ignored (timestamp not newer)
+    kv_gets: int = 0
+
+
+class VersionedKV:
+    """A last-writer-wins versioned register map.
+
+    Every entry is ``key -> (timestamp, value)``.  Timestamps must be
+    totally ordered (the replication layer uses ``(sequence, writer_id)``
+    tuples; plain integers work too).  :meth:`put` applies only when the
+    incoming timestamp is strictly newer than the stored one — the apply
+    rule of both ABD's phase-2 propagate and chain replication's forward
+    hop, which makes replay/duplicate delivery idempotent.
+    """
+
+    def __init__(self):
+        self._entries = {}
+
+    def put(self, key, value, timestamp) -> bool:
+        """Apply `(timestamp, value)` to `key` iff strictly newer.
+
+        Returns True when the write took effect, False when it was stale
+        (an older or duplicate version) and left the entry unchanged.
+        """
+        current = self._entries.get(key)
+        if current is not None and timestamp <= current[0]:
+            return False
+        self._entries[key] = (timestamp, value)
+        return True
+
+    def get(self, key, default_timestamp=None):
+        """The stored ``(timestamp, value)`` for `key`.
+
+        Missing keys read as ``(default_timestamp, None)`` — ABD treats an
+        unwritten register as version zero rather than an error.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return (default_timestamp, None)
+        return entry
+
+    def timestamp(self, key, default_timestamp=None):
+        """Just the stored timestamp (ABD's phase-1 query)."""
+        return self.get(key, default_timestamp)[0]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def keys(self):
+        """Stored keys in deterministic (insertion) order."""
+        return self._entries.keys()
 
 
 class StorageDevice:
@@ -25,11 +88,28 @@ class StorageDevice:
     def __init__(self, llc):
         self.llc = llc
         self._blobs = {}
+        self._kv = VersionedKV()
         self.stats = StorageStats()
 
     def store(self, name: str, data: bytes) -> None:
         """Persist a named blob on the device."""
         self._blobs[name] = bytes(data)
+
+    # -- versioned KV interface (replication backing store) ---------------------
+
+    def put(self, key, value, timestamp) -> bool:
+        """Versioned put: apply iff `timestamp` is strictly newer (LWW)."""
+        applied = self._kv.put(key, value, timestamp)
+        if applied:
+            self.stats.kv_puts += 1
+        else:
+            self.stats.kv_stale_puts += 1
+        return applied
+
+    def get(self, key, default_timestamp=None):
+        """Versioned get: the stored ``(timestamp, value)`` pair."""
+        self.stats.kv_gets += 1
+        return self._kv.get(key, default_timestamp)
 
     def dma_read_into(self, name: str, address: int) -> int:
         """DMA a blob into memory at `address`; returns bytes written.

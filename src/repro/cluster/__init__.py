@@ -38,7 +38,13 @@ Modules:
   at ~10^6-connection scale, crosschecked against the event kernel.
 """
 
-from repro.cluster.chaos import ChaosCounters, FaultWindow, FleetFaultInjector
+from repro.cluster.chaos import (
+    ChaosCounters,
+    FaultWindow,
+    FleetFaultInjector,
+    live_quorum,
+    reroute_down,
+)
 from repro.cluster.fleet import (
     Assignment,
     Channel,
@@ -76,6 +82,7 @@ from repro.cluster.sched import (
     LeastLoadedScheduler,
     Scheduler,
     StaticScheduler,
+    TargetedScheduler,
     make_scheduler,
 )
 
@@ -89,7 +96,8 @@ __all__ = [
     "Fleet", "ServerSim", "Channel", "ServiceProfile", "RouteCosts", "Assignment",
     # scheduling
     "Scheduler", "StaticScheduler", "LeastLoadedScheduler",
-    "AdaptiveSpillScheduler", "SCHEDULERS", "make_scheduler",
+    "AdaptiveSpillScheduler", "TargetedScheduler", "SCHEDULERS",
+    "make_scheduler",
     # telemetry
     "Counter", "Gauge", "LogHistogram", "Timeline", "TraceRecorder",
     "MetricsRegistry",
@@ -99,5 +107,6 @@ __all__ = [
     "run_vector_scenario", "crosscheck_tiers", "Station", "fifo_scan",
     "make_ops", "resolve_backend",
     # chaos
-    "FaultWindow", "FleetFaultInjector", "ChaosCounters",
+    "FaultWindow", "FleetFaultInjector", "ChaosCounters", "reroute_down",
+    "live_quorum",
 ]

@@ -107,18 +107,51 @@ def epoch_fault_state(windows, start_s: float, end_s: float) -> tuple:
     return frozenset(down), wedged
 
 
-def reroute_down(server: int, down, nservers: int) -> int:
+def reroute_down(server: int, down, nservers: int, group=None) -> int:
     """The injector's deterministic failover walk, as a free function.
 
-    Identical to :meth:`FleetFaultInjector._reroute`: the next live server
-    scanning forward (wrapping), or the original index when every node is
-    down.  Shared so both tiers fail over to the same replacement.
+    Without `group`: identical to :meth:`FleetFaultInjector._reroute` —
+    the next live server scanning forward (wrapping), or the original
+    index when every node is down.  Shared so both tiers fail over to the
+    same replacement.
+
+    With `group` (an ordered list of server indices — a replication
+    *replica set*): the walk is quorum-aware.  It scans the group ring
+    starting after `server`'s position, skips **every** down replica (not
+    just the immediate neighbour — the original linear probe could land on
+    a second down replica, or worse, on a server outside the replica set
+    entirely), and returns ``None`` when no live replica remains, so
+    protocol layers observe total-group failure instead of silently
+    writing to a non-replica.
     """
-    for step in range(1, nservers):
-        candidate = (server + step) % nservers
+    if group is None:
+        for step in range(1, nservers):
+            candidate = (server + step) % nservers
+            if candidate not in down:
+                return candidate
+        return server
+    members = list(group)
+    if server in members:
+        start = members.index(server)
+    else:
+        start = -1  # not a member: scan the whole group from its head
+    for step in range(1, len(members) + 1):
+        candidate = members[(start + step) % len(members)]
+        if candidate == server:
+            continue
         if candidate not in down:
             return candidate
-    return server
+    return None
+
+
+def live_quorum(group, down) -> list:
+    """The live members of a replica `group`, in group order.
+
+    The quorum-selection primitive of the replication layer: ABD sends
+    its phases to exactly these replicas, and chain replication's
+    reconfigured chain *is* this list.
+    """
+    return [replica for replica in group if replica not in down]
 
 
 @dataclass
@@ -203,6 +236,23 @@ class FleetFaultInjector:
             self._wedged.pop((window.server, window.channel), None)
             # A wedge's restoration is observed later, when the channel's
             # breaker re-closes on a healthy probation probe.
+
+    # -- health probes ---------------------------------------------------------------
+
+    def is_down(self, server: int) -> bool:
+        """Whether `server` is inside an active ``node_down`` window now.
+
+        The replication layer's health check: protocol clients consult
+        this *before* targeting a replica, because a quorum hop must
+        observe the failure (and requorum around it) rather than be
+        silently redirected to a different server the way stateless
+        requests are."""
+        return server in self._down
+
+    @property
+    def down_servers(self) -> frozenset:
+        """The currently-failed server set (for quorum-aware rerouting)."""
+        return frozenset(self._down)
 
     # -- assignment path -------------------------------------------------------------
 

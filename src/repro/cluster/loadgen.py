@@ -154,6 +154,13 @@ class Request:
     #: "" while in flight / completed; otherwise why the fleet dropped it
     #: ("rejected-admission", "rejected-backpressure", "shed-<station>").
     outcome: str = ""
+    #: Replication-hop metadata: the server this message MUST run on
+    #: (-1: any — the scheduler chooses), the multi-hop operation it
+    #: belongs to, and the hop's role within that operation's DAG
+    #: ("query", "propagate", "forward", "read", ...).
+    target: int = -1
+    op_id: int = -1
+    hop: str = ""
 
     @property
     def latency_s(self) -> float:

@@ -41,7 +41,11 @@ class ClusterScenario:
     servers: int = 4
     channels: int = 6
     threads: int = 10
-    # workload
+    # workload shape: "rpc" = independent request/response (this module);
+    # "replication" = multi-hop replicated-storage DAGs (each client
+    # operation fans out into per-hop fleet requests with quorum joins —
+    # see repro.replication, which subclasses this scenario).
+    workload: str = "rpc"
     ulp: str = "tls"
     placement: str = "smartdimm"
     message_bytes: int = 16384
@@ -271,7 +275,18 @@ def run_scenario(scenario: ClusterScenario, fault_injector=None,
     ``scenario.tier == "vector"`` dispatches to the batched-epoch fleet
     tier (:func:`repro.cluster.vector.run_vector_scenario`); chaos there
     takes fault *windows*, not an injector.
+
+    ``scenario.workload == "replication"`` dispatches to the replicated-
+    storage runner (:func:`repro.replication.scenario.run_replication`),
+    which drives multi-hop request DAGs through the same fleet/kernel and
+    returns a :class:`repro.replication.scenario.ReplicationReport`.
     """
+    if scenario.workload == "replication":
+        from repro.replication.scenario import run_replication
+
+        return run_replication(scenario, fault_injector=fault_injector)
+    if scenario.workload != "rpc":
+        raise ValueError("workload must be 'rpc' or 'replication'")
     if scenario.tier == "vector":
         if fault_injector is not None:
             raise ValueError(

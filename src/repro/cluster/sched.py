@@ -173,11 +173,72 @@ class AdaptiveSpillScheduler(LeastLoadedScheduler):
         return Assignment(server=server.index, channel=channel.index, spill=spill)
 
 
+class TargetedScheduler(AdaptiveSpillScheduler):
+    """Honours ``request.target``: place on *that* server, choose the
+    channel and spill decision locally.
+
+    Replication hops are not free to run anywhere — a WRITE to replica 3
+    must execute on replica 3's server or it is not a replica write.  The
+    scheduler therefore pins the server to the hop's target and keeps only
+    the intra-server freedoms: shortest DSA channel (JSQ) and the
+    Observation-2 marginal-cost spill to CPU onload.  Requests without a
+    target (``target < 0``) fall back to the adaptive-spill policy, so a
+    mixed foreground/replication workload needs only one scheduler.
+
+    ``reroute_full`` is overridden likewise: a targeted hop under
+    backpressure may move channels or spill *within its server*, never to
+    another server — if every path on the target is full the hop is
+    rejected and the protocol's retry budget decides what happens next.
+    """
+
+    name = "targeted"
+
+    def assign(self, fleet: Fleet, request: Request) -> Assignment:
+        """Pin `request.target`'s server; pick channel + spill locally."""
+        if request.target < 0:
+            return super().assign(fleet, request)
+        server = fleet.servers[request.target]
+        channel = min(server.channels,
+                      key=lambda c: (c.backlog_seconds, c.index))
+        spill = False
+        profile = fleet.profile
+        if profile.can_spill:
+            offload = profile.route(request.size, request.kind, spill=False)
+            if offload.dsa_seconds > 0.0:
+                onload = profile.route(request.size, request.kind, spill=True)
+                spill = spill_decision(
+                    channel.backlog_seconds, server.cpu_backlog_seconds,
+                    server.threads, offload.cpu_seconds, onload.cpu_seconds,
+                    self.spill_factor)
+        return Assignment(server=server.index, channel=channel.index, spill=spill)
+
+    def reroute_full(self, fleet: Fleet, request: Request,
+                     assignment: Assignment) -> Assignment:
+        """Backpressure escalation confined to the target server."""
+        if request.target < 0:
+            return super().reroute_full(fleet, request, assignment)
+        server = fleet.servers[request.target]
+        if not fleet.cpu_has_room(server):
+            return None
+        channels = sorted(server.channels,
+                          key=lambda c: (c.backlog_seconds, c.index))
+        for channel in channels:
+            candidate = Assignment(server=server.index, channel=channel.index,
+                                   spill=assignment.spill)
+            if fleet.has_room(candidate):
+                return candidate
+        if fleet.profile.can_spill:
+            return Assignment(server=server.index, channel=channels[0].index,
+                              spill=True)
+        return None
+
+
 #: CLI/scenario name -> factory.
 SCHEDULERS = {
     StaticScheduler.name: StaticScheduler,
     LeastLoadedScheduler.name: LeastLoadedScheduler,
     AdaptiveSpillScheduler.name: AdaptiveSpillScheduler,
+    TargetedScheduler.name: TargetedScheduler,
 }
 
 

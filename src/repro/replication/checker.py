@@ -1,0 +1,167 @@
+"""Per-key consistency checking over a replicated-register history.
+
+The replication scenarios record every client operation — reads and
+writes, successful or not — as :class:`OpRecord` entries with *real-time*
+start/end stamps from the simulation clock and the version timestamp the
+operation observed or installed.  :class:`ConsistencyChecker` then audits
+the history against the guarantees both protocols claim to preserve
+across failover:
+
+* **staleness (linearizability's real-time edge)** — a successful read
+  must return a version at least as new as every write that *completed*
+  before the read *started*.  Writes still in flight when the read began
+  are concurrent: either outcome is legal.
+* **phantom reads** — a read may only return a version some write
+  actually installed (or the initial version); anything else means a
+  replica invented or corrupted state.
+* **monotonic reads** — one client's successive reads of a key never go
+  backwards in version order, even when failover moves them between
+  replicas.
+* **unique write versions** — no two successful writes share a timestamp
+  (both protocols construct totally ordered ``(sequence, writer)`` pairs;
+  a collision means the ordering machinery broke).
+
+Failed writes are deliberately *not* required to be invisible: a write
+that reached some replicas before its quorum failed may legitimately be
+exposed by a later read (ABD semantics), so failed-write versions count
+as known versions but never as staleness obligations.
+
+The checker is pure bookkeeping over plain tuples — no simulator state —
+so tests can feed it synthetic histories directly (including deliberately
+inconsistent ones: the checker-checks-the-checker tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The version an unwritten register reads as.
+INITIAL_VERSION = (0, 0)
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One client operation as the checker sees it."""
+
+    op_id: int
+    client: int
+    kind: str  # "read" | "write"
+    key: int
+    start_s: float
+    end_s: float
+    ok: bool  # completed (quorum/chain ack); False: failed or timed out
+    version: tuple = INITIAL_VERSION  # installed (write) or observed (read)
+    value: int = -1  # opaque value identity
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected consistency violation, self-describing."""
+
+    rule: str  # "stale-read" | "phantom-read" | "non-monotonic-read" | ...
+    key: int
+    op_id: int
+    detail: str
+
+    def to_dict(self) -> dict:
+        """Plain JSON-serialisable rendering for reports."""
+        return {"rule": self.rule, "key": self.key, "op_id": self.op_id,
+                "detail": self.detail}
+
+
+class ConsistencyChecker:
+    """Collects :class:`OpRecord` entries and audits them per key."""
+
+    def __init__(self):
+        self.ops = []
+
+    def record(self, op: OpRecord) -> None:
+        """Append one finished (or failed) operation to the history."""
+        self.ops.append(op)
+
+    # -- the audit ------------------------------------------------------------------
+
+    def check(self) -> list:
+        """Audit the whole history; returns all violations, deterministic
+        order (by key, then op id)."""
+        violations = []
+        by_key = {}
+        for op in self.ops:
+            by_key.setdefault(op.key, []).append(op)
+        for key in sorted(by_key):
+            violations.extend(self._check_key(key, by_key[key]))
+        return violations
+
+    def _check_key(self, key: int, ops: list) -> list:
+        violations = []
+        writes = [op for op in ops if op.kind == "write"]
+        reads = sorted((op for op in ops if op.kind == "read" and op.ok),
+                       key=lambda op: (op.start_s, op.op_id))
+        known_versions = {INITIAL_VERSION}
+        known_versions.update(op.version for op in writes)
+
+        # unique write versions among successful writes
+        seen = {}
+        for op in sorted(writes, key=lambda op: op.op_id):
+            if not op.ok:
+                continue
+            if op.version in seen:
+                violations.append(Violation(
+                    "duplicate-write-version", key, op.op_id,
+                    "write op %d reused version %r of op %d"
+                    % (op.op_id, op.version, seen[op.version])))
+            else:
+                seen[op.version] = op.op_id
+
+        committed = sorted(
+            ((op.end_s, op.version, op.op_id) for op in writes if op.ok),
+            key=lambda item: (item[0], item[2]))
+        for read in reads:
+            # staleness: newest version among writes completed before the
+            # read started (binary-scan is overkill at these history sizes)
+            floor = INITIAL_VERSION
+            floor_op = None
+            for end_s, version, op_id in committed:
+                if end_s > read.start_s:
+                    break
+                if version > floor:
+                    floor, floor_op = version, op_id
+            if read.version < floor:
+                violations.append(Violation(
+                    "stale-read", key, read.op_id,
+                    "read op %d returned version %r but write op %d "
+                    "(version %r) completed before it started"
+                    % (read.op_id, read.version, floor_op, floor)))
+            if read.version not in known_versions:
+                violations.append(Violation(
+                    "phantom-read", key, read.op_id,
+                    "read op %d returned version %r, which no write installed"
+                    % (read.op_id, read.version)))
+
+        # monotonic reads per client (reads are sequential per client, so
+        # start order is session order)
+        last_by_client = {}
+        for read in reads:
+            previous = last_by_client.get(read.client)
+            if previous is not None and read.version < previous[0]:
+                violations.append(Violation(
+                    "non-monotonic-read", key, read.op_id,
+                    "client %d read version %r after version %r (op %d)"
+                    % (read.client, read.version, previous[0], previous[1])))
+            last_by_client[read.client] = (read.version, read.op_id)
+        return violations
+
+    # -- reporting ------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Deterministic JSON-ready audit result."""
+        violations = self.check()
+        ok_ops = sum(1 for op in self.ops if op.ok)
+        return {
+            "ops_recorded": len(self.ops),
+            "ops_ok": ok_ops,
+            "reads": sum(1 for op in self.ops if op.kind == "read" and op.ok),
+            "writes": sum(1 for op in self.ops if op.kind == "write" and op.ok),
+            "violation_count": len(violations),
+            "violations": [v.to_dict() for v in violations],
+        }

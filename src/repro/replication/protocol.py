@@ -1,0 +1,532 @@
+"""ABD quorum replication and chain replication over the cluster DES.
+
+Both protocols are implemented as coroutine state machines on the
+:class:`~repro.cluster.kernel.Simulator`: every protocol *message* (an
+ABD query/propagate, a chain forward, a read) becomes one fleet
+:class:`~repro.cluster.loadgen.Request` targeted at a specific replica
+server, where it traverses the server's cpu -> membus -> dsa -> link
+stations with the composite compress+encrypt hop costs of
+:class:`~repro.replication.hopcost.ReplicationHopProfile`.  A client
+operation is therefore a *DAG of hops* — fan-out phases joined by quorum
+barriers (ABD) or a sequential forwarding chain (chain replication) —
+executed inside the same simulated rack the RPC scenarios use, under the
+same schedulers, circuit breakers, deadlines, and bounded queues.
+
+Failure handling is protocol-level, not transparent: a hop aimed at a
+replica inside a ``node_down`` window must NOT be silently rerouted to a
+different server (that would "replicate" to a non-replica), so the
+protocol consults the fault injector, pays a detection timeout the first
+time it touches a dead replica, marks it *suspected*, and reconfigures —
+ABD requorums among live replicas (quorum size stays ``N//2 + 1`` of the
+*full* group, so split-brain is impossible), chain replication rebuilds
+the chain from the live members and resynchronises a replica's store when
+it rejoins.  Every retry of a failed phase spends from a shared
+:class:`~repro.overload.retry.RetryBudget` token bucket, so a wedged or
+dead replica cannot amplify a client's traffic unboundedly: when the
+budget drains, operations fail fast instead.
+
+Version timestamps are ``(sequence, writer)`` pairs, totally ordered by
+tuple comparison; replica stores are last-writer-wins
+:class:`~repro.apps.storage.VersionedKV` registers, making duplicate and
+reordered delivery idempotent.  Every operation is recorded with the
+:class:`~repro.replication.checker.ConsistencyChecker` for the post-run
+linearizability/monotonic-read audit.
+"""
+
+from __future__ import annotations
+
+from repro.apps.storage import VersionedKV
+from repro.overload.retry import RetryBudget
+
+from repro.cluster.chaos import live_quorum, reroute_down
+from repro.cluster.kernel import Event, Simulator
+from repro.cluster.loadgen import Request
+from repro.replication.checker import (
+    INITIAL_VERSION,
+    ConsistencyChecker,
+    OpRecord,
+)
+
+from repro.workloads.corpus import CorpusKind
+
+#: Protocol names accepted by scenarios and the CLI.
+PROTOCOLS = ("abd", "chain")
+
+
+class ReplicationGroup:
+    """One replicated register service: N replica servers, one protocol.
+
+    The group owns the per-replica :class:`VersionedKV` stores, the
+    suspicion list, the shared retry budget, the consistency history, and
+    the per-operation counters.  Client coroutines call :meth:`write_op`
+    / :meth:`read_op` via ``yield from`` inside a simulator process.
+    """
+
+    def __init__(self, sim: Simulator, fleet, replicas, protocol: str,
+                 value_bytes: int, meta_bytes: int = 128,
+                 hop_timeout_s: float = 1e-3,
+                 retry_budget: RetryBudget = None,
+                 kind: CorpusKind = CorpusKind.HTML,
+                 checker: ConsistencyChecker = None):
+        if protocol not in PROTOCOLS:
+            raise ValueError("protocol must be one of %r" % (PROTOCOLS,))
+        if len(replicas) < 1:
+            raise ValueError("need at least one replica")
+        self.sim = sim
+        self.fleet = fleet
+        self.group = list(replicas)
+        self.protocol = protocol
+        self.value_bytes = value_bytes
+        self.meta_bytes = meta_bytes
+        self.hop_timeout_s = hop_timeout_s
+        self.budget = retry_budget if retry_budget is not None else RetryBudget()
+        self.kind = kind
+        self.checker = checker if checker is not None else ConsistencyChecker()
+        self.stores = {replica: VersionedKV() for replica in self.group}
+        self.quorum = len(self.group) // 2 + 1
+        self._suspected = set()  # replicas believed down (protocol view)
+        self._timing_out = set()  # replicas with a detection timeout in flight
+        self._next_request = 0
+        self._next_op = 0
+        self._chain_seq = 0
+        #: Tail-state mirror for chain resync: key -> (version, value) as
+        #: of the last tail-acknowledged write.
+        self._committed = {}
+        self.counters = {
+            "ops_submitted": 0,
+            "ops_ok": 0,
+            "ops_failed": 0,
+            "reads_ok": 0,
+            "writes_ok": 0,
+            "op_retries": 0,
+            "hops_sent": 0,
+            "hops_ok": 0,
+            "hops_failed": 0,
+            "hop_timeouts": 0,
+            "hop_rejected": 0,
+            "quorum_shortfalls": 0,
+            "resyncs": 0,
+            "resync_keys": 0,
+            "fast_path_reads": 0,
+            "writeback_reads": 0,
+        }
+        #: Completion stamps of successful ops, with the replica set the
+        #: op had to work around (for failover-latency attribution).
+        self.completions = []  # (complete_s, frozenset(unavailable))
+
+    # -- replica health view ---------------------------------------------------------
+
+    def _injector_down(self, replica: int) -> bool:
+        injector = self.fleet.fault_injector
+        return injector is not None and injector.is_down(replica)
+
+    def _probe_suspected(self) -> None:
+        """Health-check piggyback at op start: unsuspect replicas whose
+        window ended; chain replicas additionally resync their store."""
+        for replica in sorted(self._suspected):
+            if not self._injector_down(replica):
+                self._suspected.discard(replica)
+                if self.protocol == "chain":
+                    self._resync(replica)
+
+    def _resync(self, replica: int) -> None:
+        """Chain reconfiguration state transfer: bring a rejoining
+        replica's store up to the last committed version of every key it
+        missed (LWW makes replaying everything idempotent)."""
+        store = self.stores[replica]
+        synced = 0
+        for key in sorted(self._committed):
+            version, value = self._committed[key]
+            if store.put(key, value, version):
+                synced += 1
+        self.counters["resyncs"] += 1
+        self.counters["resync_keys"] += synced
+
+    def live_replicas(self) -> list:
+        """The replicas this protocol currently believes are serving."""
+        return live_quorum(self.group, self._suspected)
+
+    def chain_tail(self) -> int:
+        """The live tail: the preferred tail, failed over backwards along
+        the chain via the quorum-aware reroute walk when suspected."""
+        preferred = self.group[-1]
+        if preferred not in self._suspected:
+            return preferred
+        # Walk the reversed chain ring so failover lands on the longest
+        # live prefix's last member (the correct new tail), skipping every
+        # down replica; None when the whole chain is suspected.
+        return reroute_down(preferred, self._suspected,
+                            len(self.fleet.servers),
+                            group=list(reversed(self.group)))
+
+    # -- hop submission --------------------------------------------------------------
+
+    def _hop(self, target: int, size: int, op_id: int, name: str,
+             apply=None) -> Event:
+        """Send one protocol message to `target`; the returned event
+        fires with ``(ok, request)``.
+
+        * suspected target — fails immediately (the protocol already
+          knows; no timeout paid twice);
+        * target inside an (undetected) ``node_down`` window — fails
+          after ``hop_timeout_s`` and marks the replica suspected: this
+          IS the failure detector, and the timeout is its latency;
+        * live target — a fleet request through the replica's stations;
+          `apply` runs at service completion (the replica-side state
+          transition), whether or not the op's quorum already resolved —
+          a late propagate still lands, exactly like a real network.
+        """
+        self.counters["hops_sent"] += 1
+        gate = Event(self.sim)
+        if target in self._suspected:
+            self.counters["hops_failed"] += 1
+            gate.succeed((False, None))
+            return gate
+        if self._injector_down(target):
+            self.counters["hop_timeouts"] += 1
+            self.counters["hops_failed"] += 1
+            self._timing_out.add(target)
+
+            def _expire(_):
+                self._timing_out.discard(target)
+                if self._injector_down(target):
+                    self._suspected.add(target)
+                gate.succeed((False, None))
+
+            self.sim.schedule(self.hop_timeout_s, _expire, None)
+            return gate
+        request = Request(
+            id=self._next_request, connection=-1, size=size, kind=self.kind,
+            arrive_s=self.sim.now, target=target, op_id=op_id, hop=name)
+        self._next_request += 1
+        done = self.fleet.submit(request)
+        if done is None:
+            # Admission control or backpressure rejected the hop up front.
+            self.counters["hop_rejected"] += 1
+            self.counters["hops_failed"] += 1
+            gate.succeed((False, request))
+            return gate
+
+        def _finish(event):
+            served = event.value
+            ok = served is not None and served.complete_s >= 0.0
+            if ok:
+                self.counters["hops_ok"] += 1
+                if apply is not None:
+                    apply()
+            else:
+                self.counters["hops_failed"] += 1
+            gate.succeed((ok, served))
+
+        done.wait(_finish)
+        return gate
+
+    def _join(self, hops, need: int) -> Event:
+        """Quorum barrier: fires ``("quorum", oks)`` at the `need`-th hop
+        success, or ``("failed", oks)`` as soon as success is impossible.
+        Straggler hops keep running (and applying) after the join fires."""
+        gate = Event(self.sim)
+        state = {"ok": [], "failed": 0}
+        total = len(hops)
+        if total < need:
+            gate.succeed(("failed", []))
+            return gate
+
+        def _make(replica):
+            def _callback(event):
+                ok, _ = event.value
+                if gate.triggered:
+                    return
+                if ok:
+                    state["ok"].append(replica)
+                    if len(state["ok"]) >= need:
+                        gate.succeed(("quorum", list(state["ok"])))
+                else:
+                    state["failed"] += 1
+                    if state["failed"] > total - need:
+                        gate.succeed(("failed", list(state["ok"])))
+            return _callback
+
+        for replica, hop in hops:
+            hop.wait(_make(replica))
+        return gate
+
+    # -- retry plumbing --------------------------------------------------------------
+
+    def _op_begin(self, kind: str) -> tuple:
+        op_id = self._next_op
+        self._next_op += 1
+        self.counters["ops_submitted"] += 1
+        return op_id, self.sim.now
+
+    def _op_done(self, op_id, client, kind, key, start_s, ok, version,
+                 value, unavailable) -> OpRecord:
+        record = OpRecord(op_id=op_id, client=client, kind=kind, key=key,
+                          start_s=start_s, end_s=self.sim.now, ok=ok,
+                          version=version, value=value)
+        self.checker.record(record)
+        if ok:
+            self.counters["ops_ok"] += 1
+            self.counters["reads_ok" if kind == "read" else "writes_ok"] += 1
+            self.budget.on_success()
+            self.completions.append((self.sim.now, frozenset(unavailable)))
+        else:
+            self.counters["ops_failed"] += 1
+        return record
+
+    def _retry(self, attempt: int):
+        """Spend one retry token; yields the backoff, returns False when
+        the budget fails the op fast instead."""
+        if not self.budget.try_acquire():
+            return False
+        self.counters["op_retries"] += 1
+        yield self.budget.backoff_s(attempt)
+        return True
+
+    # -- ABD -------------------------------------------------------------------------
+
+    def write_op(self, client: int, key: int, value: int):
+        """One client write; dispatches on the group's protocol."""
+        if self.protocol == "abd":
+            return (yield from self._abd_write(client, key, value))
+        return (yield from self._chain_write(client, key, value))
+
+    def read_op(self, client: int, key: int):
+        """One client read; dispatches on the group's protocol."""
+        if self.protocol == "abd":
+            return (yield from self._abd_read(client, key))
+        return (yield from self._chain_read(client, key))
+
+    def _abd_write(self, client: int, key: int, value: int):
+        op_id, start_s = self._op_begin("write")
+        attempt = 0
+        version = None
+        unavailable = set()
+        while True:
+            self._probe_suspected()
+            live = self.live_replicas()
+            unavailable.update(set(self.group) - set(live))
+            if len(live) >= self.quorum:
+                # Phase 1: query a quorum for the highest installed version.
+                versions = []
+                hops = []
+                for replica in live:
+                    store = self.stores[replica]
+
+                    def _collect(store=store):
+                        versions.append(
+                            store.timestamp(key, INITIAL_VERSION))
+
+                    hops.append((replica, self._hop(
+                        replica, self.meta_bytes, op_id, "query",
+                        apply=_collect)))
+                verdict, _ = yield self._join(hops, self.quorum)
+                if verdict == "quorum":
+                    # The version is chosen once, inside this op's span;
+                    # retries re-deliver the same one (idempotent by LWW),
+                    # so every replica-side install this op ever performs
+                    # carries the version its history record will declare.
+                    if version is None:
+                        version = (max(versions)[0] + 1, client + 1)
+                    # Phase 2: propagate (version, value) to a quorum.
+                    hops = []
+                    for replica in live:
+                        store = self.stores[replica]
+
+                        def _apply(store=store, version=version):
+                            store.put(key, value, version)
+
+                        hops.append((replica, self._hop(
+                            replica, self.value_bytes, op_id, "propagate",
+                            apply=_apply)))
+                    verdict, _ = yield self._join(hops, self.quorum)
+                    if verdict == "quorum":
+                        return self._op_done(op_id, client, "write", key,
+                                             start_s, True, version, value,
+                                             unavailable)
+            else:
+                self.counters["quorum_shortfalls"] += 1
+            attempt += 1
+            granted = yield from self._retry(attempt)
+            if not granted:
+                # Record the chosen version even on failure: a partial
+                # phase-2 may have installed it on some replica, and the
+                # audit must know the version exists (while imposing no
+                # staleness obligation for a failed write).
+                return self._op_done(op_id, client, "write", key, start_s,
+                                     False,
+                                     version if version is not None
+                                     else INITIAL_VERSION,
+                                     value, unavailable)
+
+    def _abd_read(self, client: int, key: int):
+        op_id, start_s = self._op_begin("read")
+        attempt = 0
+        unavailable = set()
+        while True:
+            self._probe_suspected()
+            live = self.live_replicas()
+            unavailable.update(set(self.group) - set(live))
+            if len(live) >= self.quorum:
+                # Phase 1: read (version, value) from a quorum.
+                observed = []
+                hops = []
+                for replica in live:
+                    store = self.stores[replica]
+
+                    def _collect(store=store):
+                        observed.append(store.get(key, INITIAL_VERSION))
+
+                    hops.append((replica, self._hop(
+                        replica, self.value_bytes, op_id, "read",
+                        apply=_collect)))
+                verdict, _ = yield self._join(hops, self.quorum)
+                if verdict == "quorum":
+                    snapshot = list(observed)
+                    version, value = max(snapshot, key=lambda vv: vv[0])
+                    if all(vv[0] == version for vv in snapshot):
+                        # Quorum agreement: the write-back is provably a
+                        # no-op (any earlier completed write intersects
+                        # this quorum), so skip it.
+                        self.counters["fast_path_reads"] += 1
+                        return self._op_done(op_id, client, "read", key,
+                                             start_s, True, version, value,
+                                             unavailable)
+                    # Phase 2: write back the newest version to a quorum
+                    # so the read is linearizable (later reads cannot see
+                    # an older version).
+                    self.counters["writeback_reads"] += 1
+                    hops = []
+                    for replica in live:
+                        store = self.stores[replica]
+
+                        def _apply(store=store, version=version, value=value):
+                            store.put(key, value, version)
+
+                        hops.append((replica, self._hop(
+                            replica, self.value_bytes, op_id, "writeback",
+                            apply=_apply)))
+                    verdict, _ = yield self._join(hops, self.quorum)
+                    if verdict == "quorum":
+                        return self._op_done(op_id, client, "read", key,
+                                             start_s, True, version, value,
+                                             unavailable)
+            else:
+                self.counters["quorum_shortfalls"] += 1
+            attempt += 1
+            granted = yield from self._retry(attempt)
+            if not granted:
+                return self._op_done(op_id, client, "read", key, start_s,
+                                     False, INITIAL_VERSION, -1, unavailable)
+
+    # -- chain replication -----------------------------------------------------------
+
+    def _chain_write(self, client: int, key: int, value: int):
+        op_id, start_s = self._op_begin("write")
+        attempt = 0
+        version = None
+        unavailable = set()
+        acked = set()  # replicas that applied this write's forward hop
+        while True:
+            self._probe_suspected()
+            chain = self.live_replicas()  # group order IS chain order
+            unavailable.update(set(self.group) - set(chain))
+            if chain:
+                if version is None:
+                    # The head assigns the version once; retries re-deliver
+                    # the same version (idempotent by LWW).
+                    self._chain_seq += 1
+                    version = (self._chain_seq, 0)
+                failed = False
+                for replica in chain:
+                    if replica in acked:
+                        continue
+                    store = self.stores[replica]
+
+                    def _apply(store=store, version=version):
+                        store.put(key, value, version)
+
+                    ok, _ = yield self._hop(
+                        replica, self.value_bytes, op_id, "forward",
+                        apply=_apply)
+                    if not ok:
+                        failed = True
+                        break
+                    acked.add(replica)
+                if not failed:
+                    # Reconfiguration guard: a replica that rejoined while
+                    # this write was forwarding is serving (maybe as tail)
+                    # but missed it — the resync only covers writes that
+                    # committed *before* the rejoin.  Commit only once
+                    # every currently-live replica has acked; otherwise
+                    # loop and forward to the newcomers (no retry token:
+                    # nothing failed, the membership just grew).
+                    if set(self.live_replicas()) <= acked:
+                        self._committed[key] = (version, value)
+                        return self._op_done(op_id, client, "write", key,
+                                             start_s, True, version, value,
+                                             unavailable)
+                    continue
+            attempt += 1
+            granted = yield from self._retry(attempt)
+            if not granted:
+                # As with ABD: partial forwards may have installed the
+                # chosen version; the failed record must declare it.
+                return self._op_done(op_id, client, "write", key, start_s,
+                                     False,
+                                     version if version is not None
+                                     else INITIAL_VERSION,
+                                     value, unavailable)
+
+    def _chain_read(self, client: int, key: int):
+        op_id, start_s = self._op_begin("read")
+        attempt = 0
+        unavailable = set()
+        while True:
+            self._probe_suspected()
+            tail = self.chain_tail()
+            unavailable.update(self._suspected)
+            if tail is not None:
+                observed = []
+                store = self.stores[tail]
+
+                def _collect(store=store):
+                    observed.append(store.get(key, INITIAL_VERSION))
+
+                ok, _ = yield self._hop(tail, self.value_bytes, op_id,
+                                        "read", apply=_collect)
+                if ok:
+                    # Tail revalidation: if the tail role moved while this
+                    # read was in flight (the old tail may have served a
+                    # newer regime's mid-chain forward — a dirty value
+                    # from the new tail's perspective), discard and
+                    # re-read from the current tail.  No retry token: the
+                    # hop itself succeeded.
+                    if self.chain_tail() != tail:
+                        observed.clear()
+                        continue
+                    version, value = observed[0]
+                    return self._op_done(op_id, client, "read", key,
+                                         start_s, True, version, value,
+                                         unavailable)
+            attempt += 1
+            granted = yield from self._retry(attempt)
+            if not granted:
+                return self._op_done(op_id, client, "read", key, start_s,
+                                     False, INITIAL_VERSION, -1, unavailable)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Deterministic JSON-ready protocol-level accounting."""
+        ops = self.counters["ops_ok"] or 1
+        return dict(
+            sorted(self.counters.items()),
+            protocol=self.protocol,
+            replicas=len(self.group),
+            quorum=self.quorum,
+            retry_amplification=(
+                (self.counters["ops_ok"] + self.counters["op_retries"])
+                / ops),
+            retry_budget=self.budget.summary(),
+        )

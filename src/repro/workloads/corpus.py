@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 import random
+import zlib
 
 
 class CorpusKind(enum.Enum):
@@ -122,5 +123,8 @@ def generate_corpus(kind: CorpusKind, size: int, seed: int = 0) -> bytes:
     """Generate `size` bytes of deterministic corpus of the given kind."""
     if size < 0:
         raise ValueError("size must be non-negative")
-    rng = random.Random((hash(kind.value) & 0xFFFF) * 31 + seed)
+    # crc32, not hash(): str hashes are salted per process, and corpus
+    # bytes feed measured DEFLATE ratios and thence simulated route costs
+    # — a salted seed here breaks cross-process byte-identical reports.
+    rng = random.Random((zlib.crc32(kind.value.encode()) & 0xFFFF) * 31 + seed)
     return _GENERATORS[kind](rng, size)

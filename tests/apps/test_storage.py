@@ -1,6 +1,7 @@
-"""Storage DMA via DDIO and the leak behaviour of Observation 3."""
+"""Storage DMA via DDIO and the leak behaviour of Observation 3, plus
+the versioned get/put KV interface the replication layer stores into."""
 
-from repro.apps.storage import StorageDevice
+from repro.apps.storage import StorageDevice, VersionedKV
 from repro.cache.llc import LLC
 from repro.dram.address import AddressMapping
 from repro.dram.memory_controller import MemoryController, PlainDIMM
@@ -41,3 +42,62 @@ def test_short_blob_padded_to_line():
     storage.store("tiny", b"abc")
     storage.dma_read_into("tiny", 128)
     assert llc.load(128)[:3] == b"abc"
+
+
+class TestVersionedKV:
+    def test_missing_key_reads_as_default_version(self):
+        kv = VersionedKV()
+        assert kv.get("k", (0, 0)) == ((0, 0), None)
+        assert kv.timestamp("k", (0, 0)) == (0, 0)
+        assert "k" not in kv and len(kv) == 0
+
+    def test_put_then_get_round_trips(self):
+        kv = VersionedKV()
+        assert kv.put("k", 42, (1, 1)) is True
+        assert kv.get("k") == ((1, 1), 42)
+        assert kv.timestamp("k") == (1, 1)
+        assert "k" in kv and len(kv) == 1
+
+    def test_stale_and_duplicate_puts_are_ignored(self):
+        # Strictly-newer LWW: replayed and reordered deliveries are no-ops.
+        kv = VersionedKV()
+        kv.put("k", 1, (2, 1))
+        assert kv.put("k", 2, (2, 1)) is False  # duplicate version
+        assert kv.put("k", 3, (1, 9)) is False  # older version
+        assert kv.get("k") == ((2, 1), 1)
+
+    def test_newer_version_wins(self):
+        kv = VersionedKV()
+        kv.put("k", 1, (1, 2))
+        assert kv.put("k", 2, (2, 1)) is True
+        assert kv.get("k") == ((2, 1), 2)
+
+    def test_tuple_versions_order_by_writer_on_sequence_ties(self):
+        kv = VersionedKV()
+        kv.put("k", 1, (3, 1))
+        assert kv.put("k", 2, (3, 2)) is True  # same seq, higher writer
+        assert kv.get("k") == ((3, 2), 2)
+
+    def test_keys_keep_insertion_order(self):
+        kv = VersionedKV()
+        for key in ("c", "a", "b"):
+            kv.put(key, 0, 1)
+        assert list(kv.keys()) == ["c", "a", "b"]
+
+
+class TestStorageDeviceKV:
+    def test_device_kv_counts_puts_gets_and_stale_puts(self):
+        storage, _, _, _ = _system()
+        assert storage.put("k", 7, (1, 1)) is True
+        assert storage.put("k", 8, (1, 1)) is False  # stale duplicate
+        assert storage.get("k") == ((1, 1), 7)
+        assert storage.stats.kv_puts == 1
+        assert storage.stats.kv_stale_puts == 1
+        assert storage.stats.kv_gets == 1
+
+    def test_device_kv_is_independent_of_blob_store(self):
+        storage, _, _, _ = _system()
+        storage.store("name", b"blob")
+        storage.put("name", 1, (1, 1))
+        assert storage.get("name") == ((1, 1), 1)
+        assert storage.dma_read_into("name", 0) == 4  # blob untouched

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.cluster.chaos import FaultWindow, FleetFaultInjector
+from repro.cluster.chaos import (
+    FaultWindow,
+    FleetFaultInjector,
+    live_quorum,
+    reroute_down,
+)
 from repro.cluster.scenario import ClusterScenario, run_scenario
 
 pytestmark = pytest.mark.faults
@@ -73,6 +78,47 @@ class TestReroute:
         injector = FleetFaultInjector([])
         injector._down = {0, 1}
         assert injector._reroute(0, 2) == 0
+
+    def test_free_function_matches_injector_walk(self):
+        assert reroute_down(1, {1, 2}, 4) == 3
+        assert reroute_down(0, {0, 1}, 2) == 0  # all down: original
+
+
+class TestGroupReroute:
+    """Quorum-aware rerouting for multi-replica groups (the regression:
+    the plain linear probe could land on a second down replica or on a
+    server outside the replica set entirely)."""
+
+    def test_stays_inside_the_replica_set(self):
+        # Group {0, 2, 4} on a 6-server fleet: servers 1, 3, 5 exist but
+        # are NOT replicas, so failover must never land on them.
+        assert reroute_down(2, {2}, 6, group=[0, 2, 4]) == 4
+
+    def test_skips_every_down_replica_not_just_the_neighbour(self):
+        # 2's group successor 4 is also down: the walk must continue to 0.
+        assert reroute_down(2, {2, 4}, 6, group=[0, 2, 4]) == 0
+
+    def test_whole_group_down_is_reported_not_masked(self):
+        assert reroute_down(2, {0, 2, 4}, 6, group=[0, 2, 4]) is None
+
+    def test_non_member_scans_from_the_group_head(self):
+        assert reroute_down(1, set(), 6, group=[0, 2, 4]) == 0
+        assert reroute_down(1, {0}, 6, group=[0, 2, 4]) == 2
+
+    def test_reversed_group_walks_to_chain_predecessor(self):
+        # chain_tail() uses the reversed group so a dead tail fails over
+        # backwards to the longest live prefix's last member.
+        assert reroute_down(2, {2}, 3, group=[2, 1, 0]) == 1
+        assert reroute_down(2, {2, 1}, 3, group=[2, 1, 0]) == 0
+
+
+class TestLiveQuorum:
+    def test_preserves_group_order(self):
+        assert live_quorum([3, 1, 2], set()) == [3, 1, 2]
+        assert live_quorum([3, 1, 2], {1}) == [3, 2]
+
+    def test_empty_when_all_down(self):
+        assert live_quorum([0, 1], {0, 1}) == []
 
 
 class TestAttachValidation:

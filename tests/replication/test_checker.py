@@ -1,0 +1,130 @@
+"""Checker-checks-the-checker: synthetic histories with known defects.
+
+The consistency checker is itself load-bearing (the regression gate
+trusts its zero-violation verdict), so these tests feed it hand-built
+histories containing deliberate violations — a stale read, a phantom
+version, a non-monotonic client session, a duplicated write version —
+and assert each is flagged, plus clean and legitimately-concurrent
+histories that must NOT be flagged.
+"""
+
+import pytest
+
+from repro.replication.checker import (
+    INITIAL_VERSION,
+    ConsistencyChecker,
+    OpRecord,
+)
+
+pytestmark = pytest.mark.replication
+
+
+def _write(op_id, start, end, version, ok=True, client=0, key=0):
+    return OpRecord(op_id=op_id, client=client, kind="write", key=key,
+                    start_s=start, end_s=end, ok=ok, version=version,
+                    value=op_id)
+
+
+def _read(op_id, start, end, version, ok=True, client=0, key=0):
+    return OpRecord(op_id=op_id, client=client, kind="read", key=key,
+                    start_s=start, end_s=end, ok=ok, version=version)
+
+
+def _audit(*ops):
+    checker = ConsistencyChecker()
+    for op in ops:
+        checker.record(op)
+    return checker.check()
+
+
+class TestStaleRead:
+    def test_deliberately_stale_read_is_flagged(self):
+        violations = _audit(
+            _write(0, 0.0, 1.0, (1, 1)),
+            _read(1, 2.0, 3.0, INITIAL_VERSION),  # misses the settled write
+        )
+        assert [v.rule for v in violations] == ["stale-read"]
+        assert violations[0].op_id == 1
+
+    def test_read_concurrent_with_write_may_miss_it(self):
+        # The write completes AFTER the read starts: both outcomes legal.
+        assert _audit(
+            _write(0, 0.0, 2.5, (1, 1)),
+            _read(1, 2.0, 3.0, INITIAL_VERSION),
+        ) == []
+
+    def test_read_seeing_newest_is_clean(self):
+        assert _audit(
+            _write(0, 0.0, 1.0, (1, 1)),
+            _write(1, 1.0, 2.0, (2, 1)),
+            _read(2, 2.5, 3.0, (2, 1)),
+        ) == []
+
+    def test_failed_write_imposes_no_staleness_obligation(self):
+        # A quorum-failed write may be invisible forever.
+        assert _audit(
+            _write(0, 0.0, 1.0, (1, 1), ok=False),
+            _read(1, 2.0, 3.0, INITIAL_VERSION),
+        ) == []
+
+
+class TestPhantomRead:
+    def test_invented_version_is_flagged(self):
+        violations = _audit(_read(0, 0.0, 1.0, (9, 9)))
+        assert [v.rule for v in violations] == ["phantom-read"]
+
+    def test_failed_write_version_is_still_known(self):
+        # ABD: a failed write that reached one replica may be exposed.
+        assert _audit(
+            _write(0, 0.0, 1.0, (1, 1), ok=False),
+            _read(1, 2.0, 3.0, (1, 1)),
+        ) == []
+
+
+class TestMonotonicReads:
+    def test_backwards_session_is_flagged(self):
+        violations = _audit(
+            _write(0, 0.0, 0.5, (1, 1)),
+            _write(1, 0.5, 4.5, (2, 1)),  # still in flight for both reads
+            _read(2, 1.0, 2.0, (2, 1), client=5),
+            _read(3, 2.5, 3.5, (1, 1), client=5),  # went backwards
+        )
+        assert [v.rule for v in violations] == ["non-monotonic-read"]
+        assert violations[0].op_id == 3
+
+    def test_different_clients_are_independent_sessions(self):
+        assert _audit(
+            _write(0, 0.0, 0.5, (1, 1)),
+            _write(1, 0.5, 4.5, (2, 1)),
+            _read(2, 1.0, 2.0, (2, 1), client=5),
+            _read(3, 2.5, 3.5, (1, 1), client=6),  # other client: concurrent
+        ) == []
+
+
+class TestWriteVersions:
+    def test_duplicate_version_is_flagged(self):
+        violations = _audit(
+            _write(0, 0.0, 1.0, (1, 1)),
+            _write(1, 1.0, 2.0, (1, 1)),
+        )
+        assert [v.rule for v in violations] == ["duplicate-write-version"]
+
+    def test_keys_are_audited_independently(self):
+        assert _audit(
+            _write(0, 0.0, 1.0, (1, 1), key=0),
+            _write(1, 1.0, 2.0, (1, 1), key=1),  # same version, other key
+        ) == []
+
+
+class TestSummary:
+    def test_summary_counts_and_serialises(self):
+        checker = ConsistencyChecker()
+        checker.record(_write(0, 0.0, 1.0, (1, 1)))
+        checker.record(_read(1, 2.0, 3.0, INITIAL_VERSION))
+        summary = checker.summary()
+        assert summary["ops_recorded"] == 2
+        assert summary["violation_count"] == 1
+        assert summary["violations"][0]["rule"] == "stale-read"
+        import json
+
+        json.dumps(summary, sort_keys=True)  # JSON-ready

@@ -1,0 +1,71 @@
+"""Quorum retries ride the shared RetryBudget token bucket: a wedged
+replica (slow DSA + deadline shedding) makes hops fail and ops retry,
+and the budget must keep the resulting retry amplification bounded
+instead of letting the client hammer the sick replica."""
+
+import pytest
+
+from repro.cluster.chaos import FaultWindow, FleetFaultInjector
+from repro.replication.scenario import ReplicationScenario, run_replication
+
+pytestmark = pytest.mark.replication
+
+
+def _wedged_run(retry_capacity=16.0, retry_refill=0.5, seed=7):
+    # replicas=2 => quorum=2: every op needs BOTH replicas, so the wedge
+    # on server 1 cannot be quorumed around — shed hops force retries.
+    injector = FleetFaultInjector([
+        FaultWindow(kind="channel_wedge", server=1, channel=0,
+                    start_s=0.003, duration_s=0.003, dsa_slowdown=50.0)])
+    scenario = ReplicationScenario(
+        servers=2, channels=1, threads=4, protocol="abd",
+        replicas=2, clients=4, keys=4, write_fraction=0.5,
+        value_bytes=4096, duration_s=0.008, warmup_s=0.002, seed=seed,
+        deadline_s=100e-6, shed_expired=True,
+        retry_capacity=retry_capacity, retry_refill=retry_refill)
+    return run_replication(scenario, fault_injector=injector)
+
+
+class TestWedgedReplicaRetries:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return _wedged_run()
+
+    def test_wedge_causes_retries_but_ops_still_complete(self, report):
+        assert report.ops["op_retries"] > 0
+        assert report.ops["hops_failed"] > 0
+        assert report.ops["ops_ok"] > 0
+        assert report.consistency["violation_count"] == 0
+
+    def test_every_retry_spent_a_token(self, report):
+        budget = report.ops["retry_budget"]
+        assert budget["granted"] == report.ops["op_retries"]
+
+    def test_budget_denies_once_drained(self, report):
+        # The wedge outlasts the bucket: some retries were refused and
+        # those ops failed fast instead of spinning on the sick replica.
+        budget = report.ops["retry_budget"]
+        assert budget["denied"] > 0
+        assert report.ops["ops_failed"] > 0
+
+    def test_grants_bounded_by_capacity_plus_refill(self, report):
+        budget = report.ops["retry_budget"]
+        assert budget["granted"] <= (
+            budget["capacity"] + 0.5 * budget["successes"])
+
+    def test_retry_amplification_stays_bounded(self, report):
+        # (ops_ok + retries) / ops_ok: without the budget a wedged quorum
+        # member would amplify without bound; with it, <10% extra load.
+        assert 1.0 < report.ops["retry_amplification"] < 1.1
+
+
+class TestBudgetExhaustion:
+    def test_tiny_budget_fails_fast_with_less_amplification(self):
+        generous = _wedged_run(retry_capacity=16.0, retry_refill=0.5)
+        tiny = _wedged_run(retry_capacity=2.0, retry_refill=0.0)
+        assert tiny.ops["op_retries"] <= 2
+        assert tiny.ops["op_retries"] < generous.ops["op_retries"]
+        assert (tiny.ops["retry_amplification"]
+                < generous.ops["retry_amplification"])
+        # Failing fast trades completed ops for stability, never safety.
+        assert tiny.consistency["violation_count"] == 0
