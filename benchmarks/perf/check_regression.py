@@ -29,6 +29,13 @@ the committed baseline file it reads (``--list`` prints the table):
   placement must beat CPU onload on goodput under fault at 16 KB values,
   and the headline goodput figures must stay within tolerance of the
   baseline.
+* ``BENCH_qos.json`` — multi-tenant QoS (``qos_bench``): the fairness
+  sweep's own gate (victim goodput >= 85% of isolated with and without
+  chaos, aggressor capped near fair share, surge p99 bounded, zero
+  cross-tenant retry-budget exhaustion), the FIFO contrast arm must
+  still demonstrate interference, and capacity / victim ratios must
+  stay within tolerance of the baseline.  Auto-skipped (with a note)
+  when BENCH_qos.json has not been committed yet.
 
 Any regression fails the gate with exit code 1 — use it in CI or before
 merging changes to any layer::
@@ -52,6 +59,7 @@ import cluster_bench
 import datapath_bench
 import faults_bench
 import overload_bench
+import qos_bench
 import replication_bench
 
 #: Datapath sections whose `after_mbps` is guarded per record size.
@@ -202,6 +210,7 @@ class Gate:
     run: callable        # args -> fresh results dict
     verdict: callable    # (baseline, fresh, args) -> list of regressions
     points: callable     # baseline -> number of guarded values
+    optional: bool = False  # missing baseline = skip with a note, not exit 2
 
     @property
     def baseline_dest(self):
@@ -271,6 +280,17 @@ GATES = (
          points=lambda base: 2 + sum(
              1 for m in replication_bench.GUARDED_METRICS
              if m in base.get("summary", {}))),
+    Gate("qos",
+         "multi-tenant fairness: victim >= 85% isolated goodput, aggressor "
+         "capped, no cross-tenant budget drain (auto-skipped sans baseline)",
+         "--qos-baseline", qos_bench,
+         run=lambda args: qos_bench.bench_all(repeats=args.repeats),
+         verdict=lambda base, fresh, args: qos_bench.compare(
+             base, fresh, args.tolerance),
+         points=lambda base: 7 + sum(
+             1 for m in qos_bench.GUARDED_METRICS
+             if m in base.get("fairness", {}).get("summary", {})),
+         optional=True),
 )
 
 
@@ -353,6 +373,10 @@ def main(argv=None) -> int:
             gated_points += gate.points(None)
             continue
         path = getattr(args, gate.baseline_dest)
+        if gate.optional and not args.update and not os.path.exists(path):
+            print("no %s baseline at %s; gate auto-skipped "
+                  "(run with --update to create one)" % (gate.name, path))
+            continue
         fresh = gate.run(args)
         if args.update:
             print("%s baseline updated: %s"

@@ -1,0 +1,87 @@
+"""Multi-tenant QoS benchmark wrapper: the BENCH_qos.json producer.
+
+Thin adapter between :mod:`repro.qos.sweep` and the perf gate: the sweep
+is a deterministic simulation (identical seed => identical payload), so
+``bench_all`` runs it once and returns the payload
+``check_regression.py`` gates:
+
+* **property gate** (absolute, no baseline needed): the sweep's own
+  fairness gate — victims keep >= 85% of isolated goodput under attack
+  and under attack+chaos, the aggressor is capped near its fair share,
+  the latency class's p99 holds its deadline under 2x aggregate surge,
+  and the retry-isolation micro shows zero cross-tenant budget
+  exhaustion (victim ``denied_parent == 0``);
+* **contrast gate** (absolute): the FIFO arm must still demonstrate the
+  noisy-neighbor damage the DRR arm prevents — if the victim does fine
+  without QoS, the sweep is no longer exercising interference;
+* **baseline gate**: capacity and the victims' attack goodput must stay
+  within tolerance of the committed baseline.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.qos import sweep
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+RESULTS_PATH = os.path.join(_REPO_ROOT, "BENCH_qos.json")
+
+#: Ceiling on the FIFO arm's victim goodput ratio — the interference the
+#: sweep must demonstrate (well below the DRR arm's 85% floor).
+FIFO_DAMAGE_CEILING = 0.75
+
+#: Baseline-compared summary metrics (all "min"-guarded floors).
+GUARDED_METRICS = ("capacity_rps", "victim_goodput_ratio",
+                   "victim_goodput_ratio_chaos")
+
+
+def bench_all(repeats: int = 1) -> dict:
+    """Run the full qos sweep (deterministic; `repeats` ignored)."""
+    return sweep.run_qos(seed=11)
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """QoS regressions as human-readable strings (empty = pass)."""
+    regressions = ["qos: " + failure for failure in sweep.gate_failures(fresh)]
+    summary = fresh["fairness"]["summary"]
+    fifo_ratio = summary["victim_goodput_ratio_fifo"]
+    if fifo_ratio > FIFO_DAMAGE_CEILING:
+        regressions.append(
+            "qos: FIFO-arm victim keeps %.0f%% of isolated goodput "
+            "(> %.0f%%) — the sweep no longer demonstrates interference"
+            % (100 * fifo_ratio, 100 * FIFO_DAMAGE_CEILING))
+    base_summary = baseline.get("fairness", {}).get("summary", {})
+    for metric in GUARDED_METRICS:
+        base_value = base_summary.get(metric)
+        if base_value is None:
+            continue  # baseline predates this metric
+        fresh_value = summary.get(metric)
+        if fresh_value is None:
+            regressions.append("qos: %s missing from fresh run" % metric)
+            continue
+        floor = (1.0 - tolerance) * base_value
+        if fresh_value < floor:
+            regressions.append(
+                "qos: %s %.3f < floor %.3f (baseline %.3f, -%.0f%%)"
+                % (metric, fresh_value, floor, base_value,
+                   100.0 * (1.0 - fresh_value / base_value)))
+    return regressions
+
+
+def write_results(results: dict, path: str = RESULTS_PATH) -> str:
+    """Persist `results` exactly as the CLI does; returns the path."""
+    with open(path, "w") as handle:
+        handle.write(sweep.to_json(results))
+    return path
+
+
+def main() -> None:
+    """CLI entry: run the sweep, print the summary, write the baseline."""
+    results = bench_all()
+    print(sweep.render(results))
+    print("wrote", write_results(results))
+
+
+if __name__ == "__main__":
+    main()

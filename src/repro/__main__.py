@@ -16,6 +16,12 @@ Commands:
   overload-control stack (deadlines, CoDel admission, bounded queues,
   retry budgets) on vs off; byte-identical reports per seed, exits
   non-zero if goodput at 2x falls below 70% of peak.
+* ``qos`` — multi-tenant noisy-neighbor sweep: an aggressor tenant at 3x
+  its fair share (plus chaos) against well-behaved latency/standard
+  tenants under DRR weighted-fair stations, strict-priority classes, and
+  per-tenant overload isolation; byte-identical reports per seed, exits
+  non-zero if any fairness gate fails (victim goodput, aggressor cap,
+  surge p99, cross-tenant retry-budget exhaustion).
 * ``profile`` — cProfile one warmed TLS offload through the
   micro-simulation (the instrument behind the batched fast path);
   ``--reference`` profiles the per-line path for comparison.
@@ -210,6 +216,23 @@ def _cmd_overload(args) -> int:
     return 0
 
 
+def _cmd_qos(args) -> int:
+    from repro.qos import sweep
+
+    report = sweep.run_qos(seed=args.seed, quick=args.quick)
+    print(sweep.render(report))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(sweep.to_json(report))
+        print("qos report JSON written to %s" % args.json_out)
+    failures = sweep.gate_failures(report)
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure)
+        return 1
+    return 0
+
+
 def _cmd_replicate(args) -> int:
     from repro.cluster.chaos import FleetFaultInjector
     from repro.replication import sweep
@@ -354,6 +377,16 @@ def main(argv=None) -> int:
                           help="reduced sweep (3 load factors, short window)")
     overload.add_argument("--json-out", default=None,
                           help="write the BENCH_overload.json payload here")
+    qos = sub.add_parser(
+        "qos",
+        help="multi-tenant fairness sweep: noisy neighbor vs DRR isolation",
+    )
+    qos.add_argument("--seed", type=int, default=11,
+                     help="drives arrivals and fault draws (default 11)")
+    qos.add_argument("--quick", action="store_true",
+                     help="short measurement window (smoke-test speed)")
+    qos.add_argument("--json-out", default=None,
+                     help="write the BENCH_qos.json payload here")
     replicate = sub.add_parser(
         "replicate",
         help="replicated storage on the fleet: ABD/chain with SmartDIMM hops",
@@ -401,6 +434,7 @@ def main(argv=None) -> int:
         "cluster": _cmd_cluster,
         "chaos": _cmd_chaos,
         "overload": _cmd_overload,
+        "qos": _cmd_qos,
         "replicate": _cmd_replicate,
         "profile": _cmd_profile,
     }[args.command](args)

@@ -36,6 +36,10 @@ Modules:
   (numpy-optional) behind the batched-epoch fleet tier.
 * :mod:`repro.cluster.vector` — the vector fleet tier: the same scenarios
   at ~10^6-connection scale, crosschecked against the event kernel.
+
+Multi-tenant QoS (DRR stations, priority classes, per-tenant overload
+state) lives in :mod:`repro.qos` and plugs in via
+``ClusterScenario(tenants=[TenantSpec(...)])``.
 """
 
 from repro.cluster.chaos import (

@@ -96,7 +96,8 @@ class ServiceProfile:
         self.dsa_bytes_per_sec = (
             dsa_bytes_per_sec or self.membw_bytes_per_sec / channels_per_server
         )
-        calibration = self.reference_model(int(round(mean_message_bytes)), kind=None)
+        self.mean_message_bytes = int(round(mean_message_bytes))
+        calibration = self.reference_model(self.mean_message_bytes, kind=None)
         self.model_metrics = calibration.solve()
         self.p_miss = self.model_metrics.miss_probability
         self._routes = {}
@@ -167,33 +168,57 @@ class ServiceProfile:
         return self.placement is not Placement.CPU
 
 
+def _make_station(sim, capacity: int, name: str, timeline=None,
+                  qos=None, quantum_s: float = None):
+    """A station resource: FIFO by default, DRR-arbitrated under a QoS
+    policy in "drr" mode (each station gets its *own* arbiter — deficit
+    state is per-queue, never shared)."""
+    if qos is not None and qos.mode == "drr":
+        from repro.qos.drr import QosResource
+        return QosResource(sim, capacity, name,
+                           arbiter=qos.make_arbiter(quantum_s),
+                           timeline=timeline)
+    return sim.resource(capacity, name, timeline)
+
+
 class Channel:
     """One memory channel's DSA queue plus its backlog estimate."""
 
     __slots__ = ("index", "resource", "backlog_seconds", "served")
 
-    def __init__(self, sim, server_index: int, index: int, timeline):
+    def __init__(self, sim, server_index: int, index: int, timeline,
+                 qos=None, quantum_s: float = None):
         self.index = index
-        self.resource = sim.resource(
-            1, "server%d.ch%d" % (server_index, index), timeline)
+        self.resource = _make_station(
+            sim, 1, "server%d.ch%d" % (server_index, index), timeline,
+            qos, quantum_s)
         self.backlog_seconds = 0.0
         self.served = 0
 
 
 class ServerSim:
-    """One server's stations: worker pool, memory bus, DSA channels, NIC."""
+    """One server's stations: worker pool, memory bus, DSA channels, NIC.
+
+    Under a QoS policy the cpu and channel stations arbitrate DRR with
+    strict-priority classes; membus and link stay FIFO — their service
+    times are short and size-proportional, so they add queueing noise,
+    not priority inversion (see DESIGN.md "Multi-tenant QoS").
+    """
 
     def __init__(self, sim, index: int, threads: int, channels: int,
-                 registry: MetricsRegistry):
+                 registry: MetricsRegistry, qos=None,
+                 cpu_quantum_s: float = None, dsa_quantum_s: float = None):
         self.index = index
         self.threads = threads
-        self.cpu = sim.resource(threads, "server%d.cpu" % index)
+        self.cpu = _make_station(sim, threads, "server%d.cpu" % index,
+                                 qos=qos, quantum_s=cpu_quantum_s)
         self.membus = sim.resource(1, "server%d.membus" % index)
         self.link = sim.resource(1, "server%d.link" % index)
         self.cpu_backlog_seconds = 0.0
         self.channels = [
             Channel(sim, index, c,
-                    registry.timeline("server%d.ch%d.util" % (index, c)))
+                    registry.timeline("server%d.ch%d.util" % (index, c)),
+                    qos, dsa_quantum_s)
             for c in range(channels)
         ]
 
@@ -210,7 +235,7 @@ class Fleet:
                  servers: int = 4, channels: int = None,
                  registry: MetricsRegistry = None,
                  trace: TraceRecorder = None,
-                 overload=None):
+                 overload=None, qos=None):
         channels = channels or profile.channels_per_server
         self.sim = sim
         self.profile = profile
@@ -219,8 +244,19 @@ class Fleet:
         self.trace = trace
         self.fault_injector = None  # set by FleetFaultInjector.attach()
         self.overload = overload  # OverloadPolicy, or None (all control off)
+        self.qos = qos  # QosPolicy, or None (single-tenant FIFO stations)
+        cpu_quantum_s = dsa_quantum_s = None
+        if qos is not None:
+            # Auto quantum: one mean request's service time per station,
+            # so every DRR visit covers a typical head-of-line request
+            # and interleaving stays request-granular.
+            mean_route = profile.route(profile.mean_message_bytes)
+            cpu_quantum_s = max(mean_route.cpu_seconds, 1e-9)
+            dsa_quantum_s = max(mean_route.dsa_seconds,
+                                mean_route.cpu_seconds, 1e-9)
         self.servers = [
-            ServerSim(sim, index, profile.threads, channels, self.registry)
+            ServerSim(sim, index, profile.threads, channels, self.registry,
+                      qos, cpu_quantum_s, dsa_quantum_s)
             for index in range(servers)
         ]
         self.measuring = True
@@ -239,6 +275,7 @@ class Fleet:
                 server.cpu.max_queue = config.cpu_queue_limit
                 for channel in server.channels:
                     channel.resource.max_queue = config.dsa_queue_limit
+        if overload is not None or qos is not None:
             self.deadline_met = self.registry.counter("deadline_met")
             self.deadline_missed = self.registry.counter("deadline_missed")
             self.rejected_admission = self.registry.counter("rejected_admission")
@@ -249,6 +286,14 @@ class Fleet:
                 station: self.registry.counter("shed_" + station)
                 for station in ("cpu", "dsa", "link")
             }
+        # Per-tenant and per-class breakdowns (QoS layer).  Tenant slots
+        # are pre-created in policy order so the registry's layout — and
+        # therefore every report — is independent of arrival order.
+        self.tenant_stats = {}
+        self.class_deadline = {}  # klass -> [met, missed]
+        if qos is not None:
+            for name in qos.order:
+                self._tenant_slot(name)
         if trace is not None:
             for server in self.servers:
                 trace.metadata("process_name", server.index, 0,
@@ -274,28 +319,56 @@ class Fleet:
 
     # -- request path ---------------------------------------------------------------
 
-    def cpu_has_room(self, server: ServerSim) -> bool:
+    @staticmethod
+    def _station_full(resource, request: Request) -> bool:
+        """Station-wide bound, plus the request's per-tenant bound when
+        the station is QoS-arbitrated."""
+        if request is not None and request.tenant:
+            full_for = getattr(resource, "full_for", None)
+            if full_for is not None:
+                return full_for(request.tenant)
+        return resource.full
+
+    def cpu_has_room(self, server: ServerSim, request: Request = None) -> bool:
         """Whether `server`'s bounded CPU queue can take another request."""
-        return not server.cpu.full
+        return not self._station_full(server.cpu, request)
 
-    def dsa_has_room(self, channel: Channel) -> bool:
+    def dsa_has_room(self, channel: Channel, request: Request = None) -> bool:
         """Whether `channel`'s bounded DSA queue can take another request."""
-        return not channel.resource.full
+        return not self._station_full(channel.resource, request)
 
-    def has_room(self, assignment: Assignment) -> bool:
+    def has_room(self, assignment: Assignment, request: Request = None) -> bool:
         """Whether every bounded station on `assignment`'s path has room."""
         server = self.servers[assignment.server]
-        if not self.cpu_has_room(server):
+        if not self.cpu_has_room(server, request):
             return False
         spill = assignment.spill and self.profile.can_spill
         if not spill and self.profile.placement in DSA_PLACEMENTS:
-            return self.dsa_has_room(server.channels[assignment.channel])
+            return self.dsa_has_room(server.channels[assignment.channel], request)
         return True
+
+    def _tenant_slot(self, tenant: str) -> dict:
+        """The per-tenant accounting slot, created on first use."""
+        stats = self.tenant_stats.get(tenant)
+        if stats is None:
+            stats = self.tenant_stats[tenant] = {
+                "submitted": 0, "completed": 0, "deadline_met": 0,
+                "deadline_missed": 0, "rejected": 0, "shed": 0,
+                "brownouts": 0, "bytes_out": 0,
+                "latency": self.registry.histogram(
+                    "tenant.%s.latency_s" % tenant),
+            }
+        return stats
+
+    def _tenant_count(self, request: Request, field: str, amount: int = 1) -> None:
+        if request.tenant and self.measuring:
+            self._tenant_slot(request.tenant)[field] += amount
 
     def _reject(self, request: Request, reason: str, counter) -> None:
         request.outcome = reason
         if self.measuring:
             counter.inc()
+        self._tenant_count(request, "rejected")
 
     def submit(self, request: Request):
         """Schedule and serve one request; returns its completion event.
@@ -307,9 +380,20 @@ class Fleet:
         request.
         """
         policy = self.overload
+        qos_bounded = (self.qos is not None
+                       and bool(self.qos.queue_limits())
+                       and request.tenant)
         if policy is not None:
-            request.deadline_s = policy.deadline_for(request.arrive_s)
-            if not policy.admit(self.sim.now):
+            # Untenanted requests use the pre-QoS call shapes so duck-typed
+            # policies with the old signatures keep working.
+            if request.tenant:
+                request.deadline_s = policy.deadline_for(request.arrive_s,
+                                                         request.klass)
+                admitted = policy.admit(self.sim.now, request.tenant)
+            else:
+                request.deadline_s = policy.deadline_for(request.arrive_s)
+                admitted = policy.admit(self.sim.now)
+            if not admitted:
                 self._reject(request, "rejected-admission",
                              self.rejected_admission)
                 return None
@@ -318,23 +402,26 @@ class Fleet:
             # Chaos layer: fail over assignments to down nodes and spill
             # around channels whose circuit breaker is OPEN.
             assignment = self.fault_injector.filter_assignment(self, assignment)
-        if policy is not None and policy.config.bounded \
-                and not self.has_room(assignment):
+        if ((policy is not None and policy.config.bounded) or qos_bounded) \
+                and not self.has_room(assignment, request):
             # Bounded queue full: push back to the scheduler for an
             # alternative placement; no alternative means the rack is
             # saturated end to end and the request is rejected up front.
+            # Per-tenant bounds reroute/reject the same way — but only the
+            # offending tenant's traffic trips them.
             assignment = self.scheduler.reroute_full(self, request, assignment)
             if assignment is not None and self.fault_injector is not None:
                 assignment = self.fault_injector.filter_assignment(
                     self, assignment)
-            if assignment is None or not self.has_room(assignment):
+            if assignment is None or not self.has_room(assignment, request):
                 self._reject(request, "rejected-backpressure",
                              self.rejected_backpressure)
                 return None
         spill = assignment.spill and self.profile.can_spill
         route = self.profile.route(request.size, request.kind, spill=spill)
         if policy is not None and route.dsa_seconds > 0.0 \
-                and policy.brownout(self.sim.now):
+                and (policy.brownout(self.sim.now, request.tenant)
+                     if request.tenant else policy.brownout(self.sim.now)):
             # Brownout: serve degraded (lower compression level / skipped
             # optional ULP stages -> a cheaper DSA pass) instead of shedding.
             route = replace(
@@ -343,6 +430,7 @@ class Fleet:
             request.brownout = True
             if self.measuring:
                 self.brownouts.inc()
+            self._tenant_count(request, "brownouts")
         server = self.servers[assignment.server]
         channel = server.channels[assignment.channel]
         request.server = assignment.server
@@ -355,6 +443,7 @@ class Fleet:
             self.submitted.inc()
             if spill:
                 self.spilled.inc()
+        self._tenant_count(request, "submitted")
         return self.sim.spawn(self._serve(request, server, channel, route))
 
     def _shed_expired(self, request: Request, station: str) -> bool:
@@ -365,11 +454,25 @@ class Fleet:
         request.outcome = "shed-" + station
         if self.measuring:
             self.shed[station].inc()
+        self._tenant_count(request, "shed")
         return True
 
-    def _observe_wait(self, station: str, wait_s: float) -> None:
+    def _observe_wait(self, station: str, wait_s: float,
+                      request: Request = None) -> None:
         if self.overload is not None:
-            self.overload.observe(station, self.sim.now, wait_s)
+            if request is not None and request.tenant:
+                self.overload.observe(station, self.sim.now, wait_s,
+                                      request.tenant)
+            else:
+                self.overload.observe(station, self.sim.now, wait_s)
+
+    @staticmethod
+    def _acquire(resource, request: Request, cost_s: float):
+        """Station acquire: DRR stations take the (tenant, class, cost)
+        triple; FIFO stations take nothing."""
+        if getattr(resource, "arbiter", None) is not None:
+            return resource.acquire(request.tenant, request.klass, cost_s)
+        return resource.acquire()
 
     def _serve(self, request: Request, server: ServerSim, channel: Channel,
                route: RouteCosts):
@@ -377,9 +480,9 @@ class Fleet:
         # CPU stage: protocol stack + ULP management (or the whole ULP when
         # spilled) on one of the worker cores.
         enqueued = sim.now
-        yield server.cpu.acquire()
+        yield self._acquire(server.cpu, request, route.cpu_seconds)
         request.waits["cpu"] = sim.now - enqueued
-        self._observe_wait("cpu", request.waits["cpu"])
+        self._observe_wait("cpu", request.waits["cpu"], request)
         if self._shed_expired(request, "cpu"):
             # Dead on dequeue: don't burn a worker on work the client has
             # already given up on.  Refund both backlogs — the request
@@ -402,9 +505,9 @@ class Fleet:
         # DSA stage: only routes that run the ULP on the DIMM queue here.
         if route.dsa_seconds > 0.0:
             enqueued = sim.now
-            yield channel.resource.acquire()
+            yield self._acquire(channel.resource, request, route.dsa_seconds)
             request.waits["dsa"] = sim.now - enqueued
-            self._observe_wait("dsa", request.waits["dsa"])
+            self._observe_wait("dsa", request.waits["dsa"], request)
             if self._shed_expired(request, "dsa"):
                 channel.resource.release()
                 channel.backlog_seconds -= route.dsa_seconds
@@ -449,11 +552,22 @@ class Fleet:
             self.wait_cpu.record(request.waits.get("cpu", 0.0))
             if "dsa" in request.waits:
                 self.wait_dsa.record(request.waits["dsa"])
-            if self.overload is not None:
+            if self.overload is not None or self.qos is not None:
                 if request.met_deadline:
                     self.deadline_met.inc()
                 else:
                     self.deadline_missed.inc()
+                met = self.class_deadline.setdefault(request.klass, [0, 0])
+                met[0 if request.met_deadline else 1] += 1
+            if request.tenant:
+                stats = self._tenant_slot(request.tenant)
+                stats["completed"] += 1
+                stats["bytes_out"] += route.output_bytes
+                stats["latency"].record(request.latency_s)
+                if request.met_deadline:
+                    stats["deadline_met"] += 1
+                else:
+                    stats["deadline_missed"] += 1
         return request
 
     def _trace(self, request: Request, stage: str, started: float,
@@ -478,6 +592,62 @@ class Fleet:
     def cpu_utilisations(self, since: float) -> list:
         """Per-server CPU worker-pool utilisation over [since, now]."""
         return [server.cpu.utilisation(since) for server in self.servers]
+
+    def qos_report(self, window_s: float) -> dict:
+        """Per-tenant and per-class accounting for the measurement window.
+
+        Per-tenant goodput counts deadline-met completions; the spread
+        between tenants under an aggressor is the fairness metric the
+        `python -m repro qos` sweep gates on.  Arbiter grant seconds are
+        summed over every station so the DRR shares are auditable.
+        """
+        tenants = {}
+        for name, stats in sorted(self.tenant_stats.items()):
+            latency = stats["latency"]
+            tenants[name] = {
+                "submitted": stats["submitted"],
+                "completed": stats["completed"],
+                "goodput_rps": (
+                    stats["deadline_met"] / window_s if window_s > 0 else 0.0),
+                "deadline_met": stats["deadline_met"],
+                "deadline_missed": stats["deadline_missed"],
+                "deadline_hit_rate": (
+                    stats["deadline_met"]
+                    / max(1, stats["deadline_met"] + stats["deadline_missed"])),
+                "rejected": stats["rejected"],
+                "shed": stats["shed"],
+                "brownouts": stats["brownouts"],
+                "brownout_fraction": (
+                    stats["brownouts"] / max(1, stats["completed"])),
+                "bytes_out": stats["bytes_out"],
+                "latency_p50_us": latency.percentile(0.50) * 1e6,
+                "latency_p99_us": latency.percentile(0.99) * 1e6,
+            }
+        classes = {
+            klass: {
+                "met": met, "missed": missed,
+                "hit_rate": met / max(1, met + missed),
+            }
+            for klass, (met, missed) in sorted(self.class_deadline.items())
+        }
+        served_seconds = {}
+        for server in self.servers:
+            stations = [server.cpu] + [c.resource for c in server.channels]
+            for station in stations:
+                arbiter = getattr(station, "arbiter", None)
+                if arbiter is None:
+                    continue
+                for tenant, seconds in arbiter.served_seconds.items():
+                    served_seconds[tenant] = served_seconds.get(tenant, 0.0) \
+                        + seconds
+        out = {
+            "tenants": tenants,
+            "classes": classes,
+            "arbiter_served_seconds": dict(sorted(served_seconds.items())),
+        }
+        if self.qos is not None:
+            out["policy"] = self.qos.summary()
+        return out
 
     def overload_report(self, window_s: float) -> dict:
         """Overload-control accounting for the measurement window.

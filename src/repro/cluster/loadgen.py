@@ -161,6 +161,11 @@ class Request:
     target: int = -1
     op_id: int = -1
     hop: str = ""
+    #: Multi-tenant QoS tags: owning tenant ("" — untenanted traffic,
+    #: served at default weight) and priority class ("latency" >
+    #: "standard" > "batch"; see repro.qos.drr.PRIORITY_CLASSES).
+    tenant: str = ""
+    klass: str = "standard"
 
     @property
     def latency_s(self) -> float:
@@ -280,14 +285,27 @@ class OpenArrivalBatcher:
 
 
 class _LoadBase:
-    """Shared bookkeeping: request numbering and a completion hook."""
+    """Shared bookkeeping: request numbering and a completion hook.
 
-    def __init__(self, sim, fleet, mix: RequestMix):
+    `tenant`/`klass` tag every generated request for the QoS layer; the
+    RNG label stays exactly ``"loadgen"`` for untenanted loads (the
+    pre-QoS byte-identical streams) and becomes ``"loadgen.<tenant>"``
+    per tenant so co-resident tenant loads draw independent streams.
+    `id_start` offsets request numbering so ids stay unique fleet-wide
+    when several per-tenant generators run side by side (the static
+    scheduler hashes on id).
+    """
+
+    def __init__(self, sim, fleet, mix: RequestMix, tenant: str = "",
+                 klass: str = "standard", id_start: int = 0):
         self.sim = sim
         self.fleet = fleet
         self.mix = mix
-        self.rng = sim.fork_rng("loadgen")
-        self._next_id = 0
+        self.tenant = tenant
+        self.klass = klass
+        label = "loadgen" if not tenant else "loadgen.%s" % tenant
+        self.rng = sim.fork_rng(label)
+        self._next_id = id_start
 
     def _make_request(self, connection: int) -> Request:
         entry = self.mix.sample(self.rng)
@@ -297,6 +315,8 @@ class _LoadBase:
             size=entry.size,
             kind=entry.kind,
             arrive_s=self.sim.now,
+            tenant=self.tenant,
+            klass=self.klass,
         )
         self._next_id += 1
         return request
@@ -306,8 +326,9 @@ class OpenLoopLoad(_LoadBase):
     """Arrivals fire on the arrival process's clock, never waiting for
     responses — the generator that can actually overload the fleet."""
 
-    def __init__(self, sim, fleet, mix: RequestMix, arrivals):
-        super().__init__(sim, fleet, mix)
+    def __init__(self, sim, fleet, mix: RequestMix, arrivals,
+                 tenant: str = "", klass: str = "standard", id_start: int = 0):
+        super().__init__(sim, fleet, mix, tenant, klass, id_start)
         self.arrivals = arrivals
 
     def start(self) -> None:
@@ -333,8 +354,9 @@ class ClosedLoopLoad(_LoadBase):
 
     def __init__(self, sim, fleet, mix: RequestMix, connections: int,
                  think_s: float = 0.0, stagger_s: float = 1e-4,
-                 reject_backoff_s: float = 1e-3):
-        super().__init__(sim, fleet, mix)
+                 reject_backoff_s: float = 1e-3,
+                 tenant: str = "", klass: str = "standard", id_start: int = 0):
+        super().__init__(sim, fleet, mix, tenant, klass, id_start)
         if connections < 1:
             raise ValueError("need at least one connection")
         if reject_backoff_s <= 0:

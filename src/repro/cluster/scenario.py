@@ -30,7 +30,11 @@ from repro.cluster.loadgen import (
 )
 from repro.cluster.metrics import MetricsRegistry, TraceRecorder
 from repro.cluster.sched import AdaptiveSpillScheduler, make_scheduler
-from repro.overload.policy import OverloadConfig, OverloadPolicy
+from repro.overload.policy import (
+    MultiTenantOverloadPolicy,
+    OverloadConfig,
+    OverloadPolicy,
+)
 
 
 @dataclass
@@ -73,6 +77,12 @@ class ClusterScenario:
     dsa_queue_limit: int = None  # bounded DSA queues (per channel)
     cpu_queue_limit: int = None  # bounded worker queues (per server)
     brownout_factor: float = 1.0  # <1: degrade DSA stage under pressure
+    # multi-tenant QoS (see repro.qos): tenants is a list of TenantSpec;
+    # empty/None keeps the single-tenant FIFO fleet byte-identical
+    tenants: list = None
+    qos_mode: str = "drr"  # "drr" | "fifo" (fifo: tagged but unarbitrated)
+    qos_isolate: bool = True  # False: shared CoDel/brownout (contrast arm)
+    qos_quantum_s: float = None  # None -> one mean request's service time
     # run control
     duration_s: float = 0.02
     warmup_s: float = 0.005
@@ -106,7 +116,9 @@ class ClusterScenario:
 
     def build_overload(self) -> OverloadPolicy:
         """The scenario's overload policy, or None when every knob is off
-        (the pre-overload fast path: zero behaviour change)."""
+        (the pre-overload fast path: zero behaviour change).  With tenants
+        configured, the policy is per-tenant (class deadlines, isolated
+        CoDel/brownout state)."""
         config = OverloadConfig(
             deadline_s=self.deadline_s,
             shed_expired=self.shed_expired,
@@ -117,7 +129,23 @@ class ClusterScenario:
             cpu_queue_limit=self.cpu_queue_limit,
             brownout_factor=self.brownout_factor,
         )
-        return OverloadPolicy(config) if config.enabled else None
+        if not config.enabled:
+            return None
+        if self.tenants:
+            return MultiTenantOverloadPolicy(
+                config, [spec.name for spec in self.tenants],
+                isolate=self.qos_isolate)
+        return OverloadPolicy(config)
+
+    def build_qos(self):
+        """The scenario's :class:`repro.qos.tenants.QosPolicy`, or None
+        when no tenants are configured (single-tenant FIFO fleet)."""
+        if not self.tenants:
+            return None
+        from repro.qos.tenants import QosPolicy
+
+        return QosPolicy(self.tenants, mode=self.qos_mode,
+                         quantum_s=self.qos_quantum_s)
 
 
 @dataclass
@@ -142,6 +170,7 @@ class ClusterReport:
     events_processed: int
     chaos: dict = None  # FleetFaultInjector.report() when chaos was injected
     overload: dict = None  # Fleet.overload_report() when control was enabled
+    qos: dict = None  # Fleet.qos_report() when tenants were configured
 
     @property
     def spill_fraction(self) -> float:
@@ -171,6 +200,8 @@ class ClusterReport:
             out["chaos"] = self.chaos
         if self.overload is not None:
             out["overload"] = self.overload
+        if self.qos is not None:
+            out["qos"] = self.qos
         return out
 
     def to_json(self) -> str:
@@ -292,6 +323,10 @@ def run_scenario(scenario: ClusterScenario, fault_injector=None,
             raise ValueError(
                 "the vector tier takes fault windows, not an injector: call "
                 "run_vector_scenario(scenario, fault_windows=...) directly")
+        if scenario.tenants:
+            raise ValueError(
+                "the vector tier has no per-tenant arbitration yet: "
+                "run multi-tenant scenarios on tier='event'")
         from repro.cluster.vector import run_vector_scenario
 
         return run_vector_scenario(scenario, registry=registry)
@@ -312,27 +347,51 @@ def run_scenario(scenario: ClusterScenario, fault_injector=None,
     )
     policy = make_scheduler(scenario.scheduler, rng=sim.fork_rng("sched"), **kwargs)
     overload_policy = scenario.build_overload()
+    qos_policy = scenario.build_qos()
     fleet = Fleet(
         sim, profile, policy,
         servers=scenario.servers, channels=scenario.channels,
         registry=registry, trace=recorder, overload=overload_policy,
+        qos=qos_policy,
     )
     if fault_injector is not None:
         fault_injector.attach(sim, fleet)
     mix = scenario.resolved_mix()
-    if scenario.mode == "closed":
-        load = ClosedLoopLoad(
-            sim, fleet, mix, scenario.connections, think_s=scenario.think_s)
+    capacity = profile.model_metrics.rps * scenario.servers
+    if qos_policy is not None:
+        # One load generator per tenant, each with its own RNG stream
+        # ("loadgen.<name>") and a disjoint request-id block (the static
+        # scheduler hashes ids).  Rates resolve against the tenant's
+        # weight-proportional share of fleet capacity unless absolute.
+        loads = []
+        for index, name in enumerate(qos_policy.order):
+            spec = qos_policy.specs[name]
+            id_start = (index + 1) << 24
+            if spec.connections > 0:
+                loads.append(ClosedLoopLoad(
+                    sim, fleet, mix, spec.connections,
+                    think_s=scenario.think_s, tenant=name, klass=spec.klass,
+                    id_start=id_start))
+            else:
+                rate = spec.rate_rps if spec.rate_rps is not None else \
+                    spec.load_factor * qos_policy.fair_share(name) * capacity
+                loads.append(OpenLoopLoad(
+                    sim, fleet, mix, PoissonArrivals(rate),
+                    tenant=name, klass=spec.klass, id_start=id_start))
+    elif scenario.mode == "closed":
+        loads = [ClosedLoopLoad(
+            sim, fleet, mix, scenario.connections, think_s=scenario.think_s)]
     elif scenario.mode == "open":
-        capacity = profile.model_metrics.rps * scenario.servers
-        load = OpenLoopLoad(sim, fleet, mix, _build_arrivals(scenario, capacity))
+        loads = [OpenLoopLoad(sim, fleet, mix,
+                              _build_arrivals(scenario, capacity))]
     else:
         raise ValueError("mode must be 'closed' or 'open'")
 
     fleet.measuring = scenario.warmup_s <= 0.0
     if scenario.warmup_s > 0.0:
         sim.schedule(scenario.warmup_s, lambda _: fleet.begin_measurement())
-    load.start()
+    for load in loads:
+        load.start()
     sim.run(until=scenario.duration_s)
 
     window = scenario.duration_s - scenario.warmup_s
@@ -344,23 +403,27 @@ def run_scenario(scenario: ClusterScenario, fault_injector=None,
         ]
         for s in range(scenario.servers)
     ]
+    scenario_dict = {
+        "servers": scenario.servers,
+        "channels": scenario.channels,
+        "threads": scenario.threads,
+        "ulp": scenario.ulp,
+        "placement": profile.placement.value,
+        "mode": scenario.mode,
+        "arrival": scenario.arrival,
+        "connections": scenario.connections,
+        "think_s": scenario.think_s,
+        "scheduler": scenario.scheduler,
+        "duration_s": scenario.duration_s,
+        "warmup_s": scenario.warmup_s,
+        "seed": scenario.seed,
+        "tier": "event",
+    }
+    if qos_policy is not None:
+        scenario_dict["qos_mode"] = qos_policy.mode
+        scenario_dict["tenants"] = list(qos_policy.order)
     report = ClusterReport(
-        scenario={
-            "servers": scenario.servers,
-            "channels": scenario.channels,
-            "threads": scenario.threads,
-            "ulp": scenario.ulp,
-            "placement": profile.placement.value,
-            "mode": scenario.mode,
-            "arrival": scenario.arrival,
-            "connections": scenario.connections,
-            "think_s": scenario.think_s,
-            "scheduler": scenario.scheduler,
-            "duration_s": scenario.duration_s,
-            "warmup_s": scenario.warmup_s,
-            "seed": scenario.seed,
-            "tier": "event",
-        },
+        scenario=scenario_dict,
         rps=fleet.completed.value / window,
         completed=fleet.completed.value,
         submitted=fleet.submitted.value,
@@ -385,6 +448,10 @@ def run_scenario(scenario: ClusterScenario, fault_injector=None,
         overload=(
             fleet.overload_report(window)
             if overload_policy is not None else None
+        ),
+        qos=(
+            fleet.qos_report(window)
+            if qos_policy is not None else None
         ),
     )
     if recorder is not None:

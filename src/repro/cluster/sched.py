@@ -73,7 +73,7 @@ class Scheduler:
         """
         servers = sorted(fleet.servers, key=lambda s: (s.backlog_seconds, s.index))
         for server in servers:
-            if not fleet.cpu_has_room(server):
+            if not fleet.cpu_has_room(server, request):
                 continue
             channels = sorted(server.channels,
                               key=lambda c: (c.backlog_seconds, c.index))
@@ -81,7 +81,7 @@ class Scheduler:
                 candidate = Assignment(server=server.index,
                                        channel=channel.index,
                                        spill=assignment.spill)
-                if fleet.has_room(candidate):
+                if fleet.has_room(candidate, request):
                     return candidate
             if fleet.profile.can_spill:
                 # Every DSA queue is full but this server's CPU has room:
@@ -218,14 +218,14 @@ class TargetedScheduler(AdaptiveSpillScheduler):
         if request.target < 0:
             return super().reroute_full(fleet, request, assignment)
         server = fleet.servers[request.target]
-        if not fleet.cpu_has_room(server):
+        if not fleet.cpu_has_room(server, request):
             return None
         channels = sorted(server.channels,
                           key=lambda c: (c.backlog_seconds, c.index))
         for channel in channels:
             candidate = Assignment(server=server.index, channel=channel.index,
                                    spill=assignment.spill)
-            if fleet.has_room(candidate):
+            if fleet.has_room(candidate, request):
                 return candidate
         if fleet.profile.can_spill:
             return Assignment(server=server.index, channel=channels[0].index,

@@ -109,8 +109,12 @@ class OverloadPolicy:
 
     # -- deadlines --------------------------------------------------------------
 
-    def deadline_for(self, arrive_s: float) -> float:
-        """Absolute deadline for a request arriving at `arrive_s`."""
+    def deadline_for(self, arrive_s: float, klass: str = None) -> float:
+        """Absolute deadline for a request arriving at `arrive_s`.
+
+        `klass` is accepted (and ignored) so the fleet has one call shape
+        whether the policy is global or multi-tenant.
+        """
         if self.config.deadline_s is None:
             return math.inf
         return arrive_s + self.config.deadline_s
@@ -121,13 +125,18 @@ class OverloadPolicy:
 
     # -- admission + sojourn feed -----------------------------------------------
 
-    def observe(self, station: str, now_s: float, sojourn_s: float) -> None:
-        """Feed one station dequeue's queueing wait to its controller."""
+    def observe(self, station: str, now_s: float, sojourn_s: float,
+                tenant: str = None) -> None:
+        """Feed one station dequeue's queueing wait to its controller.
+
+        `tenant` is accepted (and ignored) here; the multi-tenant
+        subclass routes it to per-tenant controllers.
+        """
         controller = self.controllers.get(station)
         if controller is not None:
             controller.observe(now_s, sojourn_s)
 
-    def admit(self, now_s: float) -> bool:
+    def admit(self, now_s: float, tenant: str = None) -> bool:
         """Ingress decision for a request arriving now (False: reject)."""
         for station in self.STATIONS:
             controller = self.controllers.get(station)
@@ -137,7 +146,7 @@ class OverloadPolicy:
 
     # -- brownout ---------------------------------------------------------------
 
-    def brownout(self, now_s: float) -> bool:
+    def brownout(self, now_s: float, tenant: str = None) -> bool:
         """Whether arriving work should be served degraded instead of shed."""
         if self.config.brownout_factor >= 1.0 or not self.controllers:
             return False
@@ -164,4 +173,123 @@ class OverloadPolicy:
                 station: controller.summary()
                 for station, controller in sorted(self.controllers.items())
             }
+        return out
+
+
+#: Relative deadline per priority class, as multiples of the configured
+#: ``deadline_s``: latency-critical keeps the full SLO, standard gets 3x
+#: slack, batch has no deadline at all (throughput-only traffic).
+CLASS_DEADLINE_SCALE = {"latency": 1.0, "standard": 3.0, "batch": math.inf}
+
+
+class MultiTenantOverloadPolicy(OverloadPolicy):
+    """Per-tenant overload control: the QoS PR's isolation layer.
+
+    Replaces the base policy's *global* CoDel/brownout state with one
+    controller set per tenant, so an aggressor tripping its own CoDel
+    into the dropping state sheds only the aggressor's traffic — the
+    victims' controllers never see the aggressor's queue sojourns.
+    Deadlines become class-relative via :data:`CLASS_DEADLINE_SCALE`.
+
+    `isolate=False` is the contrast arm: tenant tags are accepted but
+    all tenants share one controller set, reproducing the pre-QoS global
+    behaviour under the tenanted call shape.
+    """
+
+    def __init__(self, config: OverloadConfig, tenants, isolate: bool = True,
+                 class_deadline_scale: dict = None):
+        super().__init__(config)
+        self.tenant_names = sorted(tenants)
+        self.isolate = isolate
+        self.class_deadline_scale = dict(class_deadline_scale
+                                         or CLASS_DEADLINE_SCALE)
+        self._tenant_controllers = {}
+        self._brownouts = {}  # tenant -> times brownout() returned True
+        if config.admission == "codel" and isolate:
+            target = config.resolved_target_s()
+            interval = config.resolved_interval_s()
+            for tenant in self.tenant_names:
+                self._tenant_controllers[tenant] = {
+                    station: CoDelController(target, interval)
+                    for station in self.STATIONS
+                }
+
+    def _controllers_for(self, tenant: str) -> dict:
+        """`tenant`'s controller set; the shared set when not isolating
+        or for untagged/unknown tenants (e.g. replication traffic)."""
+        if tenant is not None:
+            per_tenant = self._tenant_controllers.get(tenant)
+            if per_tenant is not None:
+                return per_tenant
+        return self.controllers
+
+    # -- class deadlines ---------------------------------------------------------
+
+    def deadline_for(self, arrive_s: float, klass: str = None) -> float:
+        """Class-relative absolute deadline (batch: none at all)."""
+        if self.config.deadline_s is None:
+            return math.inf
+        scale = self.class_deadline_scale.get(klass, 1.0)
+        if math.isinf(scale):
+            return math.inf
+        return arrive_s + self.config.deadline_s * scale
+
+    # -- per-tenant admission + sojourn feed --------------------------------------
+
+    def observe(self, station: str, now_s: float, sojourn_s: float,
+                tenant: str = None) -> None:
+        """Feed a station dequeue's wait to `tenant`'s own controller."""
+        controller = self._controllers_for(tenant).get(station)
+        if controller is not None:
+            controller.observe(now_s, sojourn_s)
+
+    def admit(self, now_s: float, tenant: str = None) -> bool:
+        """Ingress decision against `tenant`'s controllers only — an
+        aggressor in CoDel's dropping state sheds nobody else's work."""
+        controllers = self._controllers_for(tenant)
+        for station in self.STATIONS:
+            controller = controllers.get(station)
+            if controller is not None and controller.should_shed(now_s):
+                return False
+        return True
+
+    # -- per-tenant brownout -------------------------------------------------------
+
+    def brownout(self, now_s: float, tenant: str = None) -> bool:
+        """Per-tenant degrade decision, counted per tenant for the
+        degraded-mode quality accounting."""
+        if self.config.brownout_factor >= 1.0:
+            return False
+        controllers = self._controllers_for(tenant)
+        if not controllers:
+            return False
+        threshold = self.config.brownout_threshold_s
+        if threshold is None:
+            threshold = self.config.resolved_target_s()
+        degraded = any(controller.ewma_sojourn_s > threshold
+                       for controller in controllers.values())
+        if degraded and tenant is not None:
+            self._brownouts[tenant] = self._brownouts.get(tenant, 0) + 1
+        return degraded
+
+    # -- reporting ----------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Global snapshot plus per-tenant controller/brownout state."""
+        out = super().summary()
+        out["isolate"] = self.isolate
+        out["class_deadline_scale"] = {
+            klass: (None if math.isinf(scale) else scale)
+            for klass, scale in sorted(self.class_deadline_scale.items())
+        }
+        if self._tenant_controllers:
+            out["tenants"] = {
+                tenant: {
+                    station: controller.summary()
+                    for station, controller in sorted(controllers.items())
+                }
+                for tenant, controllers in sorted(self._tenant_controllers.items())
+            }
+        if self._brownouts:
+            out["brownouts"] = dict(sorted(self._brownouts.items()))
         return out

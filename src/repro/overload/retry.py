@@ -24,6 +24,7 @@ within a run.
 from __future__ import annotations
 
 import random
+import zlib
 
 
 class RetryBudget:
@@ -72,6 +73,8 @@ class RetryBudget:
         self.denied = 0
         self.successes = 0
         self.backoff_total_s = 0.0
+        # Per-tenant child budgets (hierarchical isolation; QoS PR).
+        self.children = {}
 
     # -- the budget -------------------------------------------------------------
 
@@ -111,11 +114,43 @@ class RetryBudget:
         self.backoff_total_s += wait
         return wait
 
+    # -- hierarchy ---------------------------------------------------------------
+
+    def child(self, name: str, capacity: float = None,
+              refill_per_success: float = None) -> "ChildRetryBudget":
+        """A per-tenant child budget chained to this (parent) bucket.
+
+        A child retry must find tokens in *both* buckets, so one tenant's
+        retry storm drains its own child bucket long before it can drain
+        the shared pool — the other tenants' children keep acquiring
+        against an intact parent.  Created once and cached by name;
+        capacity defaults to the parent's (pass a smaller slice to cap a
+        tenant's burst below the pool size).
+        """
+        if name in self.children:
+            return self.children[name]
+        child = ChildRetryBudget(
+            parent=self,
+            name=name,
+            capacity=capacity if capacity is not None else self.capacity,
+            refill_per_success=(refill_per_success
+                                if refill_per_success is not None
+                                else self.refill_per_success),
+            backoff_base_s=self.backoff_base_s,
+            backoff_cap_s=self.backoff_cap_s,
+            jitter=self.jitter,
+            # Deterministic per-name seed: same child name, same jitter
+            # stream, regardless of creation order.
+            seed=zlib.crc32(name.encode("utf-8")),
+        )
+        self.children[name] = child
+        return child
+
     # -- reporting --------------------------------------------------------------
 
     def summary(self) -> dict:
         """Deterministic JSON-ready snapshot of the budget state."""
-        return {
+        out = {
             "capacity": self.capacity,
             "tokens": self.tokens,
             "granted": self.granted,
@@ -123,3 +158,58 @@ class RetryBudget:
             "successes": self.successes,
             "backoff_total_s": self.backoff_total_s,
         }
+        if self.children:
+            out["children"] = {
+                name: child.summary()
+                for name, child in sorted(self.children.items())
+            }
+        return out
+
+
+class ChildRetryBudget(RetryBudget):
+    """One tenant's slice of a shared :class:`RetryBudget`.
+
+    ``try_acquire`` must win tokens from the child bucket *and* the
+    parent pool (spending both); ``on_success`` refills both.  The
+    denial split is the isolation proof the QoS gate checks: a victim
+    tenant whose retries are ever denied because the *parent* pool was
+    drained (``denied_parent > 0``) has suffered cross-tenant budget
+    exhaustion.
+    """
+
+    def __init__(self, parent: RetryBudget, name: str, **kwargs):
+        super().__init__(**kwargs)
+        self.parent = parent
+        self.name = name
+        self.denied_child = 0
+        self.denied_parent = 0
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend from the child slice AND the shared pool; the denial
+        reason (own slice vs parent drained) is recorded separately."""
+        if self.tokens < tokens:
+            self.denied += 1
+            self.denied_child += 1
+            return False
+        # Child tokens suffice — now charge the shared pool.  Parent
+        # accounting (granted/denied) stays at the parent so the pool's
+        # summary reflects aggregate pressure.
+        if not self.parent.try_acquire(tokens):
+            self.denied += 1
+            self.denied_parent += 1
+            return False
+        self.tokens -= tokens
+        self.granted += 1
+        return True
+
+    def on_success(self) -> None:
+        """A tenant success refills both its slice and the shared pool."""
+        super().on_success()
+        self.parent.on_success()
+
+    def summary(self) -> dict:
+        """Budget snapshot plus the cross-tenant denial split."""
+        out = super().summary()
+        out["denied_child"] = self.denied_child
+        out["denied_parent"] = self.denied_parent
+        return out

@@ -97,6 +97,8 @@ class ReplicationHopProfile:
             dsa_bytes_per_sec=dsa_bytes_per_sec)
         self.dsa_bytes_per_sec = self.compress.dsa_bytes_per_sec
         self.membw_bytes_per_sec = self.compress.membw_bytes_per_sec
+        # The fleet's QoS auto-quantum prices routes at this size.
+        self.mean_message_bytes = self.compress.mean_message_bytes
         # Serial composition: a hop is one compress pass then one encrypt
         # pass, so the composite rate is the harmonic combination and the
         # bottleneck is the slower stage's.

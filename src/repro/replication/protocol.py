@@ -52,6 +52,24 @@ from repro.workloads.corpus import CorpusKind
 #: Protocol names accepted by scenarios and the CLI.
 PROTOCOLS = ("abd", "chain")
 
+#: Priority class per hop role (the QoS layer's control-vs-data split):
+#: small quorum/read control messages are latency-critical — delaying a
+#: query delays the whole operation's commit point — while bulk value
+#: transfers ride the standard class.  Offload engines that ignore this
+#: split invert priorities under load ("Reliable Replication Protocols
+#: on SmartNICs", PAPERS.md).
+HOP_CLASSES = {
+    "query": "latency",
+    "read": "latency",
+    "propagate": "standard",
+    "forward": "standard",
+    "writeback": "standard",
+}
+
+#: The tenant tag replication traffic carries through a QoS-enabled
+#: fleet (served at default weight unless the policy registers it).
+REPLICATION_TENANT = "replication"
+
 
 class ReplicationGroup:
     """One replicated register service: N replica servers, one protocol.
@@ -197,7 +215,9 @@ class ReplicationGroup:
             return gate
         request = Request(
             id=self._next_request, connection=-1, size=size, kind=self.kind,
-            arrive_s=self.sim.now, target=target, op_id=op_id, hop=name)
+            arrive_s=self.sim.now, target=target, op_id=op_id, hop=name,
+            tenant=REPLICATION_TENANT,
+            klass=HOP_CLASSES.get(name, "standard"))
         self._next_request += 1
         done = self.fleet.submit(request)
         if done is None:

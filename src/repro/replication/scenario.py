@@ -205,7 +205,8 @@ def run_replication(scenario: ClusterScenario,
     fleet = Fleet(
         sim, profile, policy,
         servers=scenario.servers, channels=scenario.channels,
-        registry=registry, overload=overload_policy)
+        registry=registry, overload=overload_policy,
+        qos=scenario.build_qos())
     if fault_injector is not None:
         fault_injector.attach(sim, fleet)
     checker = ConsistencyChecker()

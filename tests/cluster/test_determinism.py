@@ -8,11 +8,12 @@ compare the serialised output byte for byte — and statically verify that
 no cluster module calls the module-level ``random`` API.
 """
 
+import random
 import re
 from pathlib import Path
 
 import repro.cluster as cluster_pkg
-from repro.cluster import ClusterScenario, run_scenario
+from repro.cluster import ClusterScenario, MixEntry, RequestMix, run_scenario
 
 
 def _closed_scenario(seed):
@@ -69,6 +70,32 @@ def test_no_module_level_random_in_cluster_sources():
         match = forbidden.search(text)
         assert match is None, "%s uses module-level %s" % (
             source.name, match.group(0) if match else "")
+
+
+def test_mix_batch_sampling_matches_sequential_draws():
+    """Vector-tier contract: sample_indices_batch over a pre-drawn uniform
+    stream yields exactly the indices sequential sample_index calls yield
+    over the same stream — both tiers sample identical tenant/size mixes."""
+    mix = RequestMix([
+        MixEntry(size=4096, weight=5.0),
+        MixEntry(size=16384, weight=3.0),
+        MixEntry(size=65536, weight=1.0),
+    ])
+    uniforms = [random.Random(23).random() for _ in range(500)]
+    # Boundary draws must land in the same bucket on both paths too.
+    uniforms += list(mix._cumulative) + [0.0, 1.0 - 1e-16]
+
+    class _Replay:
+        def __init__(self, stream):
+            self._stream = iter(stream)
+
+        def random(self):
+            return next(self._stream)
+
+    sequential = [mix.sample_index(_Replay([u])) for u in uniforms]
+    assert list(mix.sample_indices_batch(uniforms)) == sequential
+    # The list path (no numpy fast lane) agrees draw for draw as well.
+    assert list(mix.sample_indices_batch(iter(uniforms))) == sequential
 
 
 def test_trace_export_deterministic(tmp_path):

@@ -67,6 +67,24 @@ def test_percentile_of_empty_histogram_is_nan():
     assert summary["count"] == 0 and summary["p99"] is None
 
 
+def test_percentile_empty_is_nan_at_the_bounds_too():
+    hist = LogHistogram()
+    # q<=0 and q>=1 short-circuit to min/max on populated histograms; on
+    # an empty one they must stay NaN, not the +-inf sentinels.
+    for q in (-0.5, 0.0, 1.0, 1.5):
+        assert math.isnan(hist.percentile(q))
+
+
+def test_percentile_out_of_range_q_clamps_to_min_max():
+    hist = LogHistogram()
+    for value in (0.001, 0.004, 0.009):
+        hist.record(value)
+    assert hist.percentile(-3.0) == pytest.approx(0.001)
+    assert hist.percentile(0.0) == pytest.approx(0.001)
+    assert hist.percentile(1.0) == pytest.approx(0.009)
+    assert hist.percentile(7.0) == pytest.approx(0.009)
+
+
 def test_percentile_single_sample_is_exact():
     hist = LogHistogram()
     hist.record(3.7e-4)
@@ -151,6 +169,27 @@ def test_record_many_matches_one_at_a_time():
     assert bulk.mean == pytest.approx(one_by_one.mean, rel=1e-12)
     for q in (0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0):
         assert bulk.percentile(q) == one_by_one.percentile(q)
+
+
+def test_record_many_pure_python_fallback_matches(monkeypatch):
+    # Force the ImportError arm: with numpy "absent", record_many must
+    # degrade to per-sample record calls with identical state.
+    import repro.cluster.metrics as metrics_module
+
+    monkeypatch.setattr(metrics_module, "_np", None)
+    samples = _mixed_samples()
+    bulk = LogHistogram(base=1e-6, growth=2 ** 0.25)
+    bulk.record_many(samples)
+    bulk.record_many([])  # empty batch is a no-op on this path too
+    reference = LogHistogram(base=1e-6, growth=2 ** 0.25)
+    for value in samples:
+        reference.record(value)
+    assert bulk.buckets == reference.buckets
+    assert bulk.count == reference.count
+    assert bulk.min == reference.min and bulk.max == reference.max
+    assert bulk.total == reference.total  # same left-to-right summation
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert bulk.percentile(q) == reference.percentile(q)
 
 
 def test_record_many_accepts_numpy_arrays_and_accumulates():

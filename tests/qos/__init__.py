@@ -1,0 +1,2 @@
+"""Multi-tenant QoS tests: DRR arbitration, tenant policy, fleet
+integration, and the ``python -m repro qos`` sweep smoke."""

@@ -1,0 +1,190 @@
+"""Tenant specs, the QoS policy, per-tenant overload isolation, and
+hierarchical retry budgets."""
+
+import math
+
+import pytest
+
+from repro.overload.policy import (
+    CLASS_DEADLINE_SCALE,
+    MultiTenantOverloadPolicy,
+    OverloadConfig,
+)
+from repro.overload.retry import ChildRetryBudget, RetryBudget
+from repro.qos import QOS_MODES, QosPolicy, TenantSpec
+
+
+# -- TenantSpec validation -----------------------------------------------------------
+
+
+def test_tenant_spec_validates():
+    with pytest.raises(ValueError):
+        TenantSpec("")
+    with pytest.raises(ValueError):
+        TenantSpec("t", klass="no-such-class")
+    with pytest.raises(ValueError):
+        TenantSpec("t", weight=0.0)
+    with pytest.raises(ValueError):
+        TenantSpec("t", load_factor=0.0)
+    with pytest.raises(ValueError):
+        TenantSpec("t", queue_limit=0)
+    # Closed-loop tenants may omit a rate entirely.
+    TenantSpec("t", load_factor=0.0, connections=32)
+
+
+def test_qos_policy_shares_and_maps():
+    policy = QosPolicy([
+        TenantSpec("gold", weight=3.0, queue_limit=4),
+        TenantSpec("silver", weight=1.0),
+    ])
+    assert policy.order == ["gold", "silver"]
+    assert policy.fair_share("gold") == pytest.approx(0.75)
+    assert policy.fair_share("silver") == pytest.approx(0.25)
+    assert policy.weights() == {"gold": 3.0, "silver": 1.0}
+    assert policy.queue_limits() == {"gold": 4}  # only bounded tenants
+    arbiter = policy.make_arbiter(quantum_s=2e-4)
+    assert arbiter.quantum_s == 2e-4
+    assert arbiter.tenant_queue_limits == {"gold": 4}
+
+
+def test_qos_policy_validates():
+    with pytest.raises(ValueError):
+        QosPolicy([])
+    with pytest.raises(ValueError):
+        QosPolicy([TenantSpec("a"), TenantSpec("a")])
+    with pytest.raises(ValueError):
+        QosPolicy([TenantSpec("a")], mode="weird")
+    with pytest.raises(ValueError):
+        QosPolicy([TenantSpec("a")], quantum_s=0.0)
+    assert QOS_MODES == ("drr", "fifo")
+
+
+def test_qos_policy_quantum_override():
+    policy = QosPolicy([TenantSpec("a")], quantum_s=7e-5)
+    assert policy.make_arbiter(quantum_s=1e-4).quantum_s == 7e-5
+
+
+def test_qos_policy_arbiters_are_not_shared():
+    policy = QosPolicy([TenantSpec("a")])
+    assert policy.make_arbiter(1e-4) is not policy.make_arbiter(1e-4)
+
+
+# -- class deadlines -----------------------------------------------------------------
+
+
+def _policy(isolate=True):
+    return MultiTenantOverloadPolicy(
+        OverloadConfig(deadline_s=1e-3, admission="codel"),
+        tenants=["victim", "aggressor"], isolate=isolate)
+
+
+def test_class_relative_deadlines():
+    policy = _policy()
+    assert policy.deadline_for(2.0, "latency") == pytest.approx(2.0 + 1e-3)
+    assert policy.deadline_for(2.0, "standard") == pytest.approx(2.0 + 3e-3)
+    assert math.isinf(policy.deadline_for(2.0, "batch"))
+    # Untagged callers keep the base policy's deadline semantics.
+    assert policy.deadline_for(2.0) == pytest.approx(2.0 + 1e-3)
+    assert CLASS_DEADLINE_SCALE["latency"] == 1.0
+    assert math.isinf(CLASS_DEADLINE_SCALE["batch"])
+
+
+def test_codel_shedding_is_per_tenant():
+    policy = _policy(isolate=True)
+    # Saturate the aggressor's cpu controller far past the CoDel target
+    # while the victim's sojourns stay microscopic.
+    now = 0.0
+    for step in range(200):
+        now = step * 1e-3
+        policy.observe("cpu", now, sojourn_s=5e-3, tenant="aggressor")
+        policy.observe("cpu", now, sojourn_s=1e-6, tenant="victim")
+    assert not policy.admit(now, "aggressor")  # its own CoDel sheds it
+    assert policy.admit(now, "victim")         # untouched by the storm
+
+
+def test_codel_isolation_contrast_arm_shares_state():
+    policy = _policy(isolate=False)
+    now = 0.0
+    for step in range(200):
+        now = step * 1e-3
+        policy.observe("cpu", now, sojourn_s=5e-3, tenant="aggressor")
+    # Shared controllers: the aggressor's sojourns shed the *victim's*
+    # very next request — the pre-QoS global behaviour the isolate=True
+    # arm exists to prevent (CoDel spaces drops, so probe the victim
+    # first, before any other admit consumes the pending drop).
+    assert not policy.admit(now, "victim")
+
+
+def test_brownouts_counted_per_tenant():
+    policy = MultiTenantOverloadPolicy(
+        OverloadConfig(deadline_s=1e-3, admission="codel",
+                       brownout_factor=0.8),
+        tenants=["hot", "cold"], isolate=True)
+    for step in range(50):
+        policy.observe("dsa", step * 1e-3, sojourn_s=5e-3, tenant="hot")
+    assert policy.brownout(0.05, "hot")
+    assert not policy.brownout(0.05, "cold")
+    assert policy.summary()["brownouts"] == {"hot": policy._brownouts["hot"]}
+
+
+# -- hierarchical retry budgets ------------------------------------------------------
+
+
+def test_child_budgets_are_cached_and_seeded():
+    parent = RetryBudget(capacity=10.0, seed=3)
+    child = parent.child("tenant-a")
+    assert parent.child("tenant-a") is child  # cached factory
+    assert isinstance(child, ChildRetryBudget)
+    other = parent.child("tenant-b")
+    assert other is not child
+
+
+def test_child_acquire_needs_both_buckets():
+    parent = RetryBudget(capacity=2.0, refill_per_success=0.0, seed=0)
+    child = parent.child("t", capacity=5.0)
+    assert child.try_acquire()  # child 5->4, parent 2->1
+    assert child.try_acquire()  # child 4->3, parent 1->0
+    assert not child.try_acquire()  # child has tokens, parent is dry
+    assert child.denied_parent == 1 and child.denied_child == 0
+
+
+def test_child_denial_split_attributes_exhaustion():
+    parent = RetryBudget(capacity=100.0, refill_per_success=0.0, seed=0)
+    child = parent.child("t", capacity=1.0)
+    assert child.try_acquire()
+    assert not child.try_acquire()  # child dry, parent still has plenty
+    assert child.denied_child == 1 and child.denied_parent == 0
+    summary = child.summary()
+    assert summary["denied_child"] == 1 and summary["denied_parent"] == 0
+
+
+def test_child_success_refills_both_buckets():
+    parent = RetryBudget(capacity=4.0, refill_per_success=1.0, seed=0)
+    child = parent.child("t", capacity=4.0)
+    for _ in range(3):
+        assert child.try_acquire()
+    child.on_success()
+    assert child.tokens > 1.0      # child bucket refilled
+    assert parent.tokens > 1.0     # parent pool refilled too
+
+
+def test_parent_summary_lists_children():
+    parent = RetryBudget(capacity=8.0, seed=1)
+    parent.child("a")
+    parent.child("b")
+    assert sorted(parent.summary()["children"]) == ["a", "b"]
+
+
+def test_sibling_storm_cannot_starve_victim_when_shares_fit():
+    # The sweep's gate in miniature: two children whose capacities sum to
+    # the parent pool — the aggressor draining its own child slice can
+    # never deny the victim a parent token.
+    parent = RetryBudget(capacity=10.0, refill_per_success=0.0, seed=0)
+    aggressor = parent.child("aggressor", capacity=5.0)
+    victim = parent.child("victim", capacity=5.0)
+    while aggressor.try_acquire():
+        pass
+    assert aggressor.denied_child > 0
+    for _ in range(5):
+        assert victim.try_acquire()
+    assert victim.denied_parent == 0
