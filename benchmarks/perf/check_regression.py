@@ -34,8 +34,18 @@ the committed baseline file it reads (``--list`` prints the table):
   chaos, aggressor capped near fair share, surge p99 bounded, zero
   cross-tenant retry-budget exhaustion), the FIFO contrast arm must
   still demonstrate interference, and capacity / victim ratios must
-  stay within tolerance of the baseline.  Auto-skipped (with a note)
-  when BENCH_qos.json has not been committed yet.
+  stay within tolerance of the baseline.
+* ``BENCH_ras.json`` — memory RAS / integrity (``ras_bench``): the
+  sweep's own gate (zero undetected corruption wherever verification is
+  on, verify-off contrast arm still leaks, patrol-scrub overhead under
+  its ceiling, scrubbing shrinks the at-risk line count, quarantine
+  trips and re-admits), plus detection-coverage / retired-row floors
+  and a scrub-overhead ceiling against the baseline.
+
+Rows marked ``optional`` in the ``GATES`` table (replication, qos, ras)
+share one skip path: when their committed baseline file is absent the
+row is skipped with a note instead of failing — run with ``--update``
+to create the baseline and arm the row.
 
 Any regression fails the gate with exit code 1 — use it in CI or before
 merging changes to any layer::
@@ -60,6 +70,7 @@ import datapath_bench
 import faults_bench
 import overload_bench
 import qos_bench
+import ras_bench
 import replication_bench
 
 #: Datapath sections whose `after_mbps` is guarded per record size.
@@ -279,10 +290,11 @@ GATES = (
              base, fresh, args.tolerance),
          points=lambda base: 2 + sum(
              1 for m in replication_bench.GUARDED_METRICS
-             if m in base.get("summary", {}))),
+             if m in base.get("summary", {})),
+         optional=True),
     Gate("qos",
          "multi-tenant fairness: victim >= 85% isolated goodput, aggressor "
-         "capped, no cross-tenant budget drain (auto-skipped sans baseline)",
+         "capped, no cross-tenant budget drain",
          "--qos-baseline", qos_bench,
          run=lambda args: qos_bench.bench_all(repeats=args.repeats),
          verdict=lambda base, fresh, args: qos_bench.compare(
@@ -290,6 +302,18 @@ GATES = (
          points=lambda base: 7 + sum(
              1 for m in qos_bench.GUARDED_METRICS
              if m in base.get("fairness", {}).get("summary", {})),
+         optional=True),
+    Gate("ras",
+         "memory RAS/integrity: zero undetected corruption with verify on, "
+         "scrub overhead under ceiling, quarantine trips + re-admits",
+         "--ras-baseline", ras_bench,
+         run=lambda args: ras_bench.bench_all(repeats=args.repeats),
+         verdict=lambda base, fresh, args: ras_bench.compare(
+             base, fresh, args.tolerance),
+         points=lambda base: 9 + sum(
+             1 for m in (ras_bench.GUARDED_METRICS
+                         + ras_bench.GUARDED_CEILINGS)
+             if m in base.get("summary", {})),
          optional=True),
 )
 
@@ -358,8 +382,11 @@ def main(argv=None) -> int:
     if args.list:
         print("perf gates (--skip-<name> to skip one):")
         for gate in GATES:
-            print("  %-9s %-22s %s"
-                  % (gate.name, gate.baseline_name, gate.describe))
+            print("  %-9s %-22s %s%s"
+                  % (gate.name, gate.baseline_name, gate.describe,
+                     " [optional]" if gate.optional else ""))
+        print("[optional] rows auto-skip with a note when their committed "
+              "baseline is absent; --update creates it and arms the row.")
         return 0
 
     regressions, gated_points = [], 0

@@ -1,0 +1,95 @@
+"""Memory RAS / integrity benchmark wrapper: the BENCH_ras.json producer.
+
+Thin adapter between :mod:`repro.ras.sweep` and the perf gate: the sweep
+is a deterministic simulation (identical seed => identical payload), so
+``bench_all`` runs it once and returns the payload
+``check_regression.py`` gates:
+
+* **property gate** (absolute, no baseline needed): the sweep's own
+  integrity gate — zero undetected corruption anywhere verification is
+  on (micro grid, per-lane SDC arms, full-coverage fleet storm), the
+  verify-off contrast arm still demonstrating escapes, patrol-scrub
+  overhead under its ceiling at the default rate, scrubbing reducing
+  the at-risk line count, and the quarantine both tripping and
+  re-admitting through probation;
+* **baseline gate**: detection coverage and retired-row counts must not
+  drop below the committed baseline (within tolerance), and scrub
+  overhead must not grow above it.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.ras import sweep
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+RESULTS_PATH = os.path.join(_REPO_ROOT, "BENCH_ras.json")
+
+#: Baseline-compared summary metrics guarded as floors ("min"): detection
+#: and retirement must not erode.
+GUARDED_METRICS = ("grid_detection_coverage", "grid_retired_rows",
+                   "fleet_detected_full_coverage")
+
+#: Baseline-compared summary metrics guarded as ceilings ("max"): the
+#: price of scrubbing must not creep up.
+GUARDED_CEILINGS = ("scrub_overhead_default",)
+
+
+def bench_all(repeats: int = 1) -> dict:
+    """Run the full ras sweep (deterministic; `repeats` ignored)."""
+    return sweep.run_ras(seed=11)
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """RAS regressions as human-readable strings (empty = pass)."""
+    regressions = ["ras: " + failure for failure in sweep.gate_failures(fresh)]
+    summary = fresh["summary"]
+    base_summary = baseline.get("summary", {})
+    for metric in GUARDED_METRICS:
+        base_value = base_summary.get(metric)
+        if base_value is None:
+            continue  # baseline predates this metric
+        fresh_value = summary.get(metric)
+        if fresh_value is None:
+            regressions.append("ras: %s missing from fresh run" % metric)
+            continue
+        floor = (1.0 - tolerance) * base_value
+        if fresh_value < floor:
+            regressions.append(
+                "ras: %s %.3f < floor %.3f (baseline %.3f, -%.0f%%)"
+                % (metric, fresh_value, floor, base_value,
+                   100.0 * (1.0 - fresh_value / base_value)))
+    for metric in GUARDED_CEILINGS:
+        base_value = base_summary.get(metric)
+        if base_value is None:
+            continue
+        fresh_value = summary.get(metric)
+        if fresh_value is None:
+            regressions.append("ras: %s missing from fresh run" % metric)
+            continue
+        ceiling = (1.0 + tolerance) * base_value
+        if fresh_value > ceiling:
+            regressions.append(
+                "ras: %s %.4f > ceiling %.4f (baseline %.4f, +%.0f%%)"
+                % (metric, fresh_value, ceiling, base_value,
+                   100.0 * (fresh_value / base_value - 1.0)))
+    return regressions
+
+
+def write_results(results: dict, path: str = RESULTS_PATH) -> str:
+    """Persist `results` exactly as the CLI does; returns the path."""
+    with open(path, "w") as handle:
+        handle.write(sweep.to_json(results))
+    return path
+
+
+def main() -> None:
+    """CLI entry: run the sweep, print the summary, write the baseline."""
+    results = bench_all()
+    print(sweep.render(results))
+    print("wrote", write_results(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -30,12 +30,65 @@ Commands:
   node_down/channel_wedge chaos, and a post-run consistency audit
   (exits non-zero on any violation); ``--sweep`` runs the placement
   comparison behind ``BENCH_replication.json``.
+* ``ras`` — memory RAS + end-to-end integrity sweep: scrub-rate x
+  SDC-rate grid (patrol scrub priced against goodput, CE->UE poison
+  escalation, row retirement), per-lane DSA quarantine with probation
+  re-admission, and fleet SDC storms; byte-identical reports per seed,
+  exits non-zero if any integrity gate fails (undetected corruption,
+  scrub overhead ceiling, quarantine liveness).
+
+The sweep commands (``overload``, ``qos``, ``ras``) accept ``--check``:
+re-run the sweep and require the payload to match the committed
+``BENCH_*.json`` baseline byte-for-byte (missing or corrupt baselines
+exit non-zero with a one-line error, no traceback).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _load_baseline(path: str, name: str) -> dict:
+    """Load a committed ``BENCH_*.json`` baseline or die with one line.
+
+    Missing or corrupt baselines are operator errors, not bugs worth a
+    traceback: raise :class:`SystemExit` with a single-line message so
+    every subcommand fails the same way (non-zero, stderr, no stack).
+    """
+    import json
+
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(
+            "error: no committed %s baseline at %s "
+            "(generate one with --json-out %s)" % (name, path, path))
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        raise SystemExit(
+            "error: committed %s baseline %s is unreadable: %s"
+            % (name, path, exc))
+
+
+def _check_baseline(fresh_payload: str, path: str, name: str) -> int:
+    """Compare a fresh sweep payload against the committed baseline.
+
+    Both sides are canonicalised through the same JSON encoding, so the
+    comparison is exact: any drift (different seed, different mode, or a
+    genuine behaviour change) fails with one line.
+    """
+    import json
+
+    baseline = _load_baseline(path, name)
+    canonical = json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+    if canonical != fresh_payload:
+        print("FAIL: fresh %s run differs from committed %s "
+              "(was it generated with the same seed and mode?)"
+              % (name, path))
+        return 1
+    print("baseline check passed: fresh run matches %s" % path)
+    return 0
 
 
 def _cmd_demo(_args) -> int:
@@ -207,6 +260,8 @@ def _cmd_overload(args) -> int:
         with open(args.json_out, "w") as handle:
             handle.write(sweep.to_json(report))
         print("overload report JSON written to %s" % args.json_out)
+    if args.check is not None:
+        return _check_baseline(sweep.to_json(report), args.check, "overload")
     summary = report["sweep"]["summary"]
     ratio = summary["shed_2x_over_peak"] or 0.0
     if ratio < 0.70:
@@ -225,6 +280,27 @@ def _cmd_qos(args) -> int:
         with open(args.json_out, "w") as handle:
             handle.write(sweep.to_json(report))
         print("qos report JSON written to %s" % args.json_out)
+    if args.check is not None:
+        return _check_baseline(sweep.to_json(report), args.check, "qos")
+    failures = sweep.gate_failures(report)
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure)
+        return 1
+    return 0
+
+
+def _cmd_ras(args) -> int:
+    from repro.ras import sweep
+
+    report = sweep.run_ras(seed=args.seed, quick=args.quick)
+    print(sweep.render(report))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(sweep.to_json(report))
+        print("ras report JSON written to %s" % args.json_out)
+    if args.check is not None:
+        return _check_baseline(sweep.to_json(report), args.check, "ras")
     failures = sweep.gate_failures(report)
     if failures:
         for failure in failures:
@@ -377,6 +453,11 @@ def main(argv=None) -> int:
                           help="reduced sweep (3 load factors, short window)")
     overload.add_argument("--json-out", default=None,
                           help="write the BENCH_overload.json payload here")
+    overload.add_argument("--check", nargs="?", const="BENCH_overload.json",
+                          default=None, metavar="BASELINE",
+                          help="require the payload to match the committed "
+                               "baseline byte-for-byte (default path "
+                               "BENCH_overload.json)")
     qos = sub.add_parser(
         "qos",
         help="multi-tenant fairness sweep: noisy neighbor vs DRR isolation",
@@ -387,6 +468,26 @@ def main(argv=None) -> int:
                      help="short measurement window (smoke-test speed)")
     qos.add_argument("--json-out", default=None,
                      help="write the BENCH_qos.json payload here")
+    qos.add_argument("--check", nargs="?", const="BENCH_qos.json",
+                     default=None, metavar="BASELINE",
+                     help="require the payload to match the committed "
+                          "baseline byte-for-byte (default path "
+                          "BENCH_qos.json)")
+    ras = sub.add_parser(
+        "ras",
+        help="memory RAS + integrity sweep: scrub x SDC grid, quarantine",
+    )
+    ras.add_argument("--seed", type=int, default=11,
+                     help="drives flip, SDC, and arrival draws (default 11)")
+    ras.add_argument("--quick", action="store_true",
+                     help="short grid and windows (smoke-test speed)")
+    ras.add_argument("--json-out", default=None,
+                     help="write the BENCH_ras.json payload here")
+    ras.add_argument("--check", nargs="?", const="BENCH_ras.json",
+                     default=None, metavar="BASELINE",
+                     help="require the payload to match the committed "
+                          "baseline byte-for-byte (default path "
+                          "BENCH_ras.json)")
     replicate = sub.add_parser(
         "replicate",
         help="replicated storage on the fleet: ABD/chain with SmartDIMM hops",
@@ -435,6 +536,7 @@ def main(argv=None) -> int:
         "chaos": _cmd_chaos,
         "overload": _cmd_overload,
         "qos": _cmd_qos,
+        "ras": _cmd_ras,
         "replicate": _cmd_replicate,
         "profile": _cmd_profile,
     }[args.command](args)

@@ -12,6 +12,13 @@ channel's DSA:
   :class:`~repro.faults.health.CircuitBreaker`, fed by measured
   DSA-stage latency ratios, trips OPEN and spills that channel's requests
   to CPU onload until a probation probe sees normal service again.
+* ``sdc_storm`` — a server's DSAs silently corrupt results at
+  ``sdc_rate`` per op for the window (a glitching kernel lane at fleet
+  scale).  End-to-end verification catches each corruption with
+  probability ``verify_coverage`` (1.0 models the semantic auth-tag /
+  CRC check being on); detections feed the channel's breaker — the
+  fleet-level quarantine — while undetected corruptions are counted as
+  the escaped-SDC exposure the ras gate keeps at zero.
 
 Every decision is driven by the simulation clock and scheduled windows, so
 identically-seeded scenarios produce byte-identical chaos reports.  The
@@ -26,27 +33,31 @@ from dataclasses import dataclass
 
 from repro.cluster.fleet import Assignment
 from repro.faults.health import BreakerState, CircuitBreaker, DsaHealthMonitor
+from repro.faults.plan import FaultSite
 
 
 @dataclass
 class FaultWindow:
     """One scheduled fleet fault: what breaks, where, when, for how long."""
 
-    kind: str  # "node_down" | "channel_wedge"
+    kind: str  # "node_down" | "channel_wedge" | "sdc_storm"
     server: int
     start_s: float
     duration_s: float
-    channel: int = None  # channel_wedge only
+    channel: int = None  # channel_wedge only (sdc_storm hits all channels)
     dsa_slowdown: float = 50.0  # channel_wedge only
+    sdc_rate: float = 0.05  # sdc_storm only: corruption probability per op
     # Observed outcomes, filled in during the run.
     detected_s: float = None  # first reroute / breaker-open inside the fault
     restored_s: float = None  # service restored (breaker re-close or window end)
 
     def __post_init__(self):
-        if self.kind not in ("node_down", "channel_wedge"):
+        if self.kind not in ("node_down", "channel_wedge", "sdc_storm"):
             raise ValueError("unknown fault kind %r" % self.kind)
         if self.kind == "channel_wedge" and self.channel is None:
             raise ValueError("channel_wedge needs a channel index")
+        if self.kind == "sdc_storm" and not 0.0 < self.sdc_rate <= 1.0:
+            raise ValueError("sdc_storm needs sdc_rate in (0, 1]")
         if self.duration_s <= 0:
             raise ValueError("fault duration must be positive")
 
@@ -71,6 +82,7 @@ class FaultWindow:
             "start_s": self.start_s,
             "duration_s": self.duration_s,
             "dsa_slowdown": self.dsa_slowdown if self.kind == "channel_wedge" else None,
+            "sdc_rate": self.sdc_rate if self.kind == "sdc_storm" else None,
             "detected_s": self.detected_s,
             "restored_s": self.restored_s,
             "mttr_s": self.mttr_s,
@@ -101,9 +113,12 @@ def epoch_fault_state(windows, start_s: float, end_s: float) -> tuple:
             continue
         if window.kind == "node_down":
             down.add(window.server)
-        else:
+        elif window.kind == "channel_wedge":
             key = (window.server, window.channel)
             wedged[key] = max(wedged.get(key, 1.0), window.dsa_slowdown)
+        # sdc_storm is event-tier fidelity (per-op corruption draws plus
+        # breaker quarantine); the vector tier's capacity masks are not
+        # affected by it, so it projects to neither set.
     return frozenset(down), wedged
 
 
@@ -163,6 +178,9 @@ class ChaosCounters:
     degraded_served: int = 0  # DSA ops served at a wedged channel's rate
     completed_in_fault: int = 0
     completed_outside: int = 0
+    sdc_injected: int = 0  # DSA ops silently corrupted by an sdc_storm
+    sdc_detected: int = 0  # ...caught by end-to-end verification
+    sdc_undetected: int = 0  # ...that escaped (verify off or coverage gap)
 
 
 class FleetFaultInjector:
@@ -176,20 +194,32 @@ class FleetFaultInjector:
 
     def __init__(self, windows, breaker_threshold: int = 3,
                  breaker_cooldown_s: float = 1e-3,
-                 degraded_ratio: float = 4.0):
+                 degraded_ratio: float = 4.0,
+                 sdc_plan=None, verify_coverage: float = 1.0):
         self.windows = sorted(
             windows, key=lambda w: (w.start_s, w.kind, w.server, w.channel or 0))
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown_s = breaker_cooldown_s
         self.degraded_ratio = degraded_ratio
+        # SDC storms draw corruption/detection randomness from the plan's
+        # ``fleet.sdc`` stream so chaos reports stay byte-identical per
+        # seed; verify_coverage is the end-to-end check's catch rate
+        # (1.0 = semantic verification on, 0.0 = verification disabled).
+        self.sdc_plan = sdc_plan
+        self.verify_coverage = verify_coverage
         self.counters = ChaosCounters()
         self.sim = None
         self.fleet = None
         self._down = set()  # server indices currently failed
         self._wedged = {}  # (server, channel) -> slowdown factor
+        self._sdc = {}  # server -> active sdc_storm corruption rate
         self._breakers = {}  # (server, channel) -> CircuitBreaker
         self._monitors = {}  # (server, channel) -> DsaHealthMonitor
         self._active = []  # currently-active FaultWindows
+        if (sdc_plan is None
+                and any(w.kind == "sdc_storm" for w in self.windows)):
+            from repro.faults.plan import FaultPlan
+            self.sdc_plan = FaultPlan(seed=0)
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -222,8 +252,10 @@ class FleetFaultInjector:
         self._active.append(window)
         if window.kind == "node_down":
             self._down.add(window.server)
-        else:
+        elif window.kind == "channel_wedge":
             self._wedged[(window.server, window.channel)] = window.dsa_slowdown
+        else:
+            self._sdc[window.server] = window.sdc_rate
 
     def _end(self, window: FaultWindow) -> None:
         self._active.remove(window)
@@ -232,10 +264,13 @@ class FleetFaultInjector:
             # The node rejoining *is* the restoration for a failed server.
             if window.restored_s is None:
                 window.restored_s = self.sim.now
-        else:
+        elif window.kind == "channel_wedge":
             self._wedged.pop((window.server, window.channel), None)
             # A wedge's restoration is observed later, when the channel's
             # breaker re-closes on a healthy probation probe.
+        else:
+            self._sdc.pop(window.server, None)
+            # An SDC storm's restoration is likewise breaker-observed.
 
     # -- health probes ---------------------------------------------------------------
 
@@ -307,6 +342,24 @@ class FleetFaultInjector:
             breaker.record_success(self.sim.now)
             if was_open and breaker.state is BreakerState.CLOSED:
                 self._mark_restored(server, channel)
+        rate = self._sdc.get(server)
+        if rate is not None:
+            rng = self.sdc_plan.rng(FaultSite.FLEET_SDC)
+            if rng.random() < rate:
+                self.counters.sdc_injected += 1
+                if rng.random() < self.verify_coverage:
+                    # End-to-end verification caught the corruption: the
+                    # request is redone (goodput cost is already priced by
+                    # the breaker spill path) and the channel takes a
+                    # failure — enough of them quarantine the lane.
+                    self.counters.sdc_detected += 1
+                    open_before = breaker.state is not BreakerState.CLOSED
+                    breaker.record_failure(self.sim.now)
+                    if (breaker.state is BreakerState.OPEN
+                            and not open_before):
+                        self._mark_detected("sdc_storm", server, None)
+                else:
+                    self.counters.sdc_undetected += 1
 
     def _mark_detected(self, kind: str, server: int, channel) -> None:
         for window in self.windows:
@@ -319,8 +372,9 @@ class FleetFaultInjector:
 
     def _mark_restored(self, server: int, channel: int) -> None:
         for window in self.windows:
-            if (window.kind == "channel_wedge" and window.server == server
-                    and window.channel == channel
+            if (window.kind in ("channel_wedge", "sdc_storm")
+                    and window.server == server
+                    and (window.channel is None or window.channel == channel)
                     and window.restored_s is None
                     and self.sim.now >= window.end_s):
                 window.restored_s = self.sim.now
@@ -388,6 +442,9 @@ class FleetFaultInjector:
             "rerouted": counters.rerouted,
             "breaker_spills": counters.breaker_spills,
             "degraded_served": counters.degraded_served,
+            "sdc_injected": counters.sdc_injected,
+            "sdc_detected": counters.sdc_detected,
+            "sdc_undetected": counters.sdc_undetected,
             "goodput_in_fault_rps": (
                 counters.completed_in_fault / fault_seconds
                 if fault_seconds > 0 else None),

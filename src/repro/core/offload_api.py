@@ -25,6 +25,7 @@ from repro.dram.address import AddressMapping, InterleaveMode
 from repro.dram.commands import PAGE_SIZE
 from repro.dram.memory_controller import MemoryController, TimingParams
 from repro.dram.physical_memory import PhysicalMemory
+from repro.dram.ras import MemoryRas, RasConfig
 from repro.cache.llc import LLC
 from repro.core.compcpy import CompCpy, CompCpyError
 from repro.core.scratchpad import ScratchpadFullError
@@ -103,6 +104,10 @@ class SessionConfig:
     # Shared retry budget for every retry loop under this session
     # (CompCpy Force-Recycle today; None = a fresh default bucket).
     retry_budget: RetryBudget = None
+    # Memory RAS engine (latent flips, patrol scrub, CE->UE poison);
+    # None = no RAS model, zero overhead.  The flip depositor draws from
+    # the fault plan's ``dram.cell_flip`` stream when one is attached.
+    ras: RasConfig = None
 
     def __post_init__(self):
         if self.smartdimm is None:
@@ -141,6 +146,12 @@ class SmartDIMMSession:
         self.direct_offload = DirectOffloadEngine(self.llc, self.mc, self.driver)
         if self.config.fault_plan is not None:
             self.device.attach_fault_plan(self.config.fault_plan, ecc=self.config.ecc)
+        if self.config.ras is not None:
+            self.ras = MemoryRas(self.memory, plan=self.config.fault_plan,
+                                 config=self.config.ras)
+            self.memory.attach_ras(self.ras)
+        else:
+            self.ras = None
         resilience = self.config.resilience
         if resilience is not None:
             self.health = DsaHealthMonitor(
@@ -189,6 +200,11 @@ class SmartDIMMSession:
         the onload fallback (a recovery that would finish late is shed, not
         served).
         """
+        if self.ras is not None:
+            # Background RAS activity (flip deposits + patrol bursts) runs
+            # between operations; scrub bandwidth is charged to the
+            # controller clock so it visibly costs goodput.
+            self.mc.cycle += self.ras.advance(self.mc.cycle)
         self._check_deadline(deadline_cycles, "submit")
         if self.breaker is None:
             return hardware()
@@ -236,6 +252,15 @@ class SmartDIMMSession:
             self.breaker.record_success(now)
         self.resilience_stats.offloaded_ops += 1
         return result
+
+    def pump_ras(self) -> None:
+        """Advance background RAS activity to the current controller cycle.
+
+        Called automatically at each resilient-op boundary; harnesses that
+        model data at rest (no offload traffic) pump explicitly.
+        """
+        if self.ras is not None:
+            self.mc.cycle += self.ras.advance(self.mc.cycle)
 
     # -- buffer management ------------------------------------------------------------
 

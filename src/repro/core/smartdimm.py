@@ -88,6 +88,7 @@ class SmartDIMMStats:
     registrations_rolled_back: int = 0  # _register_pair unwinds
     injected_wedges: int = 0  # dsa.wedge faults fired on this device
     injected_storms: int = 0  # dsa.alert_storm faults fired on this device
+    injected_sdc: int = 0  # dsa.sdc lane corruptions fired on this device
     busy_rejections: int = 0  # create_offload refused: inflight limit hit
 
 
@@ -517,11 +518,45 @@ class SmartDIMM:
                     )
                 )
                 self.stats.injected_storms += 1
+            if plan.fires(FaultSite.DSA_SDC):
+                # Silent data corruption: flip bits inside one 16-byte
+                # kernel lane (a GHASH block / match-window slice) of the
+                # *result* already staged in the scratchpad.  This runs
+                # before finalisation, so the device CRC snapshot includes
+                # the corruption — by construction only end-to-end
+                # semantic verification (auth-tag recompute, decompress-
+                # and-compare) can catch it.
+                self._corrupt_lane(plan, index, line)
         self.scratchpad.set_ready_cycle(index, line, cycle)
+
+    def _corrupt_lane(self, plan, index: int, line: int) -> None:
+        """Flip 1-3 bits in one 16-byte kernel lane of a scratchpad line."""
+        rng = plan.rng(FaultSite.DSA_SDC)
+        lane = rng.randrange(CACHELINE_SIZE // 16)
+        base = line * CACHELINE_SIZE + lane * 16
+        data = self.scratchpad.page(index).data
+        for _ in range(1 + rng.randrange(3)):
+            bit = rng.randrange(128)
+            data[base + bit // 8] ^= 1 << (bit % 8)
+        self.stats.injected_sdc += 1
 
     def _finalize_offload(self, offload: Offload, cycle: int) -> None:
         writer = ScratchpadWriter(self.scratchpad, offload)
         self.dsas[offload.kind].finalize(offload, writer)
+        if self.fault_plan is not None:
+            # Finalize-deposited output (DEFLATE streams, inflate pages,
+            # serde flats) never passed through _set_line_ready: give the
+            # dsa.sdc personality the same one-decision-per-line shot at
+            # it, *before* the CRC snapshot below, so bad matches also
+            # slip past the transport checksum.
+            plan = self.fault_plan
+            for index in offload.scratchpad_indices:
+                page = self.scratchpad.page(index)
+                for line in range(LINES_PER_PAGE):
+                    if (page.states[line] is LineState.VALID
+                            and page.ready_cycles[line] is None
+                            and plan.fires(FaultSite.DSA_SDC)):
+                        self._corrupt_lane(plan, index, line)
         if self.fault_plan is not None and offload.owned_lines is None:
             # End-to-end integrity snapshot: CRC of the full output image at
             # the moment the DSA is done.  The host compares its read-back

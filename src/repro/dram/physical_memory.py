@@ -42,6 +42,7 @@ class PhysicalMemory:
         self.size = size
         self._pages = {}
         self._fault_plan = None
+        self._ras = None
         self.ecc = True
         self.ecc_stats = EccStats()
 
@@ -49,6 +50,13 @@ class PhysicalMemory:
         """Enable ``dram.corrupt`` injection on line reads through `plan`."""
         self._fault_plan = plan
         self.ecc = ecc
+
+    def attach_ras(self, ras) -> None:
+        """Enable the latent-error RAS model
+        (:class:`~repro.dram.ras.MemoryRas`): line reads check for latent
+        flips (CE-correct or escalate to poison) and writes repair cells.
+        """
+        self._ras = ras
 
     def _maybe_corrupt(self, address: int, data: bytes) -> bytes:
         """Apply one dram.corrupt decision to a line read."""
@@ -105,6 +113,8 @@ class PhysicalMemory:
     def write(self, address: int, data: bytes) -> None:
         """Write `data` at `address`."""
         self._check_range(address, len(data))
+        if self._ras is not None:
+            self._ras.on_write(address, len(data))
         offset_in_data = 0
         while offset_in_data < len(data):
             page_number, offset = divmod(address, PAGE_SIZE)
@@ -118,6 +128,8 @@ class PhysicalMemory:
         """Read one 64-byte cacheline (must be line-aligned)."""
         if address % CACHELINE_SIZE:
             raise ValueError("unaligned line read at 0x%x" % address)
+        if self._ras is not None:
+            self._ras.on_read(address)  # may raise PoisonError
         data = self.read(address, CACHELINE_SIZE)
         if self._fault_plan is not None:
             data = self._maybe_corrupt(address, data)
@@ -140,7 +152,7 @@ class PhysicalMemory:
         """
         if address % CACHELINE_SIZE:
             raise ValueError("unaligned line read at 0x%x" % address)
-        if self._fault_plan is not None:
+        if self._fault_plan is not None or self._ras is not None:
             return b"".join(
                 self.read_line(address + (i << 6)) for i in range(count)
             )

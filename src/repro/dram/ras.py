@@ -1,0 +1,325 @@
+"""Memory RAS: latent cell flips, patrol scrubbing, CE→UE escalation.
+
+The SEC-DED model in :mod:`repro.dram.physical_memory` corrupts data *in
+flight* — a ``dram.corrupt`` fire affects exactly one read and leaves the
+array clean.  Real DRAM reliability is dominated by the opposite case:
+flips that land in the array and *stay there*, silently accumulating until
+a read (demand or patrol) observes the line.  This module models that:
+
+* :class:`MemoryRas` keeps a map of **latent** flipped bits per cacheline.
+  Flips are deposited over time by the ``dram.cell_flip`` fault site (one
+  Bernoulli decision per :attr:`RasConfig.flip_interval_cycles` of
+  controller time, landing on a uniformly random resident line).  On any
+  read of a line with latent flips:
+
+  - one flip ⇒ **CE**: SEC-DED corrects it, the flip is cleared, and the
+    line's *row* takes a leaky-bucket demerit;
+  - two or more flips ⇒ **UE**: the line is marked **poisoned** and the
+    read raises :class:`~repro.faults.errors.PoisonError` — corrupted
+    data is never silently returned.  Writes repair cells: a full-line
+    write clears latent flips and poison.
+
+* Rows whose CE bucket exceeds :attr:`RasConfig.ce_bucket_threshold`
+  **retire**: their data notionally migrates to a spare row, so future
+  flips targeting a retired row are discarded (the spare is healthy).
+  Buckets leak one demerit per completed patrol sweep, so scattered CEs
+  age out while a genuinely weak row crosses the threshold.
+
+* :class:`PatrolScrubber` walks resident lines in address order,
+  :attr:`RasConfig.scrub_lines_per_pass` per
+  :attr:`RasConfig.scrub_interval_cycles`.  Scrubbing a single-flip line
+  corrects it *before* a second flip can escalate it to UE — the causal
+  mechanism the scrub-rate sweep measures.  Every scrubbed line is priced
+  against the memory controller (CAS occupancy per line, ACT+PRE per row
+  crossed), so scrub bandwidth visibly costs goodput: callers add
+  :meth:`MemoryRas.advance`'s return value to ``mc.cycle``.
+
+Everything is deterministic: flip placement draws from the plan's
+``dram.cell_flip`` RNG stream, resident lines are enumerated in sorted
+order, and the scrub cursor advances deterministically.  With no
+:class:`MemoryRas` attached the memory fast paths are untouched (one
+``is not None`` guard, same contract as the fault plan hooks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.commands import CACHELINE_SIZE, LINES_PER_PAGE, PAGE_SIZE
+from repro.faults.errors import PoisonError
+from repro.faults.plan import FaultSite
+
+
+@dataclass
+class RasConfig:
+    """Knobs for the RAS engine, defaulting to a DDR4-ish patrol policy."""
+
+    #: Bytes per DRAM row for retirement accounting (128 columns x 64 B).
+    row_bytes: int = 8192
+    #: Controller cycles between ``dram.cell_flip`` deposit decisions.
+    flip_interval_cycles: int = 2048
+    #: Controller cycles between patrol scrub bursts.
+    scrub_interval_cycles: int = 4096
+    #: Resident lines scrubbed per burst (0 disables patrol scrubbing).
+    scrub_lines_per_pass: int = 8
+    #: CE demerits before a row retires to its spare.
+    ce_bucket_threshold: int = 3
+    #: Demerits leaked from every row bucket per completed patrol sweep.
+    ce_bucket_leak: int = 1
+    #: Channel occupancy charged per scrubbed line (one rdCAS burst).
+    scrub_cas_cycles: int = 4
+    #: ACT + PRE cost charged when a scrub burst crosses into a new row.
+    scrub_row_open_cycles: int = 44
+
+
+@dataclass
+class RasStats:
+    """RAS activity counters for one memory device."""
+
+    flips_deposited: int = 0  # latent cell flips landed in the array
+    flips_discarded: int = 0  # flips targeting an already-retired row
+    ce_corrected: int = 0  # single-flip lines corrected (demand or patrol)
+    ce_demand: int = 0  # ...of which found by demand reads
+    ce_patrol: int = 0  # ...of which found by the scrubber
+    ue_poisoned: int = 0  # multi-flip lines escalated to poison
+    poison_reads: int = 0  # reads refused because the line was poisoned
+    poisons_cleared: int = 0  # poisoned lines repaired by writes
+    rows_retired: int = 0  # rows whose CE bucket overflowed
+    scrub_passes: int = 0  # full sweeps over the resident set
+    scrubbed_lines: int = 0  # line visits by the patrol scrubber
+    scrub_cycles: int = 0  # controller cycles charged to scrubbing
+
+
+class PatrolScrubber:
+    """Background sweep over resident lines, priced against the channel."""
+
+    def __init__(self, ras: "MemoryRas"):
+        self.ras = ras
+        self._cursor = 0  # index into the sorted resident-line walk
+
+    def burst(self) -> int:
+        """Scrub one burst of lines; returns the controller cycles burned."""
+        ras = self.ras
+        config = ras.config
+        count = config.scrub_lines_per_pass
+        if count <= 0:
+            return 0
+        pages = sorted(ras.memory._pages)
+        if not pages:
+            return 0
+        total_lines = len(pages) * LINES_PER_PAGE
+        cycles = 0
+        last_row = None
+        for _ in range(count):
+            if self._cursor >= total_lines:
+                self._cursor = 0
+                ras.stats.scrub_passes += 1
+                ras._leak_buckets()
+            page_index, line = divmod(self._cursor, LINES_PER_PAGE)
+            address = pages[page_index] * PAGE_SIZE + line * CACHELINE_SIZE
+            self._cursor += 1
+            row = address // config.row_bytes
+            cycles += config.scrub_cas_cycles
+            if row != last_row:
+                cycles += config.scrub_row_open_cycles
+                last_row = row
+            ras.stats.scrubbed_lines += 1
+            ras._scrub_line(address)
+        ras.stats.scrub_cycles += cycles
+        return cycles
+
+
+class MemoryRas:
+    """Latent-error RAS engine for one :class:`PhysicalMemory`.
+
+    Attach with ``memory.attach_ras(ras)``; pump with :meth:`advance`
+    (callers add the returned scrub cycles to their controller clock).
+    """
+
+    def __init__(self, memory, plan=None, config: RasConfig = None):
+        self.memory = memory
+        self.plan = plan
+        self.config = config or RasConfig()
+        self.stats = RasStats()
+        self.scrubber = PatrolScrubber(self)
+        self.latent = {}  # line address -> set of flipped bit positions
+        self.poisoned = set()  # line addresses refusing reads
+        self.ce_buckets = {}  # row -> leaky-bucket demerit count
+        self.retired_rows = set()
+        self._last_flip_cycle = 0
+        self._last_scrub_cycle = 0
+
+    # -- time-driven background activity ------------------------------------------
+
+    def advance(self, now_cycle: int) -> int:
+        """Run background flip deposits and patrol bursts up to `now_cycle`.
+
+        Returns the controller cycles the scrubber consumed; the caller
+        charges them to its clock (``mc.cycle += ras.advance(mc.cycle)``)
+        so scrub bandwidth is paid for exactly like demand traffic.
+        """
+        config = self.config
+        plan = self.plan
+        if plan is not None:
+            intervals = (now_cycle - self._last_flip_cycle) // config.flip_interval_cycles
+            if intervals > 0:
+                self._last_flip_cycle += intervals * config.flip_interval_cycles
+                for _ in range(intervals):
+                    if plan.fires(FaultSite.DRAM_CELL_FLIP):
+                        self._deposit_flip(plan)
+        scrubbed = 0
+        if config.scrub_lines_per_pass > 0:
+            bursts = (now_cycle - self._last_scrub_cycle) // config.scrub_interval_cycles
+            if bursts > 0:
+                self._last_scrub_cycle += bursts * config.scrub_interval_cycles
+                for _ in range(bursts):
+                    scrubbed += self.scrubber.burst()
+        return scrubbed
+
+    def _deposit_flip(self, plan) -> None:
+        pages = sorted(self.memory._pages)
+        if not pages:
+            return
+        rng = plan.rng(FaultSite.DRAM_CELL_FLIP)
+        page = pages[rng.randrange(len(pages))]
+        line = rng.randrange(LINES_PER_PAGE)
+        address = page * PAGE_SIZE + line * CACHELINE_SIZE
+        bit = rng.randrange(8 * CACHELINE_SIZE)
+        if address // self.config.row_bytes in self.retired_rows:
+            # The weak row already migrated to its spare; the flip lands
+            # in decommissioned cells nobody will ever read.
+            self.stats.flips_discarded += 1
+            return
+        self.latent.setdefault(address, set()).add(bit)
+        self.stats.flips_deposited += 1
+
+    # -- test / scenario helper -----------------------------------------------------
+
+    def inject_flips(self, address: int, bits: int = 1) -> None:
+        """Deterministically deposit `bits` latent flips on one line."""
+        if address % CACHELINE_SIZE:
+            raise ValueError("unaligned flip injection at 0x%x" % address)
+        flips = self.latent.setdefault(address, set())
+        bit = 0
+        while bits > 0:
+            if bit not in flips:
+                flips.add(bit)
+                self.stats.flips_deposited += 1
+                bits -= 1
+            bit += 1
+
+    # -- read/write hooks (called by PhysicalMemory) ---------------------------------
+
+    def on_read(self, address: int) -> None:
+        """One demand read of a line: correct, escalate, or refuse.
+
+        Raises :class:`PoisonError` for poisoned lines and for fresh UEs
+        (which poison the line first) — corrupted bytes never flow.
+        """
+        if address in self.poisoned:
+            self.stats.poison_reads += 1
+            raise PoisonError(
+                "read of poisoned line 0x%x (uncorrectable memory error)"
+                % address,
+                address=address, row=address // self.config.row_bytes,
+            )
+        flips = self.latent.get(address)
+        if flips is None:
+            return
+        if len(flips) == 1:
+            del self.latent[address]
+            self.stats.ce_corrected += 1
+            self.stats.ce_demand += 1
+            self._bump_row(address // self.config.row_bytes)
+            return
+        self._poison(address)
+        self.stats.poison_reads += 1
+        raise PoisonError(
+            "uncorrectable error at 0x%x escalated to poison (%d flips)"
+            % (address, len(flips)),
+            address=address, row=address // self.config.row_bytes,
+        )
+
+    def on_write(self, address: int, length: int) -> None:
+        """Writes rewrite the cells: clear latent flips and poison."""
+        if not self.latent and not self.poisoned:
+            return
+        start = address - address % CACHELINE_SIZE
+        for line in range(start, address + length, CACHELINE_SIZE):
+            self.latent.pop(line, None)
+            if line in self.poisoned:
+                self.poisoned.discard(line)
+                self.stats.poisons_cleared += 1
+
+    # -- patrol + retirement internals ----------------------------------------------
+
+    def _scrub_line(self, address: int) -> None:
+        if address in self.poisoned:
+            return  # already escalated; waiting for software to rewrite
+        flips = self.latent.get(address)
+        if flips is None:
+            return
+        if len(flips) == 1:
+            del self.latent[address]
+            self.stats.ce_corrected += 1
+            self.stats.ce_patrol += 1
+            self._bump_row(address // self.config.row_bytes)
+            return
+        # The patrol found an already-uncorrectable line: poison it now,
+        # before any consumer trips over it at demand-read time.
+        self._poison(address)
+
+    def _poison(self, address: int) -> None:
+        self.latent.pop(address, None)
+        self.poisoned.add(address)
+        self.stats.ue_poisoned += 1
+        self._bump_row(address // self.config.row_bytes)
+
+    def _bump_row(self, row: int) -> None:
+        if row in self.retired_rows:
+            return
+        demerits = self.ce_buckets.get(row, 0) + 1
+        self.ce_buckets[row] = demerits
+        if demerits > self.config.ce_bucket_threshold:
+            self.retired_rows.add(row)
+            self.stats.rows_retired += 1
+            del self.ce_buckets[row]
+            # Migration to the spare carries the data; pending latent
+            # flips in the weak row are left behind with it.
+            lo = row * self.config.row_bytes
+            hi = lo + self.config.row_bytes
+            for line in [a for a in self.latent if lo <= a < hi]:
+                del self.latent[line]
+
+    def _leak_buckets(self) -> None:
+        leak = self.config.ce_bucket_leak
+        if leak <= 0:
+            return
+        for row in list(self.ce_buckets):
+            remaining = self.ce_buckets[row] - leak
+            if remaining > 0:
+                self.ce_buckets[row] = remaining
+            else:
+                del self.ce_buckets[row]
+
+    # -- reporting -------------------------------------------------------------------
+
+    def report(self) -> dict:
+        """Deterministic JSON-ready snapshot of RAS activity."""
+        stats = self.stats
+        return {
+            "flips_deposited": stats.flips_deposited,
+            "flips_discarded": stats.flips_discarded,
+            "ce_corrected": stats.ce_corrected,
+            "ce_demand": stats.ce_demand,
+            "ce_patrol": stats.ce_patrol,
+            "ue_poisoned": stats.ue_poisoned,
+            "poison_reads": stats.poison_reads,
+            "poisons_cleared": stats.poisons_cleared,
+            "rows_retired": stats.rows_retired,
+            "scrub_passes": stats.scrub_passes,
+            "scrubbed_lines": stats.scrubbed_lines,
+            "scrub_cycles": stats.scrub_cycles,
+            "latent_lines": len(self.latent),
+            "poisoned_lines": len(self.poisoned),
+        }

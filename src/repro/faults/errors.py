@@ -51,6 +51,25 @@ class DsaWedgedError(RetryBudgetExceeded):
     """
 
 
+class PoisonError(FaultError):
+    """A read touched a line marked *poisoned* by the RAS engine.
+
+    CE→UE escalation: when the memory RAS layer finds an uncorrectable
+    error (two or more latent flips under SEC-DED) it marks the line
+    poisoned instead of handing corrupted data downstream.  Every
+    subsequent read of the line raises this until software rewrites it
+    (a write repairs the cells and clears the poison).  Because it
+    subclasses :class:`FaultError`, the session's resilience guard turns
+    a poisoned CompCpy input into an aborted offload plus a CPU onload —
+    the op never produces output from poisoned bytes.
+    """
+
+    def __init__(self, message: str, address: int = None, row: int = None):
+        super().__init__(message)
+        self.address = address
+        self.row = row
+
+
 class CorruptionDetectedError(FaultError):
     """An end-to-end payload checksum mismatched: data was corrupted.
 

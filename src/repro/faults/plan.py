@@ -39,6 +39,16 @@ class FaultSite:
     SCRATCHPAD_EXHAUST = "scratchpad.exhaust"
     #: DRAM read returns a line with `bits` flipped bits (ECC may correct).
     DRAM_CORRUPT = "dram.corrupt"
+    #: One *latent* cell flip lands on a resident line (RAS model): the
+    #: flip stays in the array until a demand read or the patrol scrubber
+    #: finds it — one flip is a CE, two on the same line escalate to UE.
+    DRAM_CELL_FLIP = "dram.cell_flip"
+    #: DSA kernel silent data corruption: one GHASH/match lane of a
+    #: just-computed scratchpad line is flipped *before* the device CRC
+    #: snapshot, so only end-to-end semantic verification can catch it.
+    DSA_SDC = "dsa.sdc"
+    #: Fleet-tier SDC storm draws (rate set per FaultWindow).
+    FLEET_SDC = "fleet.sdc"
     #: Data segment dropped on the link.
     NET_DROP = "net.drop"
     #: Data segment corrupted on the link (checksum-discarded at RX).

@@ -1,0 +1,92 @@
+"""Per-lane DSA quarantine driven by end-to-end integrity verdicts.
+
+The session-level breaker in :mod:`repro.core.offload_api` reacts to *typed*
+hardware failures — faults the DSA itself reports.  Silent data corruption
+is the opposite case: the operation completes, the transport CRC passes, and
+only the end-to-end semantic check (auth-tag recompute, decompressed-CRC
+compare) knows the result is wrong.  :class:`LaneQuarantine` closes that
+loop: each verified-bad result counts as a failure against the *kernel
+lane* that produced it (TLS, DEFLATE, ...), a per-lane
+:class:`~repro.faults.health.CircuitBreaker` trips the lane out of service
+(work spills to the bit-identical CPU path), and a probation probe
+re-admits the lane once its results verify clean again.
+
+The breaker clock is a per-lane operation counter, so identically-seeded
+runs quarantine and re-admit on identical operation indices.
+"""
+
+from __future__ import annotations
+
+from repro.faults.health import CircuitBreaker, DsaHealthMonitor
+
+
+class LaneQuarantine:
+    """CLOSED/OPEN/HALF_OPEN admission control per DSA kernel lane."""
+
+    def __init__(self, failure_threshold: int = 2, cooldown_ops: int = 3,
+                 window: int = 16):
+        self.failure_threshold = failure_threshold
+        self.cooldown_ops = cooldown_ops
+        self.window = window
+        self._breakers = {}  # lane -> CircuitBreaker
+        self._monitors = {}  # lane -> DsaHealthMonitor
+        self._clocks = {}  # lane -> operations observed (the breaker clock)
+        self.spilled = 0  # operations refused admission (ran on the CPU)
+
+    def _lane(self, lane) -> str:
+        return lane if isinstance(lane, str) else str(lane)
+
+    def _breaker(self, lane: str) -> CircuitBreaker:
+        breaker = self._breakers.get(lane)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                cooldown=self.cooldown_ops,
+            )
+            self._breakers[lane] = breaker
+            self._monitors[lane] = DsaHealthMonitor(window=self.window)
+            self._clocks[lane] = 0
+        return breaker
+
+    def allow(self, lane) -> bool:
+        """Admission decision for one operation on `lane`.
+
+        Advances the lane's clock; False means the lane is quarantined and
+        the caller must serve the operation on the CPU instead.
+        """
+        lane = self._lane(lane)
+        breaker = self._breaker(lane)
+        self._clocks[lane] += 1
+        admitted = breaker.allow(self._clocks[lane])
+        if not admitted:
+            self.spilled += 1
+        return admitted
+
+    def record(self, lane, ok: bool) -> None:
+        """Report one admitted operation's end-to-end integrity verdict."""
+        lane = self._lane(lane)
+        breaker = self._breaker(lane)
+        self._monitors[lane].observe(ok=ok)
+        if ok:
+            breaker.record_success(self._clocks[lane])
+        else:
+            breaker.record_failure(self._clocks[lane])
+
+    def state(self, lane) -> str:
+        """The lane's breaker state ("closed" when never observed)."""
+        return self._breaker(self._lane(lane)).state.value
+
+    def summary(self) -> dict:
+        """Deterministic JSON-ready snapshot of every lane."""
+        return {
+            "spilled": self.spilled,
+            "lanes": {
+                lane: {
+                    "state": self._breakers[lane].state.value,
+                    "ops": self._clocks[lane],
+                    "breaker": self._breakers[lane].summary(),
+                    "health": self._monitors[lane].summary(),
+                }
+                for lane in sorted(self._breakers)
+            },
+        }

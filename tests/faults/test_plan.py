@@ -80,6 +80,29 @@ class TestDeterminism:
         assert (FaultPlan(seed=9).rng("x").random()
                 == FaultPlan(seed=9).rng("x").random())
 
+    def test_enabling_one_site_never_shifts_anothers_stream(self):
+        """A plan that grows a new site reproduces the old sites exactly.
+
+        This is the contract every new fault personality (cell flips, SDC)
+        relies on: arming injection at site "a" — both its fire decisions
+        and its payload draws via ``rng("a")`` — must leave site "b"'s
+        decision stream byte-for-byte identical to a plan that never
+        mentioned "a" at all.
+        """
+        base = FaultPlan(seed=7, specs=(FaultSpec("b", probability=0.5),))
+        expected = _sequence(base, "b", 200)
+        grown = FaultPlan(seed=7, specs=(
+            FaultSpec("a", probability=1.0),
+            FaultSpec("b", probability=0.5),
+        ))
+        observed = []
+        for _ in range(200):
+            if grown.fires("a"):
+                grown.rng("a").random()  # payload draw, e.g. a bit index
+            observed.append(grown.fires("b"))
+        assert observed == expected
+        assert grown.fire_count("a") == 200
+
 
 class TestParamsAndReport:
     def test_param_falls_back_to_default(self):
@@ -97,5 +120,6 @@ class TestParamsAndReport:
 
     def test_well_known_sites_are_strings(self):
         for name in ("DSA_WEDGE", "DRAM_CORRUPT", "NET_DROP",
-                     "ACCEL_COMPLETION_DROP"):
+                     "ACCEL_COMPLETION_DROP", "DRAM_CELL_FLIP", "DSA_SDC",
+                     "FLEET_SDC"):
             assert isinstance(getattr(FaultSite, name), str)
