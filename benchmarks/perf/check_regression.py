@@ -42,10 +42,19 @@ the committed baseline file it reads (``--list`` prints the table):
   trips and re-admits), plus detection-coverage / retired-row floors
   and a scrub-overhead ceiling against the baseline.
 
+* matrix3x (machine-relative, no baseline): the experiment-matrix
+  run-pool (``matrix_bench``) must keep the pooled quick matrix >=
+  ``--matrix-speedup-floor`` (default 3x) faster than the serial run
+  with byte-identical payloads; auto-skips below 4 cores.
+
 Rows marked ``optional`` in the ``GATES`` table (replication, qos, ras)
 share one skip path: when their committed baseline file is absent the
 row is skipped with a note instead of failing — run with ``--update``
 to create the baseline and arm the row.
+
+``--jobs N`` evaluates gate rows concurrently in N threads (output stays
+in table order); the wall-clock-sensitive rows get noisier as N grows,
+so keep ``--jobs 1`` when a timing row is near its floor.
 
 Any regression fails the gate with exit code 1 — use it in CI or before
 merging changes to any layer::
@@ -68,6 +77,7 @@ from dataclasses import dataclass
 import cluster_bench
 import datapath_bench
 import faults_bench
+import matrix_bench
 import overload_bench
 import qos_bench
 import ras_bench
@@ -315,12 +325,56 @@ GATES = (
                          + ras_bench.GUARDED_CEILINGS)
              if m in base.get("summary", {})),
          optional=True),
+    Gate("matrix3x",
+         "experiment matrix: pooled quick run >= 3x serial wall clock, "
+         "byte-identical payloads (auto-skips below 4 cores)",
+         None, matrix_bench,
+         run=lambda args: matrix_bench.bench_matrix3x(),
+         verdict=lambda base, fresh, args: matrix_bench.compare_matrix3x(
+             fresh, args.matrix_speedup_floor),
+         points=lambda base: 2),
 )
 
 
 def _load(path: str) -> dict:
     with open(path) as handle:
         return json.load(handle)
+
+
+def _evaluate(gate: Gate, args) -> tuple:
+    """Run one gate row; returns (regressions, points, notes, exit_code).
+
+    Pure with respect to shared state (all output goes through ``notes``)
+    so rows can be evaluated concurrently under ``--jobs N`` and printed
+    back in table order.  ``exit_code`` is None unless the row demands an
+    immediate non-regression exit (a required baseline is missing).
+    """
+    notes = []
+    if getattr(args, "skip_" + gate.name):
+        return [], 0, notes, None
+    if gate.baseline_flag is None:
+        if args.update:
+            return [], 0, notes, None  # nothing committed to rewrite
+        return gate.verdict(None, gate.run(args), args), gate.points(None), \
+            notes, None
+    path = getattr(args, gate.baseline_dest)
+    if gate.optional and not args.update and not os.path.exists(path):
+        notes.append("no %s baseline at %s; gate auto-skipped "
+                     "(run with --update to create one)" % (gate.name, path))
+        return [], 0, notes, None
+    fresh = gate.run(args)
+    if args.update:
+        notes.append("%s baseline updated: %s"
+                     % (gate.name, gate.bench.write_results(fresh, path)))
+        return [], 0, notes, None
+    try:
+        baseline = _load(path)
+    except FileNotFoundError:
+        notes.append("no %s baseline at %s; run with --update to create one"
+                     % (gate.name, path))
+        return [], 0, notes, 2
+    return gate.verdict(baseline, fresh, args), gate.points(baseline), \
+        notes, None
 
 
 def main(argv=None) -> int:
@@ -368,6 +422,21 @@ def main(argv=None) -> int:
         help="allowed disabled-hook overhead fraction (default 0.02)",
     )
     parser.add_argument(
+        "--matrix-speedup-floor",
+        type=float,
+        default=3.0,
+        help="required pooled-vs-serial speedup for the quick experiment "
+             "matrix (default 3.0; the row auto-skips below 4 cores)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="evaluate gate rows concurrently in N threads (default 1; "
+             "wall-clock-sensitive rows get noisier as N grows, so keep "
+             "--jobs 1 when a timing row is near its floor)",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="rewrite the baselines from this run instead of gating",
@@ -389,34 +458,22 @@ def main(argv=None) -> int:
               "baseline is absent; --update creates it and arms the row.")
         return 0
 
+    if args.jobs > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+            outcomes = list(pool.map(lambda g: _evaluate(g, args), GATES))
+    else:
+        outcomes = [_evaluate(gate, args) for gate in GATES]
+
     regressions, gated_points = [], 0
-    for gate in GATES:
-        if getattr(args, "skip_" + gate.name):
-            continue
-        if gate.baseline_flag is None:
-            if args.update:
-                continue  # nothing committed to rewrite
-            regressions += gate.verdict(None, gate.run(args), args)
-            gated_points += gate.points(None)
-            continue
-        path = getattr(args, gate.baseline_dest)
-        if gate.optional and not args.update and not os.path.exists(path):
-            print("no %s baseline at %s; gate auto-skipped "
-                  "(run with --update to create one)" % (gate.name, path))
-            continue
-        fresh = gate.run(args)
-        if args.update:
-            print("%s baseline updated: %s"
-                  % (gate.name, gate.bench.write_results(fresh, path)))
-            continue
-        try:
-            baseline = _load(path)
-        except FileNotFoundError:
-            print("no %s baseline at %s; run with --update to create one"
-                  % (gate.name, path))
-            return 2
-        regressions += gate.verdict(baseline, fresh, args)
-        gated_points += gate.points(baseline)
+    for gate_regressions, points, notes, exit_code in outcomes:
+        for note in notes:
+            print(note)
+        if exit_code is not None:
+            return exit_code
+        regressions += gate_regressions
+        gated_points += points
     if args.update:
         return 0
 

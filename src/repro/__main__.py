@@ -37,16 +37,49 @@ Commands:
   exits non-zero if any integrity gate fails (undetected corruption,
   scrub overhead ceiling, quarantine liveness).
 
+* ``matrix`` — the whole experiment matrix: every target's grid of
+  (instance, seed) points fanned across a process pool (``--jobs N``)
+  with a content-addressed result cache; reassembles each target's
+  serial payload byte-identically, rolls up cross-target statistics,
+  and evaluates every acceptance gate.
+
 The sweep commands (``overload``, ``qos``, ``ras``) accept ``--check``:
 re-run the sweep and require the payload to match the committed
 ``BENCH_*.json`` baseline byte-for-byte (missing or corrupt baselines
-exit non-zero with a one-line error, no traceback).
+exit non-zero with a one-line error, no traceback).  ``matrix --check``
+does the same for every target with a committed baseline in one run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def write_json_report(path: str, payload: str, label: str) -> None:
+    """Atomically write a report payload: tmp file + rename.
+
+    Every ``--json-out`` goes through here so a crash (or a parallel
+    matrix run racing a serial one) can never leave a torn half-written
+    baseline on disk.
+    """
+    import os
+    import tempfile
+
+    target = os.path.abspath(path)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target),
+                               prefix="." + os.path.basename(target) + ".")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    print("%s JSON written to %s" % (label, path))
 
 
 def _load_baseline(path: str, name: str) -> dict:
@@ -224,9 +257,7 @@ def _cmd_cluster(args) -> int:
     if args.trace_out:
         print("chrome trace written to %s (open in about:tracing)" % args.trace_out)
     if args.json_out:
-        with open(args.json_out, "w") as handle:
-            handle.write(report.to_json())
-        print("metrics JSON written to %s" % args.json_out)
+        write_json_report(args.json_out, report.to_json(), "metrics")
     return 0
 
 
@@ -239,9 +270,7 @@ def _cmd_chaos(args) -> int:
     print(render_chaos(report))
     payload = json.dumps(report, sort_keys=True)
     if args.json_out:
-        with open(args.json_out, "w") as handle:
-            handle.write(payload)
-        print("chaos report JSON written to %s" % args.json_out)
+        write_json_report(args.json_out, payload, "chaos report")
     else:
         print(payload)
     corrupted = report["micro"]["corruption_observed"]
@@ -257,9 +286,8 @@ def _cmd_overload(args) -> int:
     report = sweep.run_overload(seed=args.seed, quick=args.quick)
     print(sweep.render(report))
     if args.json_out:
-        with open(args.json_out, "w") as handle:
-            handle.write(sweep.to_json(report))
-        print("overload report JSON written to %s" % args.json_out)
+        write_json_report(args.json_out, sweep.to_json(report),
+                          "overload report")
     if args.check is not None:
         return _check_baseline(sweep.to_json(report), args.check, "overload")
     summary = report["sweep"]["summary"]
@@ -277,9 +305,7 @@ def _cmd_qos(args) -> int:
     report = sweep.run_qos(seed=args.seed, quick=args.quick)
     print(sweep.render(report))
     if args.json_out:
-        with open(args.json_out, "w") as handle:
-            handle.write(sweep.to_json(report))
-        print("qos report JSON written to %s" % args.json_out)
+        write_json_report(args.json_out, sweep.to_json(report), "qos report")
     if args.check is not None:
         return _check_baseline(sweep.to_json(report), args.check, "qos")
     failures = sweep.gate_failures(report)
@@ -296,9 +322,7 @@ def _cmd_ras(args) -> int:
     report = sweep.run_ras(seed=args.seed, quick=args.quick)
     print(sweep.render(report))
     if args.json_out:
-        with open(args.json_out, "w") as handle:
-            handle.write(sweep.to_json(report))
-        print("ras report JSON written to %s" % args.json_out)
+        write_json_report(args.json_out, sweep.to_json(report), "ras report")
     if args.check is not None:
         return _check_baseline(sweep.to_json(report), args.check, "ras")
     failures = sweep.gate_failures(report)
@@ -318,9 +342,8 @@ def _cmd_replicate(args) -> int:
         report = sweep.run_replication_suite(seed=args.seed, quick=args.quick)
         print(sweep.render(report))
         if args.json_out:
-            with open(args.json_out, "w") as handle:
-                handle.write(sweep.to_json(report))
-            print("replication report JSON written to %s" % args.json_out)
+            write_json_report(args.json_out, sweep.to_json(report),
+                              "replication report")
         summary = report["summary"]
         if summary["total_violations"]:
             print("FAIL: %d consistency violations"
@@ -344,14 +367,60 @@ def _cmd_replicate(args) -> int:
     report = run_replication(scenario, fault_injector=injector)
     print(report.table())
     if args.json_out:
-        with open(args.json_out, "w") as handle:
-            handle.write(report.to_json())
-        print("replication report JSON written to %s" % args.json_out)
+        write_json_report(args.json_out, report.to_json(),
+                          "replication report")
     violations = report.consistency["violation_count"]
     if violations:
         print("FAIL: %d consistency violations" % violations)
         return 1
     return 0
+
+
+def _cmd_matrix(args) -> int:
+    from repro.exp import ResultCache, build_matrix, matrix_to_json, run_matrix
+    from repro.exp.matrix import render, target_payload_json
+    from repro.exp.targets import TARGETS, target_names
+
+    if args.list:
+        for name in target_names():
+            target = TARGETS[name]
+            points = len(target.specs(quick=args.quick))
+            print("%-12s %3d points  %s" % (name, points, target.description))
+        return 0
+    only = args.only or None
+    if only:
+        unknown = sorted(set(only) - set(TARGETS))
+        if unknown:
+            raise SystemExit(
+                "error: unknown matrix target(s): %s (known: %s)"
+                % (", ".join(unknown), ", ".join(target_names())))
+    if args.check and args.quick:
+        raise SystemExit(
+            "error: --check compares full-mode baselines; drop --quick")
+    if args.check and args.seed is not None:
+        raise SystemExit(
+            "error: --check requires each target's default seed; drop --seed")
+    specs = build_matrix(only=only, quick=args.quick, seed=args.seed)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    result = run_matrix(specs, jobs=args.jobs, cache=cache,
+                        force=args.force, progress=print)
+    print(render(result))
+    if args.json_out:
+        write_json_report(args.json_out, matrix_to_json(result),
+                          "matrix report")
+    status = 0
+    if args.check:
+        for name in sorted(result.payload["targets"]):
+            baseline = TARGETS[name].baseline
+            if baseline is None:
+                continue
+            status |= _check_baseline(
+                target_payload_json(result, name), baseline, name)
+    if result.gate_failures:
+        for failure in result.gate_failures:
+            print("FAIL: %s" % failure)
+        return 1
+    return status
 
 
 def _cmd_profile(args) -> int:
@@ -514,6 +583,36 @@ def main(argv=None) -> int:
     replicate.add_argument("--seed", type=int, default=7)
     replicate.add_argument("--json-out", default=None,
                            help="write the report JSON here")
+    matrix = sub.add_parser(
+        "matrix",
+        help="run the whole experiment matrix: every target's point grid "
+             "through a process pool with a content-addressed result cache",
+    )
+    matrix.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = serial, "
+                             "byte-identical output either way)")
+    matrix.add_argument("--quick", action="store_true",
+                        help="reduced grids and short windows per target")
+    matrix.add_argument("--only", action="append", metavar="TARGET",
+                        help="restrict to this target (repeatable); "
+                             "see --list")
+    matrix.add_argument("--seed", type=int, default=None,
+                        help="override every target's default seed")
+    matrix.add_argument("--force", action="store_true",
+                        help="ignore cached results and re-run every point "
+                             "(the cache is refreshed)")
+    matrix.add_argument("--cache-dir", default=".exp-cache",
+                        help="result-cache directory (default .exp-cache)")
+    matrix.add_argument("--no-cache", action="store_true",
+                        help="run without reading or writing the cache")
+    matrix.add_argument("--json-out", default=None,
+                        help="write the full matrix payload JSON here")
+    matrix.add_argument("--check", action="store_true",
+                        help="require every target with a committed "
+                             "BENCH_*.json baseline to match it "
+                             "byte-for-byte")
+    matrix.add_argument("--list", action="store_true",
+                        help="list targets and point counts, then exit")
     profile = sub.add_parser(
         "profile",
         help="cProfile one TLS offload through the micro-simulation",
@@ -538,6 +637,7 @@ def main(argv=None) -> int:
         "qos": _cmd_qos,
         "ras": _cmd_ras,
         "replicate": _cmd_replicate,
+        "matrix": _cmd_matrix,
         "profile": _cmd_profile,
     }[args.command](args)
 

@@ -1,0 +1,45 @@
+"""The experiment-matrix harness behind ``python -m repro matrix``.
+
+The harness turns every figure in this repo — the paper's placement
+crossover and Table I co-runner interference plus the extension sweeps
+(cluster, faults, overload, replication, qos, ras) — into one declarative
+matrix of :class:`~repro.exp.spec.RunSpec` points:
+
+* :mod:`repro.exp.spec` — the frozen, hashable description of one
+  experiment point (target x instance x seed x params).
+* :mod:`repro.exp.targets` — the target registry: each target enumerates
+  its points, runs one point purely (``run_point(spec) -> dict``), and
+  rolls the point results back up into the exact payload its legacy CLI
+  writes (``BENCH_overload.json`` et al.), so ``matrix --check`` can
+  compare roll-ups byte-for-byte against the committed baselines.
+* :mod:`repro.exp.pool` — the ``multiprocessing`` run-pool that fans
+  points out across cores.  Workers share no RNG state: every point
+  derives everything from its spec, so ``--jobs N`` output is
+  byte-identical to ``--jobs 1``.
+* :mod:`repro.exp.cache` — the content-addressed on-disk result cache.
+  Key = hash of the spec plus the target's *code-relevant* source digest,
+  so an edit to an unrelated module keeps every hit and an edit to a
+  module the target depends on invalidates exactly that target.
+* :mod:`repro.exp.matrix` — orchestration: build the matrix, consult the
+  cache, run the misses through the pool, roll up per-target payloads and
+  the cross-target geomean statistics.
+"""
+
+from repro.exp.cache import ResultCache, code_digest
+from repro.exp.matrix import (MatrixResult, build_matrix, matrix_to_json,
+                              run_matrix)
+from repro.exp.spec import RunSpec
+from repro.exp.targets import TARGETS, get_target, target_names
+
+__all__ = [
+    "MatrixResult",
+    "ResultCache",
+    "RunSpec",
+    "TARGETS",
+    "build_matrix",
+    "code_digest",
+    "get_target",
+    "matrix_to_json",
+    "run_matrix",
+    "target_names",
+]

@@ -1,0 +1,170 @@
+"""Content-addressed on-disk result cache for experiment-matrix points.
+
+Cache key = SHA-256 of the spec's canonical JSON *plus* the target's
+code digest — a hash over the source files the target declares as
+code-relevant (:data:`repro.exp.targets.Target.code_deps`).  The split
+matters:
+
+* editing a module a target depends on changes that target's code digest
+  and misses every one of its points (results could differ);
+* editing anything else — tests, docs, an unrelated sweep, the harness
+  itself — leaves the digest alone, so a re-run after an unrelated edit
+  is served from disk, near-free.
+
+Entries are one JSON file per point under ``<root>/<target>/<key>.json``
+holding the spec, the code digest, the result, and the measured wall
+time.  Writes are atomic (tmp + ``os.replace``), so an interrupted run
+never leaves a truncated entry; a corrupt entry (bad JSON, missing
+fields, or a spec that does not match its key) is evicted with a
+one-line warning instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+
+from repro.exp.spec import RunSpec
+
+#: Fields every cache entry must carry to be trusted.
+_REQUIRED_FIELDS = ("spec", "code_digest", "result", "elapsed_s")
+
+
+def _package_root() -> str:
+    """The installed ``repro`` package directory (``src/repro``)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _dep_files(prefix: str) -> list:
+    """Source files covered by one dep prefix ("repro.overload" or
+    "repro.sim.server"), sorted for a stable digest."""
+    root = _package_root()
+    relative = prefix.split(".")
+    if relative[0] != "repro":
+        raise ValueError("code dep %r must start with 'repro.'" % prefix)
+    base = os.path.join(root, *relative[1:])
+    if os.path.isfile(base + ".py"):
+        return [base + ".py"]
+    files = []
+    for dirpath, _dirnames, filenames in os.walk(base):
+        files.extend(os.path.join(dirpath, name)
+                     for name in filenames if name.endswith(".py"))
+    if not files:
+        raise ValueError("code dep %r matches no source files" % prefix)
+    return sorted(files)
+
+
+def code_digest(prefixes) -> str:
+    """Hash the source of the given module/package prefixes.
+
+    The digest covers file *contents* keyed by package-relative path, so
+    it is stable across checkouts and changes exactly when a covered
+    source file changes.
+    """
+    root = _package_root()
+    sha = hashlib.sha256()
+    for prefix in sorted(set(prefixes)):
+        for path in _dep_files(prefix):
+            sha.update(os.path.relpath(path, root).encode())
+            sha.update(b"\x00")
+            with open(path, "rb") as handle:
+                sha.update(handle.read())
+            sha.update(b"\x00")
+    return sha.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed result store; safe to share across runs."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stores = 0
+
+    # -- keying ----------------------------------------------------------------------
+
+    @staticmethod
+    def key(spec: RunSpec, code_digest: str) -> str:
+        """The content address: SHA-256 of canonical spec + code digest."""
+        sha = hashlib.sha256()
+        sha.update(spec.canonical().encode())
+        sha.update(b"\x00")
+        sha.update(code_digest.encode())
+        return sha.hexdigest()
+
+    def path(self, spec: RunSpec, code_digest: str) -> str:
+        """Where this point's entry lives: ``<root>/<target>/<key>.json``."""
+        return os.path.join(self.root, spec.target,
+                            self.key(spec, code_digest) + ".json")
+
+    # -- lookup / store --------------------------------------------------------------
+
+    def get(self, spec: RunSpec, code_digest: str):
+        """The cached entry dict, or None on miss (corrupt = evict + miss)."""
+        path = self.path(spec, code_digest)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            self._evict(path, "unreadable (%s)" % exc)
+            return None
+        if (not isinstance(entry, dict)
+                or any(f not in entry for f in _REQUIRED_FIELDS)
+                or entry["spec"] != spec.to_dict()):
+            self._evict(path, "corrupt or mismatched entry")
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, spec: RunSpec, code_digest: str, result: dict,
+            elapsed_s: float) -> str:
+        """Atomically store one point result; returns the entry path."""
+        path = self.path(spec, code_digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = json.dumps({
+            "spec": spec.to_dict(),
+            "code_digest": code_digest,
+            "result": result,
+            "elapsed_s": elapsed_s,
+        }, sort_keys=True, indent=2) + "\n"
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # -- bookkeeping -----------------------------------------------------------------
+
+    def _evict(self, path: str, why: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        self.evictions += 1
+        self.misses += 1
+        print("exp-cache: evicted %s: %s" % (os.path.basename(path), why),
+              file=sys.stderr)
+
+    def stats(self) -> dict:
+        """Hit/miss/store/eviction counters for this cache handle."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions}

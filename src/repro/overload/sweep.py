@@ -85,6 +85,11 @@ def fleet_capacity_rps(seed: int = 11) -> float:
     return probe.build_profile().model_metrics.rps * probe.servers
 
 
+def sweep_durations(quick: bool) -> tuple:
+    """(duration_s, warmup_s) for the full vs quick sweep window."""
+    return (0.008, 0.002) if quick else (0.02, 0.005)
+
+
 def _curve_point(factor: float, report) -> dict:
     over = report.overload
     return {
@@ -102,19 +107,24 @@ def _curve_point(factor: float, report) -> dict:
     }
 
 
-def run_sweep(seed: int = 11, load_factors=LOAD_FACTORS,
-              duration_s: float = 0.02, warmup_s: float = 0.005) -> dict:
-    """Goodput-vs-offered-load, shedding on and off."""
+def run_sweep_point(factor: float, control: bool, seed: int,
+                    duration_s: float, warmup_s: float) -> dict:
+    """One curve point, pure: everything derives from the arguments.
+
+    The capacity normalising ``factor`` into an absolute rate is the
+    analytic fixed point — recomputed here (cheaply) so a point needs no
+    ambient state and can run in any pool worker.
+    """
     capacity = fleet_capacity_rps(seed)
-    curves = {"shed": [], "noshed": []}
-    for factor in load_factors:
-        rate = factor * capacity
-        for name, control in (("shed", True), ("noshed", False)):
-            scenario = overload_scenario(rate, control, seed,
-                                         duration_s, warmup_s)
-            point = _curve_point(factor, run_scenario(scenario))
-            point["offered_rps"] = rate
-            curves[name].append(point)
+    rate = factor * capacity
+    scenario = overload_scenario(rate, control, seed, duration_s, warmup_s)
+    point = _curve_point(factor, run_scenario(scenario))
+    point["offered_rps"] = rate
+    return point
+
+
+def sweep_rollup(curves: dict, capacity: float) -> dict:
+    """curves -> the full sweep section (curves + gate summary)."""
 
     def goodput_at(curve, factor):
         for point in curve:
@@ -141,6 +151,17 @@ def run_sweep(seed: int = 11, load_factors=LOAD_FACTORS,
             if at2x_noshed is not None and peak_noshed else None),
     }
     return {"curves": curves, "summary": summary}
+
+
+def run_sweep(seed: int = 11, load_factors=LOAD_FACTORS,
+              duration_s: float = 0.02, warmup_s: float = 0.005) -> dict:
+    """Goodput-vs-offered-load, shedding on and off."""
+    curves = {
+        name: [run_sweep_point(factor, control, seed, duration_s, warmup_s)
+               for factor in load_factors]
+        for name, control in (("shed", True), ("noshed", False))
+    }
+    return sweep_rollup(curves, fleet_capacity_rps(seed))
 
 
 # -- retry amplification (micro) -----------------------------------------------------
@@ -232,25 +253,70 @@ def run_chaos_composition(seed: int = 11, duration_s: float = 0.02,
     }
 
 
+# -- experiment-matrix points --------------------------------------------------------
+
+
+def matrix_points(seed: int, quick: bool) -> list:
+    """Every instance label of this sweep's matrix target, in rollup order."""
+    factors = QUICK_LOAD_FACTORS if quick else LOAD_FACTORS
+    instances = ["load/%g/%s" % (factor, arm)
+                 for arm in ("shed", "noshed") for factor in factors]
+    instances.append("retry_amplification")
+    if not quick:
+        instances.append("chaos_composition")
+    return instances
+
+
+def run_point(spec) -> dict:
+    """Pure matrix entry: one :class:`~repro.exp.spec.RunSpec` -> result."""
+    duration_s, warmup_s = sweep_durations(spec.quick)
+    if spec.instance.startswith("load/"):
+        _, factor, arm = spec.instance.split("/")
+        return run_sweep_point(float(factor), arm == "shed", spec.seed,
+                               duration_s, warmup_s)
+    if spec.instance == "retry_amplification":
+        return run_retry_amplification(spec.seed)
+    if spec.instance == "chaos_composition":
+        return run_chaos_composition(spec.seed)
+    raise ValueError("unknown overload instance %r" % spec.instance)
+
+
+def rollup(results: dict, seed: int, quick: bool) -> dict:
+    """Per-instance results -> the complete CLI/BENCH payload."""
+    factors = QUICK_LOAD_FACTORS if quick else LOAD_FACTORS
+    curves = {
+        arm: [results["load/%g/%s" % (factor, arm)] for factor in factors]
+        for arm in ("shed", "noshed")
+    }
+    report = {
+        "seed": seed,
+        "quick": quick,
+        "sweep": sweep_rollup(curves, fleet_capacity_rps(seed)),
+        "retry_amplification": results["retry_amplification"],
+    }
+    if not quick:
+        report["chaos_composition"] = results["chaos_composition"]
+    return report
+
+
 # -- the full report -----------------------------------------------------------------
 
 
 def run_overload(seed: int = 11, quick: bool = False) -> dict:
-    """The complete ``python -m repro overload`` payload."""
-    if quick:
-        sweep = run_sweep(seed, load_factors=QUICK_LOAD_FACTORS,
-                          duration_s=0.008, warmup_s=0.002)
-    else:
-        sweep = run_sweep(seed)
-    report = {
-        "seed": seed,
-        "quick": quick,
-        "sweep": sweep,
-        "retry_amplification": run_retry_amplification(seed),
+    """The complete ``python -m repro overload`` payload.
+
+    A thin serial wrapper over the same pure points the experiment-matrix
+    harness fans out: each instance runs in submission order in this
+    process, then :func:`rollup` assembles the payload.
+    """
+    from repro.exp.spec import RunSpec
+
+    results = {
+        instance: run_point(RunSpec.make("overload", instance, seed,
+                                         quick=quick))
+        for instance in matrix_points(seed, quick)
     }
-    if not quick:
-        report["chaos_composition"] = run_chaos_composition(seed)
-    return report
+    return rollup(results, seed, quick)
 
 
 def to_json(report: dict) -> str:

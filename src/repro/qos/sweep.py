@@ -183,25 +183,43 @@ def _section(report) -> dict:
     }
 
 
-def run_fairness(seed: int, duration_s: float, warmup_s: float) -> dict:
-    """Isolated baselines, the attack, the FIFO contrast, and chaos."""
+def fairness_durations(quick: bool) -> tuple:
+    """(duration_s, warmup_s) for the full vs quick fairness window."""
+    return (0.008, 0.002) if quick else (0.02, 0.005)
+
+
+def run_isolated_point(name: str, seed: int, duration_s: float,
+                       warmup_s: float) -> dict:
+    """One tenant alone at its shared-run rate: its isolation baseline."""
     capacity = fleet_capacity_rps()
     deadline_s = derive_deadline_s()
-    rates = tenant_rates(capacity)
-    tenants = make_tenants(rates)
+    spec = next(t for t in make_tenants(tenant_rates(capacity))
+                if t.name == name)
+    solo = qos_scenario([spec], seed, duration_s, warmup_s, deadline_s)
+    return _tenant_point(run_scenario(solo), name)
 
-    # Isolated baselines: each tenant alone at its shared-run rate.
-    isolated = {}
-    for spec in tenants:
-        solo = qos_scenario([spec], seed, duration_s, warmup_s, deadline_s)
-        isolated[spec.name] = _tenant_point(run_scenario(solo), spec.name)
 
-    attack = _section(run_scenario(
-        qos_scenario(tenants, seed, duration_s, warmup_s, deadline_s)))
-    fifo = _section(run_scenario(
-        qos_scenario(tenants, seed, duration_s, warmup_s, deadline_s,
-                     mode="fifo", isolate=False)))
+def run_attack_point(seed: int, duration_s: float, warmup_s: float) -> dict:
+    """All tenants together under the full QoS stack."""
+    capacity = fleet_capacity_rps()
+    tenants = make_tenants(tenant_rates(capacity))
+    return _section(run_scenario(qos_scenario(
+        tenants, seed, duration_s, warmup_s, derive_deadline_s())))
 
+
+def run_fifo_point(seed: int, duration_s: float, warmup_s: float) -> dict:
+    """The contrast arm: FIFO stations, shared overload state."""
+    capacity = fleet_capacity_rps()
+    tenants = make_tenants(tenant_rates(capacity))
+    return _section(run_scenario(qos_scenario(
+        tenants, seed, duration_s, warmup_s, derive_deadline_s(),
+        mode="fifo", isolate=False)))
+
+
+def run_chaos_point(seed: int, duration_s: float, warmup_s: float) -> dict:
+    """The attack plus node_down + channel_wedge windows."""
+    capacity = fleet_capacity_rps()
+    tenants = make_tenants(tenant_rates(capacity))
     window = duration_s - warmup_s
     injector = FleetFaultInjector([
         FaultWindow(kind="node_down", server=0,
@@ -212,21 +230,33 @@ def run_fairness(seed: int, duration_s: float, warmup_s: float) -> dict:
                     duration_s=0.2 * window),
     ])
     chaos_report = run_scenario(
-        qos_scenario(tenants, seed, duration_s, warmup_s, deadline_s),
+        qos_scenario(tenants, seed, duration_s, warmup_s,
+                     derive_deadline_s()),
         fault_injector=injector)
     chaos = _section(chaos_report)
     chaos["chaos"] = {
         "availability": chaos_report.chaos["availability"],
         "windows": len(chaos_report.chaos["windows"]),
     }
+    return chaos
 
-    # Surge: everyone scaled so aggregate offered = 2x capacity.
-    offered = sum(rates.values())
-    surge_scale = 2.0 * capacity / offered
-    surge = _section(run_scenario(
-        qos_scenario(make_tenants(rates, scale=surge_scale), seed,
-                     duration_s, warmup_s, deadline_s)))
 
+def run_surge_point(seed: int, duration_s: float, warmup_s: float) -> dict:
+    """Everyone scaled so aggregate offered load is 2x fleet capacity."""
+    capacity = fleet_capacity_rps()
+    rates = tenant_rates(capacity)
+    surge_scale = 2.0 * capacity / sum(rates.values())
+    return _section(run_scenario(qos_scenario(
+        make_tenants(rates, scale=surge_scale), seed,
+        duration_s, warmup_s, derive_deadline_s())))
+
+
+def fairness_rollup(isolated: dict, attack: dict, fifo: dict, chaos: dict,
+                    surge: dict) -> dict:
+    """Assemble the fairness payload (sections + gate summary)."""
+    capacity = fleet_capacity_rps()
+    deadline_s = derive_deadline_s()
+    rates = tenant_rates(capacity)
     fair_share_rps = capacity / 3.0
     victim_ratio = (
         attack["tenants"]["victim"]["goodput_rps"]
@@ -330,21 +360,82 @@ def run_retry_isolation(seed: int = 11, ops: int = 60) -> dict:
     }
 
 
-# -- the full report -----------------------------------------------------------------
+# -- experiment-matrix points --------------------------------------------------------
+
+#: The three tenants the isolated baselines cover.
+TENANT_NAMES = ("victim", "steady", "aggressor")
 
 
-def run_qos(seed: int = 11, quick: bool = False) -> dict:
-    """The complete ``python -m repro qos`` payload."""
-    if quick:
-        fairness = run_fairness(seed, duration_s=0.008, warmup_s=0.002)
-    else:
-        fairness = run_fairness(seed, duration_s=0.02, warmup_s=0.005)
+def matrix_points(seed: int, quick: bool) -> list:
+    """Every instance label of this sweep's matrix target."""
+    return (["isolated/%s" % name for name in TENANT_NAMES]
+            + ["attack", "attack_fifo", "attack_chaos", "surge",
+               "retry_isolation"])
+
+
+def run_point(spec) -> dict:
+    """Pure matrix entry: one :class:`~repro.exp.spec.RunSpec` -> result."""
+    duration_s, warmup_s = fairness_durations(spec.quick)
+    if spec.instance.startswith("isolated/"):
+        return run_isolated_point(spec.instance.split("/", 1)[1], spec.seed,
+                                  duration_s, warmup_s)
+    section = {
+        "attack": run_attack_point,
+        "attack_fifo": run_fifo_point,
+        "attack_chaos": run_chaos_point,
+        "surge": run_surge_point,
+    }.get(spec.instance)
+    if section is not None:
+        return section(spec.seed, duration_s, warmup_s)
+    if spec.instance == "retry_isolation":
+        return run_retry_isolation(spec.seed)
+    raise ValueError("unknown qos instance %r" % spec.instance)
+
+
+def rollup(results: dict, seed: int, quick: bool) -> dict:
+    """Per-instance results -> the complete CLI/BENCH payload."""
+    isolated = {name: results["isolated/%s" % name]
+                for name in TENANT_NAMES}
     return {
         "seed": seed,
         "quick": quick,
-        "fairness": fairness,
-        "retry_isolation": run_retry_isolation(seed),
+        "fairness": fairness_rollup(
+            isolated, results["attack"], results["attack_fifo"],
+            results["attack_chaos"], results["surge"]),
+        "retry_isolation": results["retry_isolation"],
     }
+
+
+# -- the full report -----------------------------------------------------------------
+
+
+def run_fairness(seed: int, duration_s: float, warmup_s: float) -> dict:
+    """Isolated baselines, the attack, the FIFO contrast, and chaos."""
+    isolated = {
+        name: run_isolated_point(name, seed, duration_s, warmup_s)
+        for name in TENANT_NAMES
+    }
+    return fairness_rollup(
+        isolated,
+        run_attack_point(seed, duration_s, warmup_s),
+        run_fifo_point(seed, duration_s, warmup_s),
+        run_chaos_point(seed, duration_s, warmup_s),
+        run_surge_point(seed, duration_s, warmup_s))
+
+
+def run_qos(seed: int = 11, quick: bool = False) -> dict:
+    """The complete ``python -m repro qos`` payload.
+
+    A thin serial wrapper over the same pure points the experiment-matrix
+    harness fans out across cores.
+    """
+    from repro.exp.spec import RunSpec
+
+    results = {
+        instance: run_point(RunSpec.make("qos", instance, seed, quick=quick))
+        for instance in matrix_points(seed, quick)
+    }
+    return rollup(results, seed, quick)
 
 
 def to_json(report: dict) -> str:

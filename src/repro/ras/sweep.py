@@ -398,28 +398,71 @@ def run_fleet(seed: int, duration_s: float, warmup_s: float,
     }
 
 
+# -- experiment-matrix points --------------------------------------------------------
+
+
+def _grid_ops(quick: bool) -> int:
+    return 16 if quick else 48
+
+
+def matrix_points(seed: int, quick: bool) -> list:
+    """Every instance label of this sweep's matrix target."""
+    return (["grid/%s/%g" % (arm, rate)
+             for arm, _ in SCRUB_ARMS for rate in SDC_RATES]
+            + ["sdc", "fleet"])
+
+
+def run_point(spec) -> dict:
+    """Pure matrix entry: one :class:`~repro.exp.spec.RunSpec` -> result."""
+    if spec.instance.startswith("grid/"):
+        _, arm, rate = spec.instance.split("/")
+        scrub_lines = dict(SCRUB_ARMS)[arm]
+        return _micro_cell(spec.seed, scrub_lines, float(rate),
+                           ops=_grid_ops(spec.quick))
+    if spec.instance == "sdc":
+        return run_sdc(spec.seed, ops=12 if spec.quick else 16)
+    if spec.instance == "fleet":
+        if spec.quick:
+            return run_fleet(spec.seed, duration_s=0.008, warmup_s=0.002,
+                             steps=48)
+        return run_fleet(spec.seed, duration_s=0.02, warmup_s=0.005,
+                         steps=160)
+    raise ValueError("unknown ras instance %r" % spec.instance)
+
+
+def rollup(results: dict, seed: int, quick: bool) -> dict:
+    """Per-instance results -> the complete CLI/BENCH payload."""
+    report = {
+        "seed": seed,
+        "quick": quick,
+        "grid": {
+            arm: {"%g" % rate: results["grid/%s/%g" % (arm, rate)]
+                  for rate in SDC_RATES}
+            for arm, _ in SCRUB_ARMS
+        },
+        "sdc": results["sdc"],
+        "fleet": results["fleet"],
+    }
+    report["summary"] = _summary(report)
+    return report
+
+
 # -- the full report -----------------------------------------------------------------
 
 
 def run_ras(seed: int = 11, quick: bool = False) -> dict:
-    """The complete ``python -m repro ras`` payload."""
-    if quick:
-        grid = run_grid(seed, ops=16)
-        sdc = run_sdc(seed, ops=12)
-        fleet = run_fleet(seed, duration_s=0.008, warmup_s=0.002, steps=48)
-    else:
-        grid = run_grid(seed, ops=48)
-        sdc = run_sdc(seed, ops=16)
-        fleet = run_fleet(seed, duration_s=0.02, warmup_s=0.005, steps=160)
-    report = {
-        "seed": seed,
-        "quick": quick,
-        "grid": grid,
-        "sdc": sdc,
-        "fleet": fleet,
+    """The complete ``python -m repro ras`` payload.
+
+    A thin serial wrapper over the same pure points the experiment-matrix
+    harness fans out across cores.
+    """
+    from repro.exp.spec import RunSpec
+
+    results = {
+        instance: run_point(RunSpec.make("ras", instance, seed, quick=quick))
+        for instance in matrix_points(seed, quick)
     }
-    report["summary"] = _summary(report)
-    return report
+    return rollup(results, seed, quick)
 
 
 def _summary(report: dict) -> dict:

@@ -84,34 +84,60 @@ def _point(report) -> dict:
     }
 
 
+def sweep_durations(quick: bool) -> tuple:
+    """(duration_s, warmup_s) for the full vs quick sweep window."""
+    return (0.012, 0.002) if quick else (0.03, 0.005)
+
+
+def run_sweep_point(protocol: str, placement: str, seed: int,
+                    chaos: bool = True, value_bytes: int = 16384,
+                    duration_s: float = 0.03,
+                    warmup_s: float = 0.005) -> dict:
+    """One (protocol, placement) row, pure: spec in, result dict out."""
+    scenario = replication_scenario(placement, protocol, seed,
+                                    value_bytes, duration_s, warmup_s)
+    injector = (FleetFaultInjector(standard_windows(duration_s, warmup_s))
+                if chaos else None)
+    return _point(run_replication(scenario, fault_injector=injector))
+
+
 def run_placement_sweep(seed: int = 7, protocol: str = "abd",
                         placements=PLACEMENTS, chaos: bool = True,
                         value_bytes: int = 16384,
                         duration_s: float = 0.03,
                         warmup_s: float = 0.005) -> dict:
     """One protocol across every placement, identical workload and chaos."""
-    points = {}
-    for placement in placements:
-        scenario = replication_scenario(placement, protocol, seed,
-                                        value_bytes, duration_s, warmup_s)
-        injector = (FleetFaultInjector(standard_windows(duration_s, warmup_s))
-                    if chaos else None)
-        points[placement] = _point(
-            run_replication(scenario, fault_injector=injector))
-    return points
+    return {
+        placement: run_sweep_point(protocol, placement, seed, chaos,
+                                   value_bytes, duration_s, warmup_s)
+        for placement in placements
+    }
 
 
-def run_replication_suite(seed: int = 7, quick: bool = False) -> dict:
-    """The complete ``BENCH_replication.json`` payload."""
-    if quick:
-        duration_s, warmup_s = 0.012, 0.002
-    else:
-        duration_s, warmup_s = 0.03, 0.005
-    protocols = {}
-    for protocol in SWEEP_PROTOCOLS:
-        protocols[protocol] = run_placement_sweep(
-            seed, protocol, chaos=True,
-            duration_s=duration_s, warmup_s=warmup_s)
+# -- experiment-matrix points --------------------------------------------------------
+
+
+def matrix_points(seed: int, quick: bool) -> list:
+    """Every instance label of this sweep's matrix target."""
+    return ["%s/%s" % (protocol, placement)
+            for protocol in SWEEP_PROTOCOLS for placement in PLACEMENTS]
+
+
+def run_point(spec) -> dict:
+    """Pure matrix entry: one :class:`~repro.exp.spec.RunSpec` -> result."""
+    protocol, placement = spec.instance.split("/")
+    duration_s, warmup_s = sweep_durations(spec.quick)
+    return run_sweep_point(protocol, placement, spec.seed,
+                           duration_s=duration_s, warmup_s=warmup_s)
+
+
+def rollup(results: dict, seed: int, quick: bool) -> dict:
+    """Per-instance results -> the complete CLI/BENCH payload."""
+    protocols = {
+        protocol: {placement: results["%s/%s" % (protocol, placement)]
+                   for placement in PLACEMENTS}
+        for protocol in SWEEP_PROTOCOLS
+    }
     abd = protocols["abd"]
     total_violations = sum(
         point["violations"]
@@ -142,6 +168,22 @@ def run_replication_suite(seed: int = 7, quick: bool = False) -> dict:
         "protocols": protocols,
         "summary": summary,
     }
+
+
+def run_replication_suite(seed: int = 7, quick: bool = False) -> dict:
+    """The complete ``BENCH_replication.json`` payload.
+
+    A thin serial wrapper over the same pure points the experiment-matrix
+    harness fans out across cores.
+    """
+    from repro.exp.spec import RunSpec
+
+    results = {
+        instance: run_point(RunSpec.make("replication", instance, seed,
+                                         quick=quick))
+        for instance in matrix_points(seed, quick)
+    }
+    return rollup(results, seed, quick)
 
 
 def to_json(report: dict) -> str:

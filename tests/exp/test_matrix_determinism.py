@@ -1,0 +1,55 @@
+"""Parallel determinism: ``--jobs N`` must be byte-identical to serial.
+
+Every matrix point derives all randomness from its spec's seed — no
+shared RNG state crosses the process boundary — so fanning points across
+a pool must produce byte-identical per-point JSON to the inline serial
+path.  Runs real seeded simulations (replication) alongside the analytic
+target so the guarantee is tested where it can actually break.  Select
+with ``-m exp``.
+"""
+
+import json
+
+import pytest
+
+from repro.exp import build_matrix, matrix_to_json, run_matrix
+from repro.exp.pool import run_points
+
+pytestmark = pytest.mark.exp
+
+
+def _per_point_json(specs, jobs):
+    out = run_points(specs, jobs=jobs)
+    return {
+        spec.label: json.dumps(out[spec.digest()][0], sort_keys=True)
+        for spec in specs
+    }
+
+
+class TestPerPointDeterminism:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return build_matrix(only=["datapath", "replication"], quick=True)
+
+    def test_jobs4_matches_serial_per_point(self, specs):
+        serial = _per_point_json(specs, jobs=1)
+        pooled = _per_point_json(specs, jobs=4)
+        assert pooled == serial
+
+    def test_pool_covers_every_spec(self, specs):
+        out = run_points(specs, jobs=4)
+        assert len(out) == len(specs)
+
+
+class TestMatrixDeterminism:
+    def test_full_payload_byte_identical_across_jobs(self):
+        specs = build_matrix(only=["datapath", "cluster"], quick=True)
+        serial = run_matrix(specs, jobs=1)
+        pooled = run_matrix(specs, jobs=2)
+        assert matrix_to_json(pooled) == matrix_to_json(serial)
+
+    def test_repeated_serial_runs_are_identical(self):
+        specs = build_matrix(only=["cluster"], quick=True)
+        first = run_matrix(specs, jobs=1)
+        second = run_matrix(specs, jobs=1)
+        assert matrix_to_json(first) == matrix_to_json(second)
